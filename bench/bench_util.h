@@ -1,0 +1,92 @@
+// Shared helpers for the experiment-reproduction harnesses.
+//
+// Every bench binary regenerates one table/figure of the paper's evaluation
+// and prints the series as an aligned text table. Scales default to values
+// that run in seconds on a laptop; pass --paper to use the paper's full
+// configuration (Section 5.1: 100 nodes x 1000 512-dim items; Section 6:
+// 50 nodes x ~12,000 histograms).
+
+#ifndef HYPERM_BENCH_BENCH_UTIL_H_
+#define HYPERM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "data/histogram_generator.h"
+#include "data/peer_assignment.h"
+#include "hyperm/network.h"
+
+namespace hyperm::bench {
+
+/// True iff --paper was passed (full paper-scale run).
+inline bool PaperScale(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--paper") == 0) return true;
+  }
+  return false;
+}
+
+/// Prints the bench header with the resolved configuration.
+inline void PrintHeader(const std::string& figure, const std::string& what,
+                        bool paper_scale) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), what.c_str());
+  std::printf("scale: %s (pass --paper for the paper's full configuration)\n",
+              paper_scale ? "paper" : "default");
+  std::printf("==============================================================\n");
+}
+
+/// The Section 6 effectiveness testbed: ALOI-like histograms over 50 nodes
+/// (paper: 1,000 objects x 12 views; default: 350 x 12).
+struct EffectivenessBed {
+  data::Dataset dataset;
+  data::PeerAssignment assignment;
+  std::unique_ptr<core::HyperMNetwork> network;
+};
+
+/// Builds the Section 6 testbed; exits on error (bench binaries only).
+/// Heap-allocated because the network points into the bed's dataset.
+inline std::unique_ptr<EffectivenessBed> BuildEffectivenessBed(
+    bool paper_scale, const core::HyperMOptions& options, uint64_t seed = 606,
+    int num_objects_override = 0) {
+  Rng rng(seed);
+  data::HistogramOptions data_options;
+  data_options.num_objects =
+      num_objects_override > 0 ? num_objects_override : (paper_scale ? 1000 : 350);
+  data_options.views_per_object = 12;
+  data_options.dim = 64;
+  Result<data::Dataset> dataset = data::GenerateHistograms(data_options, rng);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", dataset.status().ToString().c_str());
+    std::exit(1);
+  }
+  // The network holds a pointer to the dataset, so move it into the bed (its
+  // final home) before Build.
+  auto bed = std::make_unique<EffectivenessBed>();
+  bed->dataset = std::move(dataset).value();
+  data::AssignmentOptions assign_options;
+  assign_options.num_peers = 50;
+  assign_options.num_interest_classes = 25;
+  Result<data::PeerAssignment> assignment =
+      data::AssignByInterest(bed->dataset, assign_options, rng);
+  if (!assignment.ok()) {
+    std::fprintf(stderr, "assignment: %s\n", assignment.status().ToString().c_str());
+    std::exit(1);
+  }
+  bed->assignment = std::move(assignment).value();
+  Result<std::unique_ptr<core::HyperMNetwork>> network =
+      core::HyperMNetwork::Build(bed->dataset, bed->assignment, options, rng);
+  if (!network.ok()) {
+    std::fprintf(stderr, "network: %s\n", network.status().ToString().c_str());
+    std::exit(1);
+  }
+  bed->network = std::move(network).value();
+  return bed;
+}
+
+}  // namespace hyperm::bench
+
+#endif  // HYPERM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,117 @@
+// Extension: physical MANET cost of overlay traffic.
+//
+// The paper counts overlay hops; in the motivating scenario every overlay
+// hop is a multi-hop radio path across the room/train. CAN zone assignment
+// is independent of geography, so overlay endpoints are uniform random node
+// pairs and the expected physical multiplier is the mean pairwise hop count
+// of the radio graph. This bench deploys both systems over the same physical
+// field and reports physical transmissions, radio energy and dissemination
+// makespan.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "data/markov_generator.h"
+#include "data/peer_assignment.h"
+#include "hyperm/baseline.h"
+#include "hyperm/network.h"
+#include "manet/topology.h"
+#include "sim/dissemination.h"
+
+using namespace hyperm;
+
+int main(int argc, char** argv) {
+  const bool paper = bench::PaperScale(argc, argv);
+  const int nodes = 50;
+  const int items_per_node = paper ? 1000 : 200;
+  bench::PrintHeader("Extension", "physical MANET cost of dissemination", paper);
+
+  // Physical deployment: a 120 m hall, 35 m bluetooth-class range.
+  Rng manet_rng(5);
+  manet::TopologyOptions field;
+  field.num_nodes = nodes;
+  field.field_size_m = 120.0;
+  field.radio_range_m = 35.0;
+  Result<manet::ManetTopology> topology = manet::ManetTopology::Generate(field, manet_rng);
+  if (!topology.ok()) {
+    std::fprintf(stderr, "%s\n", topology.status().ToString().c_str());
+    return 1;
+  }
+  const double multiplier = topology->MeanPairwiseHops();
+  std::printf("field: %.0fx%.0f m, range %.0f m -> mean physical hops per overlay hop: %.2f\n\n",
+              field.field_size_m, field.field_size_m, field.radio_range_m, multiplier);
+
+  Rng data_rng(404);
+  data::MarkovOptions data_options;
+  data_options.count = nodes * items_per_node;
+  data_options.dim = 512;
+  data_options.num_families = 25;
+  Result<data::Dataset> dataset = data::GenerateMarkov(data_options, data_rng);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  data::AssignmentOptions assign_options;
+  assign_options.num_peers = nodes;
+  Result<data::PeerAssignment> assignment =
+      data::AssignByInterest(*dataset, assign_options, data_rng);
+  if (!assignment.ok()) {
+    std::fprintf(stderr, "%s\n", assignment.status().ToString().c_str());
+    return 1;
+  }
+
+  // Hyper-M.
+  Rng rng(42);
+  core::HyperMOptions options;
+  Result<std::unique_ptr<core::HyperMNetwork>> net =
+      core::HyperMNetwork::Build(*dataset, *assignment, options, rng);
+  if (!net.ok()) {
+    std::fprintf(stderr, "%s\n", net.status().ToString().c_str());
+    return 1;
+  }
+  const uint64_t hyperm_overlay_hops =
+      (*net)->stats().hops(sim::TrafficClass::kInsert) +
+      (*net)->stats().hops(sim::TrafficClass::kReplicate);
+  const double hyperm_bytes_per_hop = sim::AverageInsertBytesPerHop((*net)->stats());
+
+  // Per-item baseline.
+  Rng baseline_rng(43);
+  Result<std::unique_ptr<core::CanItemBaseline>> baseline =
+      core::CanItemBaseline::Build(*dataset, *assignment, {}, baseline_rng);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "%s\n", baseline.status().ToString().c_str());
+    return 1;
+  }
+  const uint64_t baseline_overlay_hops =
+      (*baseline)->stats().hops(sim::TrafficClass::kInsert);
+  const double baseline_bytes_per_hop =
+      sim::AverageInsertBytesPerHop((*baseline)->stats());
+
+  const sim::RadioEnergyModel radio;
+  auto report = [&](const char* name, uint64_t overlay_hops, double bytes_per_hop) {
+    const double physical = static_cast<double>(overlay_hops) * multiplier;
+    const double energy_mj = physical * radio.HopEnergyNanojoules(
+                                            static_cast<uint64_t>(bytes_per_hop)) *
+                             1e-6;
+    // Makespan: physical transmissions split evenly across peers publishing
+    // in parallel.
+    std::vector<uint64_t> per_peer(
+        static_cast<size_t>(nodes),
+        static_cast<uint64_t>(physical / static_cast<double>(nodes)));
+    const double makespan = sim::ParallelMakespanMs(per_peer, bytes_per_hop);
+    std::printf("%-14s %16llu %18.0f %14.1f %14.1f\n", name,
+                static_cast<unsigned long long>(overlay_hops), physical, energy_mj,
+                makespan / 1000.0);
+  };
+
+  std::printf("%-14s %16s %18s %14s %14s\n", "system", "overlay hops",
+              "physical tx", "energy (mJ)", "makespan (s)");
+  report("Hyper-M", hyperm_overlay_hops, hyperm_bytes_per_hop);
+  report("per-item CAN", baseline_overlay_hops, baseline_bytes_per_hop);
+
+  std::printf("\nexpected shape: the physical multiplier scales both systems\n"
+              "equally; Hyper-M's advantage compounds through its tiny summary\n"
+              "messages (energy and makespan gaps exceed the hop gap)\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 8a: cluster replication overhead.
+//
+// "Figure 8a shows the average number of hops for different cluster sizes.
+// As expected, if the clustering is finer, the number of hops approaches the
+// no-replication standard [because] a smaller cluster has less chances of
+// overlapping other zones than the one its centroid is located in."
+//
+// For each clusters-per-peer setting we build a full Hyper-M deployment and
+// report, per cluster publication: greedy routing hops (the no-replication
+// standard) and the extra replication hops caused by zone overlap.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "data/markov_generator.h"
+#include "data/peer_assignment.h"
+#include "hyperm/network.h"
+
+using namespace hyperm;
+
+int main(int argc, char** argv) {
+  const bool paper = bench::PaperScale(argc, argv);
+  const int nodes = 100;
+  const int items_per_node = paper ? 1000 : 500;
+  const int dim = 512;
+  bench::PrintHeader("Figure 8a", "cluster replication overhead (Markov 512-d)", paper);
+  std::printf("nodes=%d items/node=%d dim=%d layers=4\n\n", nodes, items_per_node, dim);
+
+  Rng data_rng(404);
+  data::MarkovOptions data_options;
+  data_options.count = nodes * items_per_node;
+  data_options.dim = dim;
+  data_options.num_families = 25;
+  Result<data::Dataset> dataset = data::GenerateMarkov(data_options, data_rng);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  data::AssignmentOptions assign_options;
+  assign_options.num_peers = nodes;
+  assign_options.num_interest_classes = 25;
+  Result<data::PeerAssignment> assignment =
+      data::AssignByInterest(*dataset, assign_options, data_rng);
+  if (!assignment.ok()) {
+    std::fprintf(stderr, "%s\n", assignment.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-14s %12s %16s %16s %12s\n", "clusters/peer", "route/pub",
+              "replicate/pub", "total/pub", "overhead");
+  for (int clusters : {2, 5, 10, 20, 50}) {
+    Rng rng(42);
+    core::HyperMOptions options;
+    options.num_layers = 4;
+    options.clusters_per_peer = clusters;
+    Result<std::unique_ptr<core::HyperMNetwork>> net =
+        core::HyperMNetwork::Build(*dataset, *assignment, options, rng);
+    if (!net.ok()) {
+      std::fprintf(stderr, "%s\n", net.status().ToString().c_str());
+      return 1;
+    }
+    const sim::NetworkStats& stats = (*net)->stats();
+    const double pubs = static_cast<double>(nodes) * clusters * options.num_layers;
+    const double route = static_cast<double>(stats.hops(sim::TrafficClass::kInsert));
+    const double repl = static_cast<double>(stats.hops(sim::TrafficClass::kReplicate));
+    std::printf("%-14d %12.2f %16.2f %16.2f %11.1f%%\n", clusters, route / pubs,
+                repl / pubs, (route + repl) / pubs, 100.0 * repl / route);
+  }
+  std::printf("\nexpected shape: replication overhead shrinks as clustering gets finer\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Microbenchmarks (google-benchmark) of the computational kernels behind
+// Hyper-M: the Haar pyramid, k-means, the sphere-intersection geometry of
+// Eqs. 5-8, and CAN greedy routing. These quantify the "could be done
+// offline / negligible" claims the paper makes about local computation.
+
+#include <benchmark/benchmark.h>
+
+#include "can/can_overlay.h"
+#include "cluster/kmeans.h"
+#include "common/rng.h"
+#include "geom/radius_estimator.h"
+#include "geom/sphere_volume.h"
+#include "wavelet/haar.h"
+#include "wavelet/transform.h"
+
+namespace hyperm {
+namespace {
+
+Vector RandomVector(size_t dim, Rng& rng) {
+  Vector x(dim);
+  for (double& v : x) v = rng.Uniform(-1.0, 1.0);
+  return x;
+}
+
+void BM_HaarDecompose(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  const Vector x = RandomVector(dim, rng);
+  for (auto _ : state) {
+    Result<wavelet::Pyramid> p = wavelet::Decompose(x);
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HaarDecompose)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_HaarRoundTrip(benchmark::State& state) {
+  Rng rng(2);
+  const Vector x = RandomVector(512, rng);
+  for (auto _ : state) {
+    Result<wavelet::Pyramid> p = wavelet::Decompose(x);
+    Vector back = wavelet::Reconstruct(*p);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_HaarRoundTrip);
+
+void BM_WaveletFamilies(benchmark::State& state) {
+  const auto kind = static_cast<wavelet::WaveletKind>(state.range(0));
+  Rng rng(2);
+  const Vector x = RandomVector(512, rng);
+  for (auto _ : state) {
+    Result<wavelet::Pyramid> p = wavelet::DecomposeWith(kind, x);
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetLabel(wavelet::WaveletKindName(kind));
+}
+BENCHMARK(BM_WaveletFamilies)
+    ->Arg(static_cast<int>(wavelet::WaveletKind::kHaarAveraging))
+    ->Arg(static_cast<int>(wavelet::WaveletKind::kHaarOrthonormal))
+    ->Arg(static_cast<int>(wavelet::WaveletKind::kDaubechies4));
+
+void BM_KMeans(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const size_t dim = static_cast<size_t>(state.range(1));
+  Rng data_rng(3);
+  std::vector<Vector> points;
+  points.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) points.push_back(RandomVector(dim, data_rng));
+  cluster::KMeansOptions options;
+  options.k = 10;
+  for (auto _ : state) {
+    Rng rng(4);
+    Result<cluster::KMeansResult> r = cluster::KMeans(points, options, rng);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KMeans)->Args({200, 4})->Args({1000, 4})->Args({1000, 64});
+
+void BM_CapVolumeFraction(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  double alpha = 0.1;
+  for (auto _ : state) {
+    alpha = alpha > 3.0 ? 0.1 : alpha + 0.001;
+    benchmark::DoNotOptimize(geom::CapVolumeFraction(d, alpha));
+  }
+}
+BENCHMARK(BM_CapVolumeFraction)->Arg(2)->Arg(16)->Arg(512);
+
+void BM_SphereIntersectionFraction(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  double b = 0.0;
+  for (auto _ : state) {
+    b = b > 2.4 ? 0.0 : b + 0.001;
+    benchmark::DoNotOptimize(geom::SphereIntersectionFraction(d, 1.0, 1.5, b));
+  }
+}
+BENCHMARK(BM_SphereIntersectionFraction)->Arg(2)->Arg(16);
+
+void BM_SolveRadiusForCount(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<geom::ClusterView> clusters;
+  for (int i = 0; i < 50; ++i) {
+    clusters.push_back(geom::ClusterView{rng.Uniform(0.1, 1.0),
+                                         rng.Uniform(0.0, 3.0),
+                                         static_cast<int>(rng.UniformInt(1, 40))});
+  }
+  for (auto _ : state) {
+    Result<double> eps = geom::SolveRadiusForCount(4, clusters, 25.0);
+    benchmark::DoNotOptimize(eps);
+  }
+}
+BENCHMARK(BM_SolveRadiusForCount);
+
+void BM_CanRoute(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const int nodes = static_cast<int>(state.range(1));
+  sim::NetworkStats stats;
+  Rng rng(6);
+  auto can = can::CanOverlay::Build(dim, nodes, &stats, rng).value();
+  Rng query_rng(7);
+  for (auto _ : state) {
+    Vector key(dim);
+    for (double& v : key) v = query_rng.NextDouble();
+    Result<can::RouteResult> r =
+        can->Route(key, 0, sim::TrafficClass::kQuery, 64);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CanRoute)->Args({2, 100})->Args({4, 100})->Args({512, 100});
+
+}  // namespace
+}  // namespace hyperm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,493 @@
+#include "can/can_overlay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.h"
+
+namespace hyperm::can {
+
+using overlay::InsertReceipt;
+using overlay::NodeId;
+using overlay::NodeStorage;
+using overlay::PublishedCluster;
+using overlay::RangeQueryResult;
+
+namespace {
+
+// Fixed per-message header: source, destination, type, ids.
+constexpr uint64_t kHeaderBytes = 16;
+
+}  // namespace
+
+Result<std::unique_ptr<CanOverlay>> CanOverlay::Build(size_t dim, int num_nodes,
+                                                      sim::NetworkStats* stats,
+                                                      Rng& rng) {
+  if (dim < 1) return InvalidArgumentError("CanOverlay: dim must be >= 1");
+  if (num_nodes < 1) return InvalidArgumentError("CanOverlay: need >= 1 node");
+  HM_CHECK(stats != nullptr);
+  std::unique_ptr<CanOverlay> overlay(new CanOverlay(dim, stats));
+  // The bootstrap node owns the whole cube.
+  Node first;
+  first.zone.lo.assign(dim, 0.0);
+  first.zone.hi.assign(dim, 1.0);
+  overlay->nodes_.push_back(std::move(first));
+  for (int i = 1; i < num_nodes; ++i) {
+    HM_RETURN_IF_ERROR(overlay->Join(rng));
+  }
+  return overlay;
+}
+
+Status CanOverlay::Join(Rng& rng) {
+  // The newcomer picks a random point and routes to its owner through a
+  // random bootstrap contact (it knows one active node already in the
+  // network).
+  Vector point(dim_);
+  for (double& x : point) x = rng.NextDouble();
+  NodeId bootstrap = static_cast<NodeId>(rng.NextIndex(nodes_.size()));
+  while (!nodes_[static_cast<size_t>(bootstrap)].active) {
+    bootstrap = static_cast<NodeId>(rng.NextIndex(nodes_.size()));
+  }
+  HM_ASSIGN_OR_RETURN(RouteResult route,
+                      Route(point, bootstrap, sim::TrafficClass::kJoin, KeyMessageBytes()));
+  const NodeId owner = route.destination;
+  const NodeId fresh = SplitZone(owner, point);
+  // Split handshake: owner transfers half its zone (and state) to the
+  // newcomer, then both notify the affected neighbours.
+  stats_->RecordHop(sim::TrafficClass::kJoin, ClusterMessageBytes());
+  const size_t notified =
+      nodes_[static_cast<size_t>(owner)].neighbors.size() +
+      nodes_[static_cast<size_t>(fresh)].neighbors.size();
+  for (size_t i = 0; i < notified; ++i) {
+    stats_->RecordHop(sim::TrafficClass::kJoin, KeyMessageBytes());
+  }
+  return OkStatus();
+}
+
+NodeId CanOverlay::SplitZone(NodeId owner, const Vector& point) {
+  Node& old_node = nodes_[static_cast<size_t>(owner)];
+  HM_CHECK(old_node.zone.ContainsHalfOpen(point));
+  // Split along the longest side (keeps zones close to cubical, which is the
+  // practical variant of CAN's cyclic dimension ordering).
+  size_t split_dim = 0;
+  double longest = -1.0;
+  for (size_t i = 0; i < dim_; ++i) {
+    const double side = old_node.zone.hi[i] - old_node.zone.lo[i];
+    if (side > longest) {
+      longest = side;
+      split_dim = i;
+    }
+  }
+  const double mid = 0.5 * (old_node.zone.lo[split_dim] + old_node.zone.hi[split_dim]);
+
+  Node fresh;
+  fresh.zone = old_node.zone;
+  if (point[split_dim] < mid) {
+    // Newcomer takes the lower half.
+    fresh.zone.hi[split_dim] = mid;
+    old_node.zone.lo[split_dim] = mid;
+  } else {
+    fresh.zone.lo[split_dim] = mid;
+    old_node.zone.hi[split_dim] = mid;
+  }
+  const NodeId fresh_id = static_cast<NodeId>(nodes_.size());
+
+  // Re-home stored clusters: each stays with every half its sphere overlaps.
+  std::vector<PublishedCluster> kept;
+  for (PublishedCluster& cluster : old_node.stored) {
+    if (fresh.zone.IntersectsSphere(cluster.sphere)) fresh.stored.push_back(cluster);
+    if (nodes_[static_cast<size_t>(owner)].zone.IntersectsSphere(cluster.sphere)) {
+      kept.push_back(std::move(cluster));
+    }
+  }
+  nodes_[static_cast<size_t>(owner)].stored = std::move(kept);
+
+  // Rebuild neighbour sets of the two halves from the owner's old set, then
+  // fix up the reverse edges.
+  std::vector<NodeId> candidates = nodes_[static_cast<size_t>(owner)].neighbors;
+  nodes_.push_back(std::move(fresh));
+  Node& old_ref = nodes_[static_cast<size_t>(owner)];
+  Node& new_ref = nodes_.back();
+
+  old_ref.neighbors.clear();
+  for (NodeId n : candidates) {
+    Node& other = nodes_[static_cast<size_t>(n)];
+    auto& list = other.neighbors;
+    list.erase(std::remove(list.begin(), list.end(), owner), list.end());
+    if (Adjacent(old_ref.zone, other.zone)) {
+      old_ref.neighbors.push_back(n);
+      list.push_back(owner);
+    }
+    if (Adjacent(new_ref.zone, other.zone)) {
+      new_ref.neighbors.push_back(n);
+      list.push_back(fresh_id);
+    }
+  }
+  HM_CHECK(Adjacent(old_ref.zone, new_ref.zone));
+  old_ref.neighbors.push_back(fresh_id);
+  new_ref.neighbors.push_back(owner);
+  return fresh_id;
+}
+
+bool CanOverlay::Adjacent(const geom::Box& a, const geom::Box& b) {
+  HM_CHECK_EQ(a.dim(), b.dim());
+  bool abuts = false;
+  for (size_t i = 0; i < a.dim(); ++i) {
+    const bool touch = (a.hi[i] == b.lo[i]) || (b.hi[i] == a.lo[i]);
+    const double overlap = std::fmin(a.hi[i], b.hi[i]) - std::fmax(a.lo[i], b.lo[i]);
+    if (touch && overlap == 0.0) {
+      if (abuts) return false;  // touching in two dims => only a corner/edge
+      abuts = true;
+    } else if (overlap <= 0.0) {
+      return false;  // separated in dimension i
+    }
+  }
+  return abuts;
+}
+
+Vector CanOverlay::ClampKey(const Vector& key) const {
+  HM_CHECK_EQ(key.size(), dim_);
+  Vector clamped = key;
+  for (double& x : clamped) {
+    x = std::clamp(x, 0.0, std::nextafter(1.0, 0.0));
+  }
+  return clamped;
+}
+
+uint64_t CanOverlay::KeyMessageBytes() const {
+  return kHeaderBytes + 8 * static_cast<uint64_t>(dim_);
+}
+
+uint64_t CanOverlay::ClusterMessageBytes() const {
+  // key + sphere (center, radius) + owner/count/id.
+  return kHeaderBytes + 16 * static_cast<uint64_t>(dim_) + 24;
+}
+
+NodeId CanOverlay::OwnerOf(const Vector& key) const {
+  const Vector clamped = ClampKey(key);
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].active) continue;
+    if (nodes_[i].zone.ContainsHalfOpen(clamped)) return static_cast<NodeId>(i);
+  }
+  return overlay::kInvalidNode;  // unreachable on a consistent partition
+}
+
+Result<RouteResult> CanOverlay::Route(const Vector& key, NodeId origin,
+                                      sim::TrafficClass cls, uint64_t message_bytes) {
+  if (origin < 0 || origin >= num_nodes() ||
+      !nodes_[static_cast<size_t>(origin)].active) {
+    return InvalidArgumentError("Route: bad origin node");
+  }
+  const Vector target = ClampKey(key);
+  RouteResult result;
+  NodeId current = origin;
+  // Greedy descent over zone-to-target distance. A target lying exactly on a
+  // zone boundary gives several zones a closed-box distance of zero, so pure
+  // greedy could oscillate between them; two safeguards prevent that:
+  // deliver directly when a neighbour owns the target (half-open test), and
+  // prefer zones this message has not traversed yet.
+  std::unordered_set<NodeId> visited;
+  visited.insert(current);
+  const int ttl = 4 * num_nodes() + 16;
+  while (!nodes_[static_cast<size_t>(current)].zone.ContainsHalfOpen(target)) {
+    if (result.hops > ttl) return InternalError("Route: TTL exceeded (topology bug)");
+    NodeId best = overlay::kInvalidNode;
+    double best_sq = std::numeric_limits<double>::max();
+    bool best_visited = true;
+    for (NodeId n : nodes_[static_cast<size_t>(current)].neighbors) {
+      if (nodes_[static_cast<size_t>(n)].zone.ContainsHalfOpen(target)) {
+        best = n;
+        best_visited = false;
+        break;
+      }
+      const double sq = nodes_[static_cast<size_t>(n)].zone.SquaredDistanceTo(target);
+      const bool seen = visited.contains(n);
+      // Unvisited beats visited; within a group, smaller distance wins.
+      if ((seen == best_visited && sq < best_sq) || (!seen && best_visited)) {
+        best_sq = sq;
+        best = n;
+        best_visited = seen;
+      }
+    }
+    HM_CHECK_NE(best, overlay::kInvalidNode);
+    current = best;
+    visited.insert(current);
+    ++result.hops;
+    stats_->RecordHop(cls, message_bytes);
+  }
+  result.destination = current;
+  return result;
+}
+
+Result<InsertReceipt> CanOverlay::Insert(const PublishedCluster& cluster, NodeId origin) {
+  if (cluster.sphere.center.size() != dim_) {
+    return InvalidArgumentError("Insert: dimensionality mismatch");
+  }
+  if (cluster.sphere.radius < 0.0) {
+    return InvalidArgumentError("Insert: negative radius");
+  }
+  HM_ASSIGN_OR_RETURN(RouteResult route,
+                      Route(cluster.sphere.center, origin, sim::TrafficClass::kInsert,
+                            ClusterMessageBytes()));
+  InsertReceipt receipt;
+  receipt.routing_hops = route.hops;
+
+  if (!replicate_spheres_) {
+    nodes_[static_cast<size_t>(route.destination)].stored.push_back(cluster);
+    return receipt;
+  }
+
+  // Replicate into every zone the sphere overlaps, flooding outward from the
+  // centroid owner through the neighbour graph (a connected region, since
+  // the sphere is connected and zones tile the space).
+  std::unordered_set<NodeId> visited;
+  std::deque<NodeId> frontier;
+  visited.insert(route.destination);
+  frontier.push_back(route.destination);
+  while (!frontier.empty()) {
+    const NodeId node = frontier.front();
+    frontier.pop_front();
+    nodes_[static_cast<size_t>(node)].stored.push_back(cluster);
+    for (NodeId n : nodes_[static_cast<size_t>(node)].neighbors) {
+      if (visited.contains(n)) continue;
+      if (!nodes_[static_cast<size_t>(n)].zone.IntersectsSphere(cluster.sphere)) continue;
+      visited.insert(n);
+      frontier.push_back(n);
+      ++receipt.replicas;
+      stats_->RecordHop(sim::TrafficClass::kReplicate, ClusterMessageBytes());
+    }
+  }
+  return receipt;
+}
+
+Result<RangeQueryResult> CanOverlay::RangeQuery(const geom::Sphere& query,
+                                                NodeId origin) {
+  if (query.center.size() != dim_) {
+    return InvalidArgumentError("RangeQuery: dimensionality mismatch");
+  }
+  if (query.radius < 0.0) {
+    return InvalidArgumentError("RangeQuery: negative radius");
+  }
+  HM_ASSIGN_OR_RETURN(RouteResult route, Route(query.center, origin,
+                                               sim::TrafficClass::kQuery,
+                                               KeyMessageBytes()));
+  RangeQueryResult result;
+  result.routing_hops = route.hops;
+
+  std::unordered_set<NodeId> visited;
+  std::unordered_set<uint64_t> seen_clusters;
+  std::deque<NodeId> frontier;
+  visited.insert(route.destination);
+  frontier.push_back(route.destination);
+  while (!frontier.empty()) {
+    const NodeId node = frontier.front();
+    frontier.pop_front();
+    ++result.nodes_visited;
+    for (const PublishedCluster& cluster : nodes_[static_cast<size_t>(node)].stored) {
+      if (!cluster.sphere.Intersects(query)) continue;
+      if (!seen_clusters.insert(cluster.cluster_id).second) continue;
+      result.matches.push_back(cluster);
+    }
+    for (NodeId n : nodes_[static_cast<size_t>(node)].neighbors) {
+      if (visited.contains(n)) continue;
+      if (!nodes_[static_cast<size_t>(n)].zone.IntersectsSphere(query)) continue;
+      visited.insert(n);
+      frontier.push_back(n);
+      ++result.flood_hops;
+      stats_->RecordHop(sim::TrafficClass::kQuery, KeyMessageBytes());
+    }
+  }
+  return result;
+}
+
+std::vector<NodeStorage> CanOverlay::StorageDistribution() const {
+  std::vector<NodeStorage> out;
+  out.reserve(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    NodeStorage s;
+    s.node = static_cast<NodeId>(i);
+    s.clusters = static_cast<int>(nodes_[i].stored.size());
+    for (const PublishedCluster& c : nodes_[i].stored) s.items += c.items;
+    out.push_back(s);
+  }
+  return out;
+}
+
+void CanOverlay::ClearStorage() {
+  for (Node& node : nodes_) node.stored.clear();
+}
+
+int CanOverlay::RemoveByOwner(int owner_peer) {
+  int removed = 0;
+  for (Node& node : nodes_) {
+    auto& stored = node.stored;
+    const auto end = std::remove_if(
+        stored.begin(), stored.end(),
+        [owner_peer](const PublishedCluster& c) { return c.owner_peer == owner_peer; });
+    removed += static_cast<int>(std::distance(end, stored.end()));
+    stored.erase(end, stored.end());
+  }
+  return removed;
+}
+
+const geom::Box& CanOverlay::zone(NodeId node) const {
+  HM_CHECK_GE(node, 0);
+  HM_CHECK_LT(node, num_nodes());
+  return nodes_[static_cast<size_t>(node)].zone;
+}
+
+const std::vector<NodeId>& CanOverlay::neighbors(NodeId node) const {
+  HM_CHECK_GE(node, 0);
+  HM_CHECK_LT(node, num_nodes());
+  return nodes_[static_cast<size_t>(node)].neighbors;
+}
+
+const std::vector<PublishedCluster>& CanOverlay::stored(NodeId node) const {
+  HM_CHECK_GE(node, 0);
+  HM_CHECK_LT(node, num_nodes());
+  return nodes_[static_cast<size_t>(node)].stored;
+}
+
+bool CanOverlay::active(NodeId node) const {
+  HM_CHECK_GE(node, 0);
+  HM_CHECK_LT(node, num_nodes());
+  return nodes_[static_cast<size_t>(node)].active;
+}
+
+int CanOverlay::num_active_nodes() const {
+  int count = 0;
+  for (const Node& node : nodes_) count += node.active ? 1 : 0;
+  return count;
+}
+
+bool CanOverlay::Mergeable(const geom::Box& a, const geom::Box& b, geom::Box* merged) {
+  HM_CHECK_EQ(a.dim(), b.dim());
+  // Siblings differ in exactly one dimension, where one's hi equals the
+  // other's lo; all other extents are identical.
+  int differing = -1;
+  for (size_t i = 0; i < a.dim(); ++i) {
+    if (a.lo[i] == b.lo[i] && a.hi[i] == b.hi[i]) continue;
+    if (differing >= 0) return false;  // differ in two dimensions
+    const bool abuts = (a.hi[i] == b.lo[i]) || (b.hi[i] == a.lo[i]);
+    if (!abuts) return false;
+    differing = static_cast<int>(i);
+  }
+  if (differing < 0) return false;  // identical boxes (cannot happen)
+  if (merged != nullptr) {
+    merged->lo = a.lo;
+    merged->hi = a.hi;
+    const auto d = static_cast<size_t>(differing);
+    merged->lo[d] = std::fmin(a.lo[d], b.lo[d]);
+    merged->hi[d] = std::fmax(a.hi[d], b.hi[d]);
+  }
+  return true;
+}
+
+void CanOverlay::RebuildNeighborLists() {
+  for (Node& node : nodes_) node.neighbors.clear();
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].active) continue;
+    for (size_t j = i + 1; j < nodes_.size(); ++j) {
+      if (!nodes_[j].active) continue;
+      if (Adjacent(nodes_[i].zone, nodes_[j].zone)) {
+        nodes_[i].neighbors.push_back(static_cast<NodeId>(j));
+        nodes_[j].neighbors.push_back(static_cast<NodeId>(i));
+      }
+    }
+  }
+}
+
+namespace {
+
+// Union of two cluster lists, deduplicated by cluster id.
+std::vector<PublishedCluster> MergeStored(std::vector<PublishedCluster> a,
+                                          const std::vector<PublishedCluster>& b) {
+  std::unordered_set<uint64_t> seen;
+  for (const PublishedCluster& c : a) seen.insert(c.cluster_id);
+  for (const PublishedCluster& c : b) {
+    if (seen.insert(c.cluster_id).second) a.push_back(c);
+  }
+  return a;
+}
+
+}  // namespace
+
+Result<overlay::NodeId> CanOverlay::AddNode(Rng& rng) {
+  HM_RETURN_IF_ERROR(Join(rng));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+Status CanOverlay::Leave(NodeId node) {
+  if (node < 0 || node >= num_nodes() || !nodes_[static_cast<size_t>(node)].active) {
+    return FailedPreconditionError("Leave: node is not active");
+  }
+  if (num_active_nodes() <= 1) {
+    return FailedPreconditionError("Leave: cannot remove the last node");
+  }
+  Node& leaving = nodes_[static_cast<size_t>(node)];
+  const geom::Box departed = leaving.zone;
+  std::vector<PublishedCluster> orphaned = std::move(leaving.stored);
+  const std::vector<NodeId> old_neighbors = std::move(leaving.neighbors);
+  leaving.active = false;
+  leaving.stored.clear();
+  leaving.neighbors.clear();
+
+  // Preferred takeover: a neighbour whose zone merges with the departed one
+  // into a single rectangle (the zones are split siblings).
+  NodeId absorber = overlay::kInvalidNode;
+  geom::Box merged;
+  for (NodeId n : old_neighbors) {
+    if (!nodes_[static_cast<size_t>(n)].active) continue;
+    if (Mergeable(nodes_[static_cast<size_t>(n)].zone, departed, &merged)) {
+      absorber = n;
+      break;
+    }
+  }
+  size_t notified = old_neighbors.size();
+  if (absorber != overlay::kInvalidNode) {
+    Node& a = nodes_[static_cast<size_t>(absorber)];
+    a.zone = merged;
+    a.stored = MergeStored(std::move(a.stored), orphaned);
+  } else {
+    // No direct merge: free one node elsewhere. The partition is always the
+    // leaf set of a binary space partition, so a mergeable sibling pair
+    // exists; merge it into one node and hand the departed zone to the other.
+    NodeId first = overlay::kInvalidNode;
+    NodeId second = overlay::kInvalidNode;
+    geom::Box pair_merged;
+    for (size_t i = 0; i < nodes_.size() && first == overlay::kInvalidNode; ++i) {
+      if (!nodes_[i].active) continue;
+      for (size_t j = i + 1; j < nodes_.size(); ++j) {
+        if (!nodes_[j].active) continue;
+        if (Mergeable(nodes_[i].zone, nodes_[j].zone, &pair_merged)) {
+          first = static_cast<NodeId>(i);
+          second = static_cast<NodeId>(j);
+          break;
+        }
+      }
+    }
+    HM_CHECK_NE(first, overlay::kInvalidNode)
+        << "partition invariant violated: no mergeable sibling pair";
+    Node& a = nodes_[static_cast<size_t>(first)];
+    Node& b = nodes_[static_cast<size_t>(second)];
+    a.zone = pair_merged;
+    a.stored = MergeStored(std::move(a.stored), b.stored);
+    b.zone = departed;
+    b.stored = std::move(orphaned);
+    notified += a.neighbors.size() + b.neighbors.size();
+  }
+  RebuildNeighborLists();
+
+  // Maintenance traffic: one state handover plus neighbour notifications.
+  stats_->RecordHop(sim::TrafficClass::kJoin, ClusterMessageBytes());
+  for (size_t i = 0; i < notified; ++i) {
+    stats_->RecordHop(sim::TrafficClass::kJoin, KeyMessageBytes());
+  }
+  return OkStatus();
+}
+
+}  // namespace hyperm::can

@@ -1,0 +1,157 @@
+// CAN: Content-Addressable Network overlay (Ratnasamy et al., SIGCOMM'01),
+// the overlay used for all of the paper's experiments.
+//
+// The key space is the half-open unit cube [0,1)^dim, partitioned into one
+// rectangular zone per node. Nodes join by routing to the owner of a random
+// point, which splits its zone in half along its longest side and hands the
+// half containing the join point to the newcomer. Routing is greedy through
+// neighbouring zones toward the target key.
+//
+// Differences from the original paper'd CAN, both deliberate:
+//  * the key space is *bounded*, not a torus — Hyper-M indexes bounded
+//    feature coordinates, for which wraparound adjacency is meaningless;
+//  * zero-size keys are generalized to spheres: a published cluster is
+//    stored at its centroid's owner and *replicated* into every other zone
+//    its sphere overlaps, which is exactly the Fig. 6 requirement that range
+//    queries never miss a cluster straddling a zone border.
+
+#ifndef HYPERM_CAN_CAN_OVERLAY_H_
+#define HYPERM_CAN_CAN_OVERLAY_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "geom/shapes.h"
+#include "overlay/overlay.h"
+#include "sim/stats.h"
+#include "vec/vector.h"
+
+namespace hyperm::can {
+
+/// Outcome of one greedy routing walk.
+struct RouteResult {
+  overlay::NodeId destination = overlay::kInvalidNode;
+  int hops = 0;
+};
+
+/// CAN overlay implementation. Construct with Build().
+class CanOverlay : public overlay::Overlay {
+ public:
+  /// Bootstraps a CAN of `num_nodes` nodes over [0,1)^dim.
+  ///
+  /// Join traffic (routing to the join point, split handshake, neighbour
+  /// notifications) is recorded into `stats` under TrafficClass::kJoin.
+  /// `stats` must outlive the overlay; `rng` drives join-point selection.
+  /// Returns InvalidArgument for dim < 1 or num_nodes < 1.
+  static Result<std::unique_ptr<CanOverlay>> Build(size_t dim, int num_nodes,
+                                                   sim::NetworkStats* stats, Rng& rng);
+
+  // Overlay interface -------------------------------------------------------
+  size_t dim() const override { return dim_; }
+  int num_nodes() const override { return static_cast<int>(nodes_.size()); }
+  Result<overlay::InsertReceipt> Insert(const overlay::PublishedCluster& cluster,
+                                        overlay::NodeId origin) override;
+  Result<overlay::RangeQueryResult> RangeQuery(const geom::Sphere& query,
+                                               overlay::NodeId origin) override;
+  std::vector<overlay::NodeStorage> StorageDistribution() const override;
+  void ClearStorage() override;
+  int RemoveByOwner(int owner_peer) override;
+  void set_replicate_spheres(bool enabled) override { replicate_spheres_ = enabled; }
+
+  // Introspection (tests, experiments) --------------------------------------
+
+  /// The zone owned by `node`.
+  const geom::Box& zone(overlay::NodeId node) const;
+
+  /// Neighbour list of `node` (zones adjacent to its own).
+  const std::vector<overlay::NodeId>& neighbors(overlay::NodeId node) const;
+
+  /// Exact owner of `key` by zone scan — the routing test oracle.
+  /// `key` is clamped into [0,1) per dimension first.
+  overlay::NodeId OwnerOf(const Vector& key) const;
+
+  /// Greedy-routes from `origin` toward `key`, recording one hop of
+  /// `message_bytes` under `cls` per forward. Fails with Internal if the
+  /// greedy walk exceeds its TTL (cannot happen on a consistent topology).
+  Result<RouteResult> Route(const Vector& key, overlay::NodeId origin,
+                            sim::TrafficClass cls, uint64_t message_bytes);
+
+  /// Clusters currently stored at `node` (including replicas).
+  const std::vector<overlay::PublishedCluster>& stored(overlay::NodeId node) const;
+
+  /// A new node joins the running overlay through the standard CAN
+  /// protocol (route to a random point, split the owner's zone). Returns
+  /// the new node's id. Join traffic is recorded under kJoin.
+  Result<overlay::NodeId> AddNode(Rng& rng);
+
+  /// Node departure with zone takeover (the second half of the CAN
+  /// protocol). The departed zone is absorbed by a mergeable neighbour when
+  /// one exists; otherwise the deepest sibling-leaf pair elsewhere in the
+  /// partition is merged to free one node, which then adopts the departed
+  /// zone verbatim — so every remaining node keeps exactly one rectangular
+  /// zone and the active zones always tile the cube. Stored clusters are
+  /// re-homed to the new owners. Maintenance traffic is recorded under
+  /// TrafficClass::kJoin.
+  ///
+  /// Returns FailedPrecondition when `node` is already inactive or is the
+  /// last active node.
+  Status Leave(overlay::NodeId node);
+
+  /// True iff `node` still owns a zone.
+  bool active(overlay::NodeId node) const;
+
+  /// Number of active (zone-owning) nodes.
+  int num_active_nodes() const;
+
+ private:
+  struct Node {
+    geom::Box zone;
+    std::vector<overlay::NodeId> neighbors;
+    std::vector<overlay::PublishedCluster> stored;
+    bool active = true;
+  };
+
+  CanOverlay(size_t dim, sim::NetworkStats* stats) : dim_(dim), stats_(stats) {}
+
+  /// Adds one node via the CAN join protocol.
+  Status Join(Rng& rng);
+
+  /// Splits `owner`'s zone, giving the half containing `point` to a new node.
+  overlay::NodeId SplitZone(overlay::NodeId owner, const Vector& point);
+
+  /// True iff boxes a and b share a (dim-1)-dimensional face.
+  static bool Adjacent(const geom::Box& a, const geom::Box& b);
+
+  /// True iff the union of a and b is a box (they are split siblings);
+  /// writes the union into `merged` when so.
+  static bool Mergeable(const geom::Box& a, const geom::Box& b, geom::Box* merged);
+
+  /// Recomputes every active node's neighbour list from scratch (O(N^2);
+  /// used after the non-local zone handover of Leave).
+  void RebuildNeighborLists();
+
+  /// Assigns `zone` to `node`, re-homing `clusters` into every overlapping
+  /// active zone's store.
+  void AdoptZone(overlay::NodeId node, const geom::Box& zone,
+                 std::vector<overlay::PublishedCluster> clusters);
+
+  /// Clamps a key into [0,1)^dim.
+  Vector ClampKey(const Vector& key) const;
+
+  /// Bytes of a routing message carrying only a key.
+  uint64_t KeyMessageBytes() const;
+
+  /// Bytes of a message carrying a published cluster.
+  uint64_t ClusterMessageBytes() const;
+
+  size_t dim_;
+  sim::NetworkStats* stats_;  // not owned
+  bool replicate_spheres_ = true;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace hyperm::can
+
+#endif  // HYPERM_CAN_CAN_OVERLAY_H_

@@ -1,0 +1,179 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace hyperm::cluster {
+namespace {
+
+// k-means++ seeding: first centroid uniform, subsequent ones proportional to
+// the squared distance to the nearest centroid chosen so far.
+std::vector<Vector> SeedPlusPlus(const std::vector<Vector>& points, int k, Rng& rng) {
+  std::vector<Vector> centroids;
+  centroids.reserve(static_cast<size_t>(k));
+  centroids.push_back(points[rng.NextIndex(points.size())]);
+  std::vector<double> dist_sq(points.size(), std::numeric_limits<double>::max());
+  while (static_cast<int>(centroids.size()) < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      dist_sq[i] = std::fmin(dist_sq[i], vec::SquaredDistance(points[i], centroids.back()));
+      total += dist_sq[i];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with chosen centroids; duplicate one.
+      centroids.push_back(points[rng.NextIndex(points.size())]);
+      continue;
+    }
+    double target = rng.NextDouble() * total;
+    size_t chosen = points.size() - 1;
+    for (size_t i = 0; i < points.size(); ++i) {
+      target -= dist_sq[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points[chosen]);
+  }
+  return centroids;
+}
+
+std::vector<Vector> SeedUniform(const std::vector<Vector>& points, int k, Rng& rng) {
+  // Sample k distinct indices via partial shuffle.
+  std::vector<size_t> indices(points.size());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  rng.Shuffle(indices);
+  std::vector<Vector> centroids;
+  centroids.reserve(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) centroids.push_back(points[indices[static_cast<size_t>(i)]]);
+  return centroids;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeans(const std::vector<Vector>& points,
+                            const KMeansOptions& options, Rng& rng) {
+  if (points.empty()) return InvalidArgumentError("KMeans: no points");
+  if (options.k < 1) return InvalidArgumentError("KMeans: k must be >= 1");
+  const int k = std::min<int>(options.k, static_cast<int>(points.size()));
+  const size_t dim = points.front().size();
+  for (const Vector& p : points) {
+    if (p.size() != dim) return InvalidArgumentError("KMeans: inconsistent dimensionality");
+  }
+
+  std::vector<Vector> centroids = options.plus_plus_seeding
+                                      ? SeedPlusPlus(points, k, rng)
+                                      : SeedUniform(points, k, rng);
+  std::vector<int> assignment(points.size(), -1);
+  std::vector<int> counts(static_cast<size_t>(k), 0);
+  int iterations = 0;
+
+  for (; iterations < options.max_iterations; ++iterations) {
+    // Assignment step.
+    bool changed = false;
+    for (size_t i = 0; i < points.size(); ++i) {
+      int best = 0;
+      double best_sq = vec::SquaredDistance(points[i], centroids[0]);
+      for (int c = 1; c < k; ++c) {
+        const double sq = vec::SquaredDistance(points[i], centroids[static_cast<size_t>(c)]);
+        if (sq < best_sq) {
+          best_sq = sq;
+          best = c;
+        }
+      }
+      if (assignment[i] != best) {
+        assignment[i] = best;
+        changed = true;
+      }
+    }
+
+    // Update step.
+    std::vector<Vector> sums(static_cast<size_t>(k), Vector(dim, 0.0));
+    std::fill(counts.begin(), counts.end(), 0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      vec::AddInPlace(sums[static_cast<size_t>(assignment[i])], points[i]);
+      ++counts[static_cast<size_t>(assignment[i])];
+    }
+    // Reseed empty clusters with the point farthest from its centroid so the
+    // final clustering always uses all k slots where possible.
+    for (int c = 0; c < k; ++c) {
+      if (counts[static_cast<size_t>(c)] > 0) continue;
+      size_t farthest = 0;
+      double farthest_sq = -1.0;
+      for (size_t i = 0; i < points.size(); ++i) {
+        const double sq =
+            vec::SquaredDistance(points[i], centroids[static_cast<size_t>(assignment[i])]);
+        if (sq > farthest_sq && counts[static_cast<size_t>(assignment[i])] > 1) {
+          farthest_sq = sq;
+          farthest = i;
+        }
+      }
+      if (farthest_sq < 0.0) continue;  // every cluster is a singleton
+      --counts[static_cast<size_t>(assignment[farthest])];
+      vec::AddInPlace(sums[static_cast<size_t>(c)], points[farthest]);
+      for (size_t j = 0; j < dim; ++j) {
+        sums[static_cast<size_t>(assignment[farthest])][j] -= points[farthest][j];
+      }
+      assignment[farthest] = c;
+      counts[static_cast<size_t>(c)] = 1;
+      changed = true;
+    }
+
+    double movement_sq = 0.0;
+    for (int c = 0; c < k; ++c) {
+      if (counts[static_cast<size_t>(c)] == 0) continue;
+      Vector next = vec::Scale(sums[static_cast<size_t>(c)],
+                               1.0 / counts[static_cast<size_t>(c)]);
+      movement_sq += vec::SquaredDistance(next, centroids[static_cast<size_t>(c)]);
+      centroids[static_cast<size_t>(c)] = std::move(next);
+    }
+    if (!changed || movement_sq < options.tolerance) {
+      ++iterations;
+      break;
+    }
+  }
+
+  // Final tight assignment against the converged centroids (keeps the
+  // invariant "every point belongs to its nearest returned centroid").
+  for (size_t i = 0; i < points.size(); ++i) {
+    int best = 0;
+    double best_sq = vec::SquaredDistance(points[i], centroids[0]);
+    for (int c = 1; c < k; ++c) {
+      const double sq = vec::SquaredDistance(points[i], centroids[static_cast<size_t>(c)]);
+      if (sq < best_sq) {
+        best_sq = sq;
+        best = c;
+      }
+    }
+    assignment[i] = best;
+  }
+
+  // Build compacted output (drop empty clusters, remap assignments).
+  std::vector<std::vector<Vector>> members(static_cast<size_t>(k));
+  for (size_t i = 0; i < points.size(); ++i) {
+    members[static_cast<size_t>(assignment[i])].push_back(points[i]);
+  }
+  KMeansResult result;
+  std::vector<int> remap(static_cast<size_t>(k), -1);
+  for (int c = 0; c < k; ++c) {
+    if (members[static_cast<size_t>(c)].empty()) continue;
+    remap[static_cast<size_t>(c)] = static_cast<int>(result.clusters.size());
+    result.clusters.push_back(Summarize(members[static_cast<size_t>(c)]));
+  }
+  result.assignments.resize(points.size());
+  result.inertia = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const int c = remap[static_cast<size_t>(assignment[i])];
+    HM_CHECK_GE(c, 0);
+    result.assignments[i] = c;
+    result.inertia +=
+        vec::SquaredDistance(points[i], result.clusters[static_cast<size_t>(c)].centroid);
+  }
+  result.iterations = iterations;
+  return result;
+}
+
+}  // namespace hyperm::cluster

@@ -1,0 +1,43 @@
+#include "cluster/metrics.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace hyperm::cluster {
+
+double Cohesion(const std::vector<Vector>& points, const std::vector<int>& assignments,
+                const std::vector<SphereCluster>& clusters) {
+  HM_CHECK_EQ(points.size(), assignments.size());
+  HM_CHECK(!points.empty());
+  double total = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const int c = assignments[i];
+    HM_CHECK_GE(c, 0);
+    HM_CHECK_LT(static_cast<size_t>(c), clusters.size());
+    total += vec::Distance(points[i], clusters[static_cast<size_t>(c)].centroid);
+  }
+  return total / static_cast<double>(points.size());
+}
+
+double Separation(const std::vector<SphereCluster>& clusters) {
+  if (clusters.size() < 2) return 0.0;
+  double total = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    for (size_t j = i + 1; j < clusters.size(); ++j) {
+      total += vec::Distance(clusters[i].centroid, clusters[j].centroid);
+      ++pairs;
+    }
+  }
+  return total / static_cast<double>(pairs);
+}
+
+double QualityRatio(const std::vector<Vector>& points, const std::vector<int>& assignments,
+                    const std::vector<SphereCluster>& clusters) {
+  const double separation = Separation(clusters);
+  if (separation <= 0.0) return std::numeric_limits<double>::infinity();
+  return Cohesion(points, assignments, clusters) / separation;
+}
+
+}  // namespace hyperm::cluster

@@ -1,0 +1,33 @@
+// Clustering quality metrics (Section 6.1.1 / Fig. 11).
+//
+// The paper measures clustering "goodness" as the ratio between cohesion
+// (average distance of elements to their cluster) and separation (average
+// distance between centroids of different clusters); smaller is better.
+
+#ifndef HYPERM_CLUSTER_METRICS_H_
+#define HYPERM_CLUSTER_METRICS_H_
+
+#include <vector>
+
+#include "cluster/sphere_cluster.h"
+#include "vec/vector.h"
+
+namespace hyperm::cluster {
+
+/// Average distance from each point to the centroid of its assigned cluster.
+/// `assignments[i]` indexes into `clusters`. Fatal on size mismatch.
+double Cohesion(const std::vector<Vector>& points, const std::vector<int>& assignments,
+                const std::vector<SphereCluster>& clusters);
+
+/// Average pairwise distance between distinct centroids. Returns 0 when
+/// fewer than two clusters exist.
+double Separation(const std::vector<SphereCluster>& clusters);
+
+/// Cohesion / separation: the paper's Fig. 11 quality measure (lower is a
+/// tighter, better-separated clustering). Returns +inf when separation is 0.
+double QualityRatio(const std::vector<Vector>& points, const std::vector<int>& assignments,
+                    const std::vector<SphereCluster>& clusters);
+
+}  // namespace hyperm::cluster
+
+#endif  // HYPERM_CLUSTER_METRICS_H_

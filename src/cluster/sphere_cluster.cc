@@ -1,0 +1,22 @@
+#include "cluster/sphere_cluster.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hyperm::cluster {
+
+SphereCluster Summarize(const std::vector<Vector>& points) {
+  HM_CHECK(!points.empty());
+  SphereCluster cluster;
+  cluster.centroid = vec::Mean(points);
+  cluster.count = static_cast<int>(points.size());
+  double max_sq = 0.0;
+  for (const Vector& p : points) {
+    max_sq = std::fmax(max_sq, vec::SquaredDistance(cluster.centroid, p));
+  }
+  cluster.radius = std::sqrt(max_sq);
+  return cluster;
+}
+
+}  // namespace hyperm::cluster

@@ -1,0 +1,77 @@
+// Process-fatal invariant checks (CHECK-style), used for programming errors
+// only; recoverable conditions go through Status/Result instead.
+
+#ifndef HYPERM_COMMON_CHECK_H_
+#define HYPERM_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace hyperm::internal_check {
+
+/// Collects a streamed message and aborts the process on destruction.
+/// Instances are created only by the HM_CHECK* macros below.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "HM_CHECK failed at " << file << ":" << line << ": " << condition;
+  }
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed messages when a disabled check is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace hyperm::internal_check
+
+/// Aborts with a diagnostic unless `cond` holds. Additional context can be
+/// streamed: HM_CHECK(n > 0) << "n=" << n;
+#define HM_CHECK(cond)                   \
+  switch (0)                             \
+  case 0:                                \
+  default:                               \
+    if (cond)                            \
+      ;                                  \
+    else                                 \
+      ::hyperm::internal_check::CheckFailure(__FILE__, __LINE__, #cond)
+
+/// Binary comparison checks printing both operands on failure.
+#define HM_CHECK_EQ(a, b) HM_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ")"
+#define HM_CHECK_NE(a, b) HM_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ")"
+#define HM_CHECK_LT(a, b) HM_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ")"
+#define HM_CHECK_LE(a, b) HM_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ")"
+#define HM_CHECK_GT(a, b) HM_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ")"
+#define HM_CHECK_GE(a, b) HM_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ")"
+
+/// Debug-only check; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define HM_DCHECK(cond) \
+  while (false) ::hyperm::internal_check::NullStream()
+#else
+#define HM_DCHECK(cond) HM_CHECK(cond)
+#endif
+
+#endif  // HYPERM_COMMON_CHECK_H_

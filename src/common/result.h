@@ -1,0 +1,83 @@
+// Result<T>: value-or-Status, the exception-free return channel used across
+// the Hyper-M codebase (a minimal analogue of absl::StatusOr<T>).
+
+#ifndef HYPERM_COMMON_RESULT_H_
+#define HYPERM_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace hyperm {
+
+/// Holds either a `T` or a non-OK `Status` describing why no value exists.
+///
+/// Accessing `value()` on an error result aborts the process (programming
+/// error); always test `ok()` first on fallible paths:
+///
+///     Result<Dataset> ds = LoadDataset(path);
+///     if (!ds.ok()) return ds.status();
+///     Use(ds.value());
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, mirrors absl::StatusOr).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Constructs from a non-OK status. Aborts if `status.ok()`, since an OK
+  /// Result must carry a value.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    HM_CHECK(!status_.ok()) << "Result constructed from OK status without a value";
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present, the stored error otherwise.
+  const Status& status() const { return status_; }
+
+  /// The contained value; process-fatal if `!ok()`.
+  const T& value() const& {
+    HM_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    HM_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    HM_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *std::move(value_);
+  }
+
+  /// Pointer-style access, fatal if `!ok()`.
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present.
+};
+
+}  // namespace hyperm
+
+/// Evaluates `rexpr` (a Result<T>), propagates its status on error, otherwise
+/// moves the value into `lhs`. Usable in functions returning Status or
+/// Result<U>.
+#define HM_ASSIGN_OR_RETURN(lhs, rexpr)            \
+  HM_ASSIGN_OR_RETURN_IMPL_(                       \
+      HM_RESULT_CONCAT_(hm_result_, __LINE__), lhs, rexpr)
+
+#define HM_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define HM_RESULT_CONCAT_(a, b) HM_RESULT_CONCAT_IMPL_(a, b)
+#define HM_RESULT_CONCAT_IMPL_(a, b) a##b
+
+#endif  // HYPERM_COMMON_RESULT_H_

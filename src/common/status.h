@@ -1,0 +1,98 @@
+// Error-handling primitives for the Hyper-M library.
+//
+// The codebase does not use C++ exceptions: every fallible operation returns
+// a `Status` (or a `Result<T>`, see result.h) which callers must inspect.
+
+#ifndef HYPERM_COMMON_STATUS_H_
+#define HYPERM_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace hyperm {
+
+/// Canonical error space, modelled after absl::StatusCode.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnavailable,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+std::string_view StatusCodeName(StatusCode code);
+
+/// A cheap value type describing the outcome of an operation.
+///
+/// `Status` is OK by default; error statuses carry a code and a message.
+/// Typical use:
+///
+///     Status s = overlay.Insert(sphere);
+///     if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given error `code` and `message`.
+  /// A `code` of StatusCode::kOk yields an OK status and drops the message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(code == StatusCode::kOk ? std::string() : std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The error code (kOk for success).
+  StatusCode code() const { return code_; }
+
+  /// The error message (empty for success).
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Convenience factories mirroring absl's.
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnavailableError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+
+}  // namespace hyperm
+
+/// Propagates an error status from the current function, evaluating `expr`
+/// exactly once. Usable only in functions returning `Status`.
+#define HM_RETURN_IF_ERROR(expr)                   \
+  do {                                             \
+    ::hyperm::Status hm_status_tmp_ = (expr);      \
+    if (!hm_status_tmp_.ok()) return hm_status_tmp_; \
+  } while (false)
+
+#endif  // HYPERM_COMMON_STATUS_H_

@@ -1,0 +1,34 @@
+// Dataset container shared by generators, experiments and examples.
+
+#ifndef HYPERM_DATA_DATASET_H_
+#define HYPERM_DATA_DATASET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "vec/vector.h"
+
+namespace hyperm::data {
+
+/// A collection of feature vectors with optional class labels.
+///
+/// Labels identify the generating class (Markov trace family, ALOI-like
+/// object id); they are never visible to Hyper-M itself and exist for
+/// ground-truth evaluation only.
+struct Dataset {
+  std::vector<Vector> items;
+  std::vector<int> labels;  ///< empty, or one label per item
+
+  /// Number of items.
+  size_t size() const { return items.size(); }
+
+  /// Dimensionality (0 for an empty dataset).
+  size_t dim() const { return items.empty() ? 0 : items.front().size(); }
+
+  /// True iff per-item labels are present.
+  bool has_labels() const { return labels.size() == items.size(); }
+};
+
+}  // namespace hyperm::data
+
+#endif  // HYPERM_DATA_DATASET_H_

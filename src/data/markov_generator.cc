@@ -1,0 +1,69 @@
+#include "data/markov_generator.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hyperm::data {
+namespace {
+
+// One family = one parameterisation of the two-state process.
+struct MarkovFamily {
+  double p_stay_increasing;  // p1: probability of staying in Increasing
+  double p_stay_decreasing;  // p2 = p1 + U(-0.05, 0.05)
+  double start_value;
+  bool start_increasing;
+  double max_step;
+};
+
+MarkovFamily DrawFamily(Rng& rng) {
+  MarkovFamily family;
+  family.p_stay_increasing = rng.Uniform(0.0, 0.5);
+  family.p_stay_decreasing = family.p_stay_increasing + rng.Uniform(-0.05, 0.05);
+  if (family.p_stay_decreasing < 0.0) family.p_stay_decreasing = 0.0;
+  family.start_value = rng.Uniform(0.0, 1.0);
+  family.start_increasing = rng.Bernoulli(0.5);
+  family.max_step = rng.Uniform(0.01, 0.1);
+  return family;
+}
+
+Vector DrawTrace(const MarkovFamily& family, int dim, Rng& rng) {
+  Vector trace(static_cast<size_t>(dim));
+  double value = family.start_value;
+  bool increasing = family.start_increasing;
+  for (int i = 0; i < dim; ++i) {
+    const double step = rng.Uniform(0.0, family.max_step);
+    value += increasing ? step : -step;
+    trace[static_cast<size_t>(i)] = value;
+    const double p_stay =
+        increasing ? family.p_stay_increasing : family.p_stay_decreasing;
+    if (!rng.Bernoulli(p_stay)) increasing = !increasing;
+  }
+  return trace;
+}
+
+}  // namespace
+
+Result<Dataset> GenerateMarkov(const MarkovOptions& options, Rng& rng) {
+  if (options.count < 1) return InvalidArgumentError("GenerateMarkov: count < 1");
+  if (options.dim < 1) return InvalidArgumentError("GenerateMarkov: dim < 1");
+  if (options.num_families < 1) {
+    return InvalidArgumentError("GenerateMarkov: num_families < 1");
+  }
+  std::vector<MarkovFamily> families;
+  families.reserve(static_cast<size_t>(options.num_families));
+  for (int f = 0; f < options.num_families; ++f) families.push_back(DrawFamily(rng));
+
+  Dataset dataset;
+  dataset.items.reserve(static_cast<size_t>(options.count));
+  dataset.labels.reserve(static_cast<size_t>(options.count));
+  for (int i = 0; i < options.count; ++i) {
+    const int family = static_cast<int>(rng.NextIndex(families.size()));
+    dataset.items.push_back(DrawTrace(families[static_cast<size_t>(family)],
+                                      options.dim, rng));
+    dataset.labels.push_back(family);
+  }
+  return dataset;
+}
+
+}  // namespace hyperm::data

@@ -1,0 +1,38 @@
+// Synthetic Markov-trace dataset (paper Section 5.1).
+//
+// "To simulate real data, we used a Markov process with two states
+// Increasing and Decreasing. The transition probabilities p1, p2 were
+// generated randomly as follows: first, p1 was chosen uniformly between 0
+// and 0.5. Then, p2 = p1 + x, where x was also chosen randomly between
+// -0.05 and 0.05. The starting value, the initial state, the
+// increase/decrease step, as well as the maximum step value were all chosen
+// randomly."
+//
+// Each *family* of items shares one parameterisation (so the dataset has a
+// natural cluster structure, like users sharing interests); items within a
+// family are independent walks of the same process and carry the family id
+// as their label.
+
+#ifndef HYPERM_DATA_MARKOV_GENERATOR_H_
+#define HYPERM_DATA_MARKOV_GENERATOR_H_
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace hyperm::data {
+
+/// Parameters of the Markov dataset generator.
+struct MarkovOptions {
+  int count = 100000;     ///< total items (paper: 100,000)
+  int dim = 512;          ///< dimensionality (paper: 512; must be >= 1)
+  int num_families = 25;  ///< distinct process parameterisations (labels)
+};
+
+/// Generates `options.count` traces. Returns InvalidArgument on nonsensical
+/// options. Deterministic given `rng`'s state.
+Result<Dataset> GenerateMarkov(const MarkovOptions& options, Rng& rng);
+
+}  // namespace hyperm::data
+
+#endif  // HYPERM_DATA_MARKOV_GENERATOR_H_

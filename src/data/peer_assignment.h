@@ -1,0 +1,48 @@
+// Item-to-peer assignment (paper Section 5.1).
+//
+// "The data was subsequently clustered using k-means in the original vector
+// space and then each cluster was redistributed among 8 to 10 nodes. This
+// method simulates user behavior in the sense that each user commonly has a
+// limited set of interests, thus maintaining items belonging to a subset of
+// all the classes in the data space."
+
+#ifndef HYPERM_DATA_PEER_ASSIGNMENT_H_
+#define HYPERM_DATA_PEER_ASSIGNMENT_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace hyperm::data {
+
+/// Parameters of the interest-based assignment.
+struct AssignmentOptions {
+  int num_peers = 100;            ///< peers in the network
+  int num_interest_classes = 25;  ///< k for the original-space k-means
+  int min_peers_per_class = 8;    ///< paper: each cluster spread over 8..10 peers
+  int max_peers_per_class = 10;
+};
+
+/// assignment[p] lists the dataset indices stored at peer p.
+using PeerAssignment = std::vector<std::vector<int>>;
+
+/// Clusters the dataset into interest classes, spreads each class over a
+/// random subset of 8–10 peers, and deals the class members among them.
+/// Every peer is topped up from random classes if it would otherwise be
+/// empty. Returns InvalidArgument on bad options.
+Result<PeerAssignment> AssignByInterest(const Dataset& dataset,
+                                        const AssignmentOptions& options, Rng& rng);
+
+/// Uniform-random assignment baseline (every item to a random peer).
+Result<PeerAssignment> AssignUniform(const Dataset& dataset, int num_peers, Rng& rng);
+
+/// Keeps only the items of `keep_classes` randomly selected interest classes
+/// (the Fig. 9 deliberate skew: 2–5 clusters). Returns the indices kept.
+Result<std::vector<int>> SelectSkewedSubset(const Dataset& dataset, int keep_classes,
+                                            int num_interest_classes, Rng& rng);
+
+}  // namespace hyperm::data
+
+#endif  // HYPERM_DATA_PEER_ASSIGNMENT_H_

@@ -1,0 +1,97 @@
+#include "geom/radius_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "geom/sphere_volume.h"
+
+namespace hyperm::geom {
+namespace {
+
+// Fraction of a (possibly degenerate) cluster covered by an eps-query whose
+// center sits at distance b from the cluster centroid.
+double CoveredFraction(int d, const ClusterView& c, double eps) {
+  if (c.radius <= 0.0) {
+    // A point cluster is either fully covered or not at all.
+    return c.center_distance <= eps ? 1.0 : 0.0;
+  }
+  return SphereIntersectionFraction(d, c.radius, eps, c.center_distance);
+}
+
+}  // namespace
+
+double ExpectedItems(int d, const std::vector<ClusterView>& clusters, double eps) {
+  HM_CHECK_GE(eps, 0.0);
+  double expected = 0.0;
+  for (const ClusterView& c : clusters) {
+    expected += CoveredFraction(d, c, eps) * c.items;
+  }
+  return expected;
+}
+
+Result<double> SolveRadiusForCount(int d, const std::vector<ClusterView>& clusters,
+                                   double k, const RadiusSolveOptions& options) {
+  if (clusters.empty()) {
+    return InvalidArgumentError("SolveRadiusForCount: no clusters");
+  }
+  if (k <= 0.0) {
+    return InvalidArgumentError("SolveRadiusForCount: k must be positive");
+  }
+  double total_items = 0.0;
+  double hi = 0.0;
+  for (const ClusterView& c : clusters) {
+    HM_CHECK_GE(c.radius, 0.0);
+    HM_CHECK_GE(c.center_distance, 0.0);
+    HM_CHECK_GT(c.items, 0);
+    total_items += c.items;
+    hi = std::fmax(hi, c.center_distance + c.radius);
+  }
+  if (k > total_items) {
+    return OutOfRangeError("SolveRadiusForCount: k exceeds reachable items");
+  }
+  // E(0) = 0 (clusters whose centroid coincides with the query contribute 0
+  // volume at eps=0 unless they are point clusters at distance 0; in that
+  // rare case E(0) may already exceed k and eps=0 is the answer).
+  double lo = 0.0;
+  double f_lo = ExpectedItems(d, clusters, lo) - k;
+  if (f_lo >= 0.0) return 0.0;
+  double f_hi = ExpectedItems(d, clusters, hi) - k;
+  if (f_hi < 0.0) {
+    // Numerical slack: at eps=hi every cluster is fully covered, so f_hi
+    // should be >= 0; treat tiny negatives as converged.
+    if (f_hi > -options.tolerance) return hi;
+    return OutOfRangeError("SolveRadiusForCount: target not bracketed");
+  }
+
+  // Safeguarded Newton: propose a Newton step from the bracket midpoint's
+  // numerical derivative; accept it only if it stays inside the bracket,
+  // otherwise bisect. The bracket [lo, hi] always satisfies f(lo)<0<=f(hi).
+  double eps = 0.5 * (lo + hi);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    const double f = ExpectedItems(d, clusters, eps) - k;
+    if (std::fabs(f) <= options.tolerance || (hi - lo) < 1e-12 * (1.0 + hi)) {
+      return eps;
+    }
+    if (f < 0.0) {
+      lo = eps;
+    } else {
+      hi = eps;
+    }
+    // Numerical derivative over a step proportional to the bracket width.
+    const double h = std::fmax(1e-9, 1e-4 * (hi - lo));
+    const double f_plus = ExpectedItems(d, clusters, eps + h) - k;
+    const double df = (f_plus - f) / h;
+    double next;
+    if (df > 1e-12) {
+      next = eps - f / df;
+      if (next <= lo || next >= hi) next = 0.5 * (lo + hi);
+    } else {
+      next = 0.5 * (lo + hi);
+    }
+    eps = next;
+  }
+  return eps;
+}
+
+}  // namespace hyperm::geom

@@ -1,0 +1,115 @@
+#include "geom/sphere_volume.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace hyperm::geom {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace
+
+double UnitBallLogVolume(int d) {
+  HM_CHECK_GE(d, 1);
+  return 0.5 * d * std::log(kPi) - LogGamma(0.5 * d + 1.0);
+}
+
+double BallVolume(int d, double r) {
+  HM_CHECK_GE(r, 0.0);
+  if (r == 0.0) return 0.0;
+  return std::exp(UnitBallLogVolume(d) + d * std::log(r));
+}
+
+double CapVolumeFraction(int d, double alpha) {
+  HM_CHECK_GE(d, 1);
+  HM_CHECK_GE(alpha, -1e-12);
+  HM_CHECK_LE(alpha, kPi + 1e-12);
+  alpha = std::clamp(alpha, 0.0, kPi);
+  if (alpha == 0.0) return 0.0;
+  if (alpha == kPi) return 1.0;
+  // For alpha <= pi/2 the cap fraction is (1/2) I_{sin^2 alpha}((d+1)/2, 1/2);
+  // obtuse caps follow from symmetry: cap(alpha) = 1 - cap(pi - alpha).
+  if (alpha > 0.5 * kPi) return 1.0 - CapVolumeFraction(d, kPi - alpha);
+  const double s = std::sin(alpha);
+  const double x = s * s;
+  return 0.5 * RegularizedIncompleteBeta(0.5 * (d + 1), 0.5, x);
+}
+
+double CapVolumeFractionEvenSeries(int d, double alpha) {
+  HM_CHECK_GE(d, 2);
+  HM_CHECK_EQ(d % 2, 0);
+  HM_CHECK_GE(alpha, -1e-12);
+  HM_CHECK_LE(alpha, kPi + 1e-12);
+  alpha = std::clamp(alpha, 0.0, kPi);
+  // Eq. 5: (1/pi) * (alpha - cos(alpha) * sum_{i=0}^{(d-2)/2} c_i sin^{2i+1}(alpha))
+  // with c_i = 2^{2i} (i!)^2 / (2i+1)!. Compute coefficients in log space to
+  // stay stable for large d.
+  const double sin_a = std::sin(alpha);
+  const double cos_a = std::cos(alpha);
+  double sum = 0.0;
+  if (sin_a > 0.0) {
+    const double log_sin = std::log(sin_a);
+    for (int i = 0; i <= (d - 2) / 2; ++i) {
+      const double log_coeff =
+          2.0 * i * std::log(2.0) + 2.0 * LogFactorial(i) - LogFactorial(2 * i + 1);
+      sum += std::exp(log_coeff + (2.0 * i + 1.0) * log_sin);
+    }
+  }
+  return (alpha - cos_a * sum) / kPi;
+}
+
+double CapVolumeFractionSineRecurrence(int d, double alpha) {
+  HM_CHECK_GE(d, 1);
+  HM_CHECK_GE(alpha, -1e-12);
+  HM_CHECK_LE(alpha, kPi + 1e-12);
+  alpha = std::clamp(alpha, 0.0, kPi);
+  // S_k = integral of sin^k over [0, alpha], built bottom-up from
+  // S_0 = alpha and S_1 = 1 - cos(alpha).
+  const double sin_a = std::sin(alpha);
+  const double cos_a = std::cos(alpha);
+  double s_even = alpha;           // S_0
+  double s_odd = 1.0 - cos_a;      // S_1
+  double integral = d >= 2 ? 0.0 : (d == 0 ? s_even : s_odd);
+  for (int k = 2; k <= d; ++k) {
+    double& prev = (k % 2 == 0) ? s_even : s_odd;
+    prev = (-cos_a * std::pow(sin_a, k - 1) + (k - 1) * prev) / k;
+    if (k == d) integral = prev;
+  }
+  if (d == 1) integral = s_odd;
+  const double coefficient =
+      std::exp(LogGamma(0.5 * d + 1.0) - 0.5 * std::log(kPi) - LogGamma(0.5 * (d + 1)));
+  return std::clamp(coefficient * integral, 0.0, 1.0);
+}
+
+double SphereIntersectionFraction(int d, double r, double eps, double b) {
+  HM_CHECK_GE(d, 1);
+  HM_CHECK_GT(r, 0.0);
+  HM_CHECK_GE(eps, 0.0);
+  HM_CHECK_GE(b, 0.0);
+  if (eps == 0.0) return 0.0;
+  // Disjoint (or tangent) spheres share no volume.
+  if (b >= r + eps) return 0.0;
+  // Data sphere entirely inside the query sphere.
+  if (b + r <= eps) return 1.0;
+  // Query sphere entirely inside the data sphere.
+  if (b + eps <= r) {
+    return std::exp(d * (std::log(eps) - std::log(r)));
+  }
+  // Proper lens: two caps, one from each sphere, joined at the plane of the
+  // intersection (d-2)-sphere. Law of cosines gives the half-angles.
+  HM_CHECK_GT(b, 0.0);
+  const double cos_alpha = std::clamp((b * b + r * r - eps * eps) / (2.0 * b * r), -1.0, 1.0);
+  const double cos_beta = std::clamp((b * b + eps * eps - r * r) / (2.0 * b * eps), -1.0, 1.0);
+  const double alpha = std::acos(cos_alpha);
+  const double beta = std::acos(cos_beta);
+  const double lens_over_vol_r =
+      CapVolumeFraction(d, alpha) +
+      CapVolumeFraction(d, beta) * std::exp(d * (std::log(eps) - std::log(r)));
+  return std::clamp(lens_over_vol_r, 0.0, 1.0);
+}
+
+}  // namespace hyperm::geom

@@ -1,0 +1,60 @@
+#include "hyperm/baseline.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hyperm::core {
+
+Result<std::unique_ptr<CanItemBaseline>> CanItemBaseline::Build(
+    const data::Dataset& dataset, const data::PeerAssignment& assignment,
+    const ItemBaselineOptions& options, Rng& rng) {
+  if (dataset.items.empty()) return InvalidArgumentError("baseline: empty dataset");
+  if (assignment.empty()) return InvalidArgumentError("baseline: no peers");
+  size_t index_dims = options.index_dims == 0 ? dataset.dim() : options.index_dims;
+  if (index_dims < 1 || index_dims > dataset.dim()) {
+    return InvalidArgumentError("baseline: bad index_dims");
+  }
+
+  std::unique_ptr<CanItemBaseline> baseline(new CanItemBaseline());
+  HM_ASSIGN_OR_RETURN(baseline->overlay_,
+                      can::CanOverlay::Build(index_dims, static_cast<int>(assignment.size()),
+                                             &baseline->stats_, rng));
+
+  // Key mapper over the indexed prefix of the feature space.
+  std::vector<Vector> prefixes;
+  prefixes.reserve(dataset.items.size());
+  for (const Vector& item : dataset.items) {
+    prefixes.emplace_back(item.begin(), item.begin() + static_cast<long>(index_dims));
+  }
+  const KeyMapper mapper = KeyMapper::FromBounds(Bounds::Of(prefixes), 0.05);
+
+  uint64_t cluster_id = 1;
+  for (size_t p = 0; p < assignment.size(); ++p) {
+    for (int index : assignment[p]) {
+      if (index < 0 || static_cast<size_t>(index) >= dataset.items.size()) {
+        return InvalidArgumentError("baseline: assignment index out of range");
+      }
+      overlay::PublishedCluster point;
+      point.sphere.center = mapper.ToKey(prefixes[static_cast<size_t>(index)]);
+      point.sphere.radius = 0.0;
+      point.owner_peer = static_cast<int>(p);
+      point.items = 1;
+      point.cluster_id = cluster_id++;
+      HM_ASSIGN_OR_RETURN(overlay::InsertReceipt receipt,
+                          baseline->overlay_->Insert(point, static_cast<int>(p)));
+      (void)receipt;
+      ++baseline->items_inserted_;
+    }
+  }
+  return baseline;
+}
+
+double CanItemBaseline::average_insert_hops_per_item() const {
+  if (items_inserted_ == 0) return 0.0;
+  const uint64_t hops = stats_.hops(sim::TrafficClass::kInsert) +
+                        stats_.hops(sim::TrafficClass::kReplicate);
+  return static_cast<double>(hops) / static_cast<double>(items_inserted_);
+}
+
+}  // namespace hyperm::core

@@ -1,0 +1,63 @@
+// The paper's comparison baseline: conventional CAN publication, where every
+// data item is inserted into the overlay individually (Section 5.2).
+//
+// Two variants appear in Fig. 8:
+//  * full-dimensional CAN — the key is the complete feature vector;
+//  * an "illustrative" 2-dimensional CAN that indexes only the first two
+//    coordinates ("though it cannot be used to retrieve meaningful data, it
+//    shows the magnitude of the performance gap").
+
+#ifndef HYPERM_HYPERM_BASELINE_H_
+#define HYPERM_HYPERM_BASELINE_H_
+
+#include <memory>
+
+#include "can/can_overlay.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/peer_assignment.h"
+#include "hyperm/key_mapper.h"
+#include "sim/stats.h"
+
+namespace hyperm::core {
+
+/// Configuration of the per-item CAN baseline.
+struct ItemBaselineOptions {
+  size_t index_dims = 0;  ///< 0 = full data dimensionality; 2 = the paper's
+                          ///< illustrative low-dimensional CAN
+};
+
+/// A CAN into which every item was inserted individually.
+class CanItemBaseline {
+ public:
+  /// Builds the overlay (one node per peer) and inserts every assigned item
+  /// as a zero-radius key from its owner's node. All traffic lands in
+  /// stats(). Returns InvalidArgument on bad inputs.
+  static Result<std::unique_ptr<CanItemBaseline>> Build(
+      const data::Dataset& dataset, const data::PeerAssignment& assignment,
+      const ItemBaselineOptions& options, Rng& rng);
+
+  /// Traffic counters (join + per-item insert hops).
+  const sim::NetworkStats& stats() const { return stats_; }
+
+  /// Items inserted.
+  int items_inserted() const { return items_inserted_; }
+
+  /// Average insertion hops per item (insert class only, as in Fig. 8).
+  double average_insert_hops_per_item() const;
+
+  /// The underlying overlay (for distribution analysis).
+  const can::CanOverlay& overlay() const { return *overlay_; }
+
+ private:
+  CanItemBaseline() = default;
+
+  sim::NetworkStats stats_;
+  std::unique_ptr<can::CanOverlay> overlay_;
+  int items_inserted_ = 0;
+};
+
+}  // namespace hyperm::core
+
+#endif  // HYPERM_HYPERM_BASELINE_H_

@@ -1,0 +1,46 @@
+#include "hyperm/eval.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace hyperm::core {
+
+PrecisionRecall Evaluate(const std::vector<ItemId>& retrieved,
+                         const std::vector<ItemId>& relevant) {
+  const std::unordered_set<ItemId> retrieved_set(retrieved.begin(), retrieved.end());
+  const std::unordered_set<ItemId> relevant_set(relevant.begin(), relevant.end());
+  size_t hits = 0;
+  for (ItemId id : retrieved_set) {
+    if (relevant_set.contains(id)) ++hits;
+  }
+  PrecisionRecall pr;
+  pr.precision = retrieved_set.empty()
+                     ? 1.0
+                     : static_cast<double>(hits) / static_cast<double>(retrieved_set.size());
+  pr.recall = relevant_set.empty()
+                  ? 1.0
+                  : static_cast<double>(hits) / static_cast<double>(relevant_set.size());
+  return pr;
+}
+
+EffectivenessSummary Summarize(const std::vector<PrecisionRecall>& results) {
+  HM_CHECK(!results.empty());
+  EffectivenessSummary s;
+  s.queries = static_cast<int>(results.size());
+  s.min_recall = s.min_precision = 1.0;
+  for (const PrecisionRecall& pr : results) {
+    s.mean_precision += pr.precision;
+    s.mean_recall += pr.recall;
+    s.min_recall = std::min(s.min_recall, pr.recall);
+    s.max_recall = std::max(s.max_recall, pr.recall);
+    s.min_precision = std::min(s.min_precision, pr.precision);
+    s.max_precision = std::max(s.max_precision, pr.precision);
+  }
+  s.mean_precision /= results.size();
+  s.mean_recall /= results.size();
+  return s;
+}
+
+}  // namespace hyperm::core

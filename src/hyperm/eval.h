@@ -1,0 +1,41 @@
+// Retrieval-effectiveness measures (Section 6): standard precision/recall
+// of a retrieved id set against an exact relevant id set.
+
+#ifndef HYPERM_HYPERM_EVAL_H_
+#define HYPERM_HYPERM_EVAL_H_
+
+#include <vector>
+
+#include "hyperm/peer.h"
+
+namespace hyperm::core {
+
+/// Precision and recall of one query.
+struct PrecisionRecall {
+  double precision = 0.0;  ///< |retrieved ∩ relevant| / |retrieved|; an empty
+                           ///< retrieved set has no false positives, so its
+                           ///< precision is 1
+  double recall = 0.0;     ///< |retrieved ∩ relevant| / |relevant| (1 if relevant empty)
+};
+
+/// Computes precision/recall; duplicates in either list are ignored.
+PrecisionRecall Evaluate(const std::vector<ItemId>& retrieved,
+                         const std::vector<ItemId>& relevant);
+
+/// Mean / min / max summary over many query evaluations.
+struct EffectivenessSummary {
+  double mean_precision = 0.0;
+  double mean_recall = 0.0;
+  double min_recall = 0.0;
+  double max_recall = 0.0;
+  double min_precision = 0.0;
+  double max_precision = 0.0;
+  int queries = 0;
+};
+
+/// Aggregates a batch of per-query results (fatal on empty input).
+EffectivenessSummary Summarize(const std::vector<PrecisionRecall>& results);
+
+}  // namespace hyperm::core
+
+#endif  // HYPERM_HYPERM_EVAL_H_

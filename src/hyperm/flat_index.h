@@ -1,0 +1,40 @@
+// Centralized exact index: the paper's ground-truth oracle.
+//
+// "We implemented a centralized flat file system that indexes the data using
+// the original vectors, and use the retrieval results as the basis for
+// evaluating the effectiveness of our proposal" (Section 6).
+
+#ifndef HYPERM_HYPERM_FLAT_INDEX_H_
+#define HYPERM_HYPERM_FLAT_INDEX_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "hyperm/peer.h"
+#include "vec/vector.h"
+
+namespace hyperm::core {
+
+/// Brute-force exact search over a full dataset.
+class FlatIndex {
+ public:
+  /// Indexes `dataset` by reference; the dataset must outlive the index.
+  explicit FlatIndex(const data::Dataset& dataset) : dataset_(dataset) {}
+
+  /// All item ids within `epsilon` of `query` (unordered).
+  std::vector<ItemId> RangeSearch(const Vector& query, double epsilon) const;
+
+  /// The `k` item ids nearest to `query`, ordered by increasing distance.
+  std::vector<ItemId> Knn(const Vector& query, int k) const;
+
+  /// Distance of the k-th nearest neighbour (the exact k-NN radius); returns
+  /// +inf when the dataset holds fewer than k items.
+  double KnnRadius(const Vector& query, int k) const;
+
+ private:
+  const data::Dataset& dataset_;
+};
+
+}  // namespace hyperm::core
+
+#endif  // HYPERM_HYPERM_FLAT_INDEX_H_

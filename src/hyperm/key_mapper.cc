@@ -1,0 +1,42 @@
+#include "hyperm/key_mapper.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hyperm::core {
+
+KeyMapper KeyMapper::FromBounds(const Bounds& bounds, double margin) {
+  HM_CHECK_GE(margin, 0.0);
+  HM_CHECK_LT(margin, 0.5);
+  HM_CHECK_GE(bounds.dim(), 1u);
+  KeyMapper mapper;
+  mapper.lo_ = bounds.lo;
+  double max_range = 0.0;
+  for (size_t i = 0; i < bounds.dim(); ++i) {
+    max_range = std::fmax(max_range, bounds.hi[i] - bounds.lo[i]);
+  }
+  if (max_range <= 0.0) max_range = 1.0;  // degenerate (single point) bounds
+  // Reserve `margin` of the cube on each side; offset the data by that much.
+  mapper.scale_ = (1.0 - 2.0 * margin) / max_range;
+  for (double& lo : mapper.lo_) lo -= margin / mapper.scale_;
+  return mapper;
+}
+
+Vector KeyMapper::ToKey(const Vector& x) const {
+  HM_CHECK_EQ(x.size(), lo_.size());
+  Vector key(x.size());
+  const double max_key = std::nextafter(1.0, 0.0);
+  for (size_t i = 0; i < x.size(); ++i) {
+    key[i] = std::clamp((x[i] - lo_[i]) * scale_, 0.0, max_key);
+  }
+  return key;
+}
+
+geom::Sphere KeyMapper::ToKeySphere(const Vector& center, double radius) const {
+  HM_CHECK_GE(radius, 0.0);
+  return geom::Sphere{ToKey(center), ToKeyRadius(radius)};
+}
+
+}  // namespace hyperm::core

@@ -1,0 +1,48 @@
+// Mapping from wavelet-subspace coordinates to the overlay key cube.
+//
+// Overlays index [0,1)^dim. A KeyMapper carries wavelet coordinates into
+// that cube with per-dimension offsets but ONE uniform scale factor, so
+// spheres map to spheres and volume *ratios* (everything Eq. 1 and Eq. 8
+// consume) are preserved exactly.
+
+#ifndef HYPERM_HYPERM_KEY_MAPPER_H_
+#define HYPERM_HYPERM_KEY_MAPPER_H_
+
+#include "geom/shapes.h"
+#include "vec/vector.h"
+
+namespace hyperm::core {
+
+/// Uniform-scale affine embedding of a bounded level space into [0,1)^dim.
+class KeyMapper {
+ public:
+  /// Builds a mapper covering `bounds` with a fractional safety `margin`
+  /// (default 5%) on every side, so near-boundary data and the occasional
+  /// out-of-sample query point still map inside the cube.
+  static KeyMapper FromBounds(const Bounds& bounds, double margin = 0.05);
+
+  /// Maps a level-space point into the key cube (clamped to [0,1)).
+  Vector ToKey(const Vector& x) const;
+
+  /// Maps a level-space radius into key space (radius * scale).
+  double ToKeyRadius(double r) const { return r * scale_; }
+
+  /// Maps a level-space sphere into key space.
+  geom::Sphere ToKeySphere(const Vector& center, double radius) const;
+
+  /// The uniform scale factor.
+  double scale() const { return scale_; }
+
+  /// Dimensionality of the mapped space.
+  size_t dim() const { return lo_.size(); }
+
+ private:
+  KeyMapper() = default;
+
+  Vector lo_;      // per-dimension offset
+  double scale_ = 1.0;
+};
+
+}  // namespace hyperm::core
+
+#endif  // HYPERM_HYPERM_KEY_MAPPER_H_

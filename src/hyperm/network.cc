@@ -1,0 +1,445 @@
+#include "hyperm/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+
+#include "can/can_overlay.h"
+#include "common/check.h"
+#include "common/math_util.h"
+#include "geom/radius_estimator.h"
+#include "overlay/ring_overlay.h"
+#include "overlay/tree_overlay.h"
+#include "wavelet/haar.h"
+
+namespace hyperm::core {
+namespace {
+
+// Message size used when contacting a peer directly for data (request) —
+// header + query vector is dominated by the response, accounted separately.
+constexpr uint64_t kRequestBytes = 64;
+
+uint64_t ResponseBytes(size_t items, size_t dim) {
+  return 16 + items * (8 * dim + 8);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<HyperMNetwork>> HyperMNetwork::Build(
+    const data::Dataset& dataset, const data::PeerAssignment& assignment,
+    const HyperMOptions& options, Rng& rng) {
+  if (dataset.items.empty()) return InvalidArgumentError("Build: empty dataset");
+  if (!IsPowerOfTwo(static_cast<int64_t>(dataset.dim()))) {
+    return InvalidArgumentError("Build: dataset dimensionality must be a power of two");
+  }
+  if (assignment.empty()) return InvalidArgumentError("Build: no peers");
+  if (options.num_layers < 1) return InvalidArgumentError("Build: num_layers < 1");
+  if (options.clusters_per_peer < 1) {
+    return InvalidArgumentError("Build: clusters_per_peer < 1");
+  }
+  const int m = Log2Exact(static_cast<int64_t>(dataset.dim()));
+  if (options.num_layers > m + 1) {
+    return InvalidArgumentError("Build: num_layers exceeds available wavelet levels");
+  }
+
+  std::unique_ptr<HyperMNetwork> net(new HyperMNetwork());
+  net->data_dim_ = dataset.dim();
+  net->num_detail_levels_ = m;
+  net->options_ = options;
+  net->levels_ = wavelet::DefaultLevels(m, options.num_layers);
+
+  // Peers + local stores (step i1 input).
+  const int num_peers = static_cast<int>(assignment.size());
+  net->peers_.reserve(static_cast<size_t>(num_peers));
+  for (int p = 0; p < num_peers; ++p) net->peers_.emplace_back(p);
+
+  // Per-peer, per-layer subspace projections of every item, plus global
+  // per-layer bounds for the key mappers. (In a live MANET the bounds come
+  // from the data domain — Haar averages of [lo,hi]-bounded features stay in
+  // [lo,hi] and details in ±(hi-lo)/2; the simulation takes the tight
+  // empirical equivalent.)
+  const size_t num_layers = net->levels_.size();
+  std::vector<std::vector<std::vector<Vector>>> level_points(
+      static_cast<size_t>(num_peers),
+      std::vector<std::vector<Vector>>(num_layers));
+  std::vector<Bounds> bounds(num_layers);
+  std::vector<bool> bounds_init(num_layers, false);
+  for (int p = 0; p < num_peers; ++p) {
+    for (int index : assignment[static_cast<size_t>(p)]) {
+      if (index < 0 || static_cast<size_t>(index) >= dataset.items.size()) {
+        return InvalidArgumentError("Build: assignment index out of range");
+      }
+      const Vector& item = dataset.items[static_cast<size_t>(index)];
+      net->peers_[static_cast<size_t>(p)].AddItem(index, item);
+      HM_ASSIGN_OR_RETURN(wavelet::Pyramid pyramid,
+                          wavelet::DecomposeWith(options.wavelet_kind, item));
+      for (size_t layer = 0; layer < num_layers; ++layer) {
+        const Vector& projection = wavelet::Project(pyramid, net->levels_[layer]);
+        if (!bounds_init[layer]) {
+          bounds[layer].lo = projection;
+          bounds[layer].hi = projection;
+          bounds_init[layer] = true;
+        } else {
+          bounds[layer].Extend(projection);
+        }
+        level_points[static_cast<size_t>(p)][layer].push_back(projection);
+      }
+    }
+  }
+
+  // One overlay per layer (step i3 substrate).
+  for (size_t layer = 0; layer < num_layers; ++layer) {
+    if (!bounds_init[layer]) return InvalidArgumentError("Build: no items assigned");
+    net->mappers_.push_back(KeyMapper::FromBounds(bounds[layer], options.key_margin));
+    const size_t layer_dim = net->levels_[layer].dim();
+    if (options.overlay_kind == OverlayKind::kRingAndCan && layer_dim == 1) {
+      HM_ASSIGN_OR_RETURN(auto ring,
+                          overlay::RingOverlay::Build(num_peers, &net->stats_, rng));
+      net->overlays_.push_back(std::move(ring));
+    } else if (options.overlay_kind == OverlayKind::kTree) {
+      HM_ASSIGN_OR_RETURN(auto tree, overlay::TreeOverlay::Build(layer_dim, num_peers,
+                                                                 &net->stats_, rng));
+      net->overlays_.push_back(std::move(tree));
+    } else {
+      HM_ASSIGN_OR_RETURN(auto can, can::CanOverlay::Build(layer_dim, num_peers,
+                                                           &net->stats_, rng));
+      net->overlays_.push_back(std::move(can));
+    }
+    net->overlays_.back()->set_replicate_spheres(options.replicate_spheres);
+  }
+
+  // Cluster + publish every peer (steps i2-i3).
+  net->publication_hops_.assign(static_cast<size_t>(num_peers), 0);
+  for (int p = 0; p < num_peers; ++p) {
+    const uint64_t before = net->stats_.hops(sim::TrafficClass::kInsert) +
+                            net->stats_.hops(sim::TrafficClass::kReplicate);
+    HM_RETURN_IF_ERROR(
+        net->PublishPeer(p, level_points[static_cast<size_t>(p)], options, rng));
+    const uint64_t after = net->stats_.hops(sim::TrafficClass::kInsert) +
+                           net->stats_.hops(sim::TrafficClass::kReplicate);
+    net->publication_hops_[static_cast<size_t>(p)] = after - before;
+  }
+  return net;
+}
+
+Status HyperMNetwork::PublishPeer(
+    int peer_id, const std::vector<std::vector<Vector>>& level_points,
+    const HyperMOptions& options, Rng& rng) {
+  for (size_t layer = 0; layer < levels_.size(); ++layer) {
+    const std::vector<Vector>& points = level_points[layer];
+    if (points.empty()) continue;  // peer holds no items
+    cluster::KMeansOptions kmeans_options;
+    kmeans_options.k = options.clusters_per_peer;
+    kmeans_options.max_iterations = options.kmeans_max_iterations;
+    HM_ASSIGN_OR_RETURN(cluster::KMeansResult result,
+                        cluster::KMeans(points, kmeans_options, rng));
+    for (const cluster::SphereCluster& c : result.clusters) {
+      overlay::PublishedCluster published;
+      published.sphere = mappers_[layer].ToKeySphere(c.centroid, c.radius);
+      published.owner_peer = peer_id;
+      published.items = c.count;
+      published.cluster_id = next_cluster_id_++;
+      HM_ASSIGN_OR_RETURN(overlay::InsertReceipt receipt,
+                          overlays_[layer]->Insert(published, peer_id));
+      (void)receipt;
+    }
+  }
+  return OkStatus();
+}
+
+Vector HyperMNetwork::ProjectToLevel(const Vector& x, int layer) const {
+  HM_CHECK_GE(layer, 0);
+  HM_CHECK_LT(static_cast<size_t>(layer), levels_.size());
+  Result<wavelet::Pyramid> pyramid = wavelet::DecomposeWith(options_.wavelet_kind, x);
+  HM_CHECK(pyramid.ok()) << pyramid.status().ToString();
+  return wavelet::Project(pyramid.value(), levels_[static_cast<size_t>(layer)]);
+}
+
+double HyperMNetwork::LevelRadiusScale(int layer) const {
+  HM_CHECK_GE(layer, 0);
+  HM_CHECK_LT(static_cast<size_t>(layer), levels_.size());
+  return wavelet::RadiusScaleFor(options_.wavelet_kind, num_detail_levels_,
+                                 levels_[static_cast<size_t>(layer)]);
+}
+
+Result<std::unordered_map<int, double>> HyperMNetwork::QueryLayer(
+    int layer, const Vector& query, double epsilon, int querying_peer,
+    RangeQueryInfo* info) {
+  const Vector projection = ProjectToLevel(query, layer);
+  const double level_epsilon = epsilon * LevelRadiusScale(layer);
+  geom::Sphere key_sphere =
+      mappers_[static_cast<size_t>(layer)].ToKeySphere(projection, level_epsilon);
+  // Guard the Theorem 4.1 boundary against floating-point rounding in the
+  // key mapping: a cluster's farthest member sits exactly on its sphere, and
+  // one ulp of per-coordinate error must not turn into a false dismissal.
+  // The key cube has unit extent, so absolute slack is safe and negligible.
+  key_sphere.radius += 1e-9;
+  HM_ASSIGN_OR_RETURN(
+      overlay::RangeQueryResult result,
+      overlays_[static_cast<size_t>(layer)]->RangeQuery(key_sphere, querying_peer));
+  if (info != nullptr) {
+    info->overlay_routing_hops += result.routing_hops;
+    info->overlay_flood_hops += result.flood_hops;
+  }
+  return ComputeLevelScores(static_cast<int>(levels_[static_cast<size_t>(layer)].dim()),
+                            result.matches, key_sphere);
+}
+
+Result<std::vector<PeerScore>> HyperMNetwork::ScorePeers(const Vector& query,
+                                                         double epsilon,
+                                                         int querying_peer,
+                                                         RangeQueryInfo* info) {
+  if (query.size() != data_dim_) {
+    return InvalidArgumentError("ScorePeers: query dimensionality mismatch");
+  }
+  if (epsilon < 0.0) return InvalidArgumentError("ScorePeers: negative epsilon");
+  if (querying_peer < 0 || querying_peer >= num_peers()) {
+    return InvalidArgumentError("ScorePeers: bad querying peer");
+  }
+  std::vector<std::unordered_map<int, double>> level_scores;
+  level_scores.reserve(levels_.size());
+  for (int layer = 0; layer < num_layers(); ++layer) {
+    HM_ASSIGN_OR_RETURN(auto scores, QueryLayer(layer, query, epsilon,
+                                                querying_peer, info));
+    level_scores.push_back(std::move(scores));
+  }
+  std::vector<PeerScore> aggregated =
+      AggregateScores(level_scores, options_.score_policy);
+  if (info != nullptr) info->candidate_peers = static_cast<int>(aggregated.size());
+  return aggregated;
+}
+
+Result<std::vector<ItemId>> HyperMNetwork::RangeQuery(const Vector& query,
+                                                      double epsilon, int querying_peer,
+                                                      int max_peers_contacted,
+                                                      RangeQueryInfo* info) {
+  HM_ASSIGN_OR_RETURN(std::vector<PeerScore> scores,
+                      ScorePeers(query, epsilon, querying_peer, info));
+  size_t contact = scores.size();
+  if (max_peers_contacted >= 0) {
+    contact = std::min<size_t>(contact, static_cast<size_t>(max_peers_contacted));
+  }
+  std::vector<ItemId> results;
+  for (size_t i = 0; i < contact; ++i) {
+    const Peer& target = peers_[static_cast<size_t>(scores[i].peer)];
+    std::vector<ItemId> local = target.RangeSearch(query, epsilon);
+    stats_.RecordHop(sim::TrafficClass::kRetrieve, kRequestBytes);
+    stats_.RecordHop(sim::TrafficClass::kRetrieve, ResponseBytes(local.size(), data_dim_));
+    results.insert(results.end(), local.begin(), local.end());
+  }
+  if (info != nullptr) info->peers_contacted = static_cast<int>(contact);
+  std::sort(results.begin(), results.end());
+  results.erase(std::unique(results.begin(), results.end()), results.end());
+  return results;
+}
+
+Result<std::vector<ItemId>> HyperMNetwork::KnnQuery(const Vector& query, int k,
+                                                    const KnnOptions& options,
+                                                    int querying_peer,
+                                                    KnnQueryInfo* info) {
+  if (query.size() != data_dim_) {
+    return InvalidArgumentError("KnnQuery: query dimensionality mismatch");
+  }
+  if (k < 1) return InvalidArgumentError("KnnQuery: k < 1");
+  if (options.c <= 0.0) return InvalidArgumentError("KnnQuery: C must be positive");
+  if (querying_peer < 0 || querying_peer >= num_peers()) {
+    return InvalidArgumentError("KnnQuery: bad querying peer");
+  }
+
+  RangeQueryInfo* range_info = info != nullptr ? &info->range : nullptr;
+  std::vector<std::unordered_map<int, double>> level_scores;
+  for (int layer = 0; layer < num_layers(); ++layer) {
+    const size_t l = static_cast<size_t>(layer);
+    const int layer_dim = static_cast<int>(levels_[l].dim());
+    const Vector key_center = mappers_[l].ToKey(ProjectToLevel(query, layer));
+
+    // Expanding probe: widen the overlay range query until the discovered
+    // summaries can plausibly supply k items (Fig. 5, step 2 needs the
+    // reachable clusters before Eq. 8 can be inverted).
+    const double max_radius = std::sqrt(static_cast<double>(layer_dim));
+    double probe_radius = 0.05 * max_radius;
+    overlay::RangeQueryResult probe;
+    while (true) {
+      geom::Sphere probe_sphere{key_center, probe_radius};
+      HM_ASSIGN_OR_RETURN(probe, overlays_[l]->RangeQuery(probe_sphere, querying_peer));
+      if (range_info != nullptr) {
+        range_info->overlay_routing_hops += probe.routing_hops;
+        range_info->overlay_flood_hops += probe.flood_hops;
+      }
+      if (probe_radius >= max_radius) break;
+      std::vector<geom::ClusterView> views;
+      views.reserve(probe.matches.size());
+      for (const overlay::PublishedCluster& c : probe.matches) {
+        views.push_back(geom::ClusterView{
+            c.sphere.radius, vec::Distance(c.sphere.center, key_center), c.items});
+      }
+      if (!views.empty() &&
+          geom::ExpectedItems(layer_dim, views, probe_radius) >= static_cast<double>(k)) {
+        break;
+      }
+      probe_radius = std::min(max_radius, probe_radius * 2.0);
+    }
+
+    // Invert Eq. 8 over the discovered clusters for the per-level radius.
+    std::vector<geom::ClusterView> views;
+    views.reserve(probe.matches.size());
+    for (const overlay::PublishedCluster& c : probe.matches) {
+      views.push_back(geom::ClusterView{
+          c.sphere.radius, vec::Distance(c.sphere.center, key_center), c.items});
+    }
+    double level_radius = probe_radius;
+    if (!views.empty()) {
+      Result<double> solved =
+          geom::SolveRadiusForCount(layer_dim, views, static_cast<double>(k));
+      if (solved.ok()) level_radius = std::min(solved.value(), probe_radius);
+    }
+    if (info != nullptr) info->level_radii.push_back(level_radius);
+
+    // Score this level against the estimated radius. The probe's matches
+    // are a superset of the refined query's (level_radius <= probe_radius),
+    // so the scores can be computed locally without another flood.
+    const geom::Sphere level_sphere{key_center, level_radius};
+    level_scores.push_back(
+        ComputeLevelScores(layer_dim, probe.matches, level_sphere));
+  }
+
+  std::vector<PeerScore> merged = AggregateScores(level_scores, options_.score_policy);
+  if (merged.empty() && options_.score_policy != ScorePolicy::kSum) {
+    // Min/product pruned every peer (an empty level probe zeroes everything).
+    // Unlike range queries, a k-NN query must return *something*; fall back
+    // to the optimistic sum aggregation.
+    merged = AggregateScores(level_scores, ScorePolicy::kSum);
+  }
+  if (range_info != nullptr) range_info->candidate_peers = static_cast<int>(merged.size());
+  if (merged.empty()) return std::vector<ItemId>{};
+
+  // Step 4-6: P = the smallest score prefix expected to cover k items,
+  // floored at min_peers (scores are expected values; hedging across a few
+  // extra peers costs little and recovers neighbours the estimate missed).
+  size_t num_contacted = 0;
+  double sum = 0.0;
+  for (const PeerScore& ps : merged) {
+    if (num_contacted >= static_cast<size_t>(options.max_peers)) break;
+    if (sum >= static_cast<double>(k) &&
+        num_contacted >= static_cast<size_t>(options.min_peers)) {
+      break;
+    }
+    sum += ps.score;
+    ++num_contacted;
+  }
+  HM_CHECK_GT(num_contacted, 0u);
+
+  // Steps 7-9: fetch a score-proportional number of items from each peer.
+  // Peers return (id, exact distance) pairs so the querier can merge without
+  // shipping the vectors themselves.
+  std::vector<ScoredItem> fetched;
+  for (size_t i = 0; i < num_contacted; ++i) {
+    const PeerScore& ps = merged[i];
+    const int request = std::max(
+        1, static_cast<int>(std::ceil(options.c * k * ps.score / sum)));
+    const Peer& target = peers_[static_cast<size_t>(ps.peer)];
+    std::vector<ScoredItem> local = target.NearestItemsScored(query, request);
+    stats_.RecordHop(sim::TrafficClass::kRetrieve, kRequestBytes);
+    stats_.RecordHop(sim::TrafficClass::kRetrieve, ResponseBytes(local.size(), data_dim_));
+    if (info != nullptr) info->items_requested += request;
+    fetched.insert(fetched.end(), local.begin(), local.end());
+  }
+  if (range_info != nullptr) {
+    range_info->peers_contacted = static_cast<int>(num_contacted);
+  }
+
+  // Step 10: global merge sorted by exact distance (ids are globally unique,
+  // so deduplication is by id).
+  std::sort(fetched.begin(), fetched.end(), [](const ScoredItem& a, const ScoredItem& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  });
+  std::vector<ItemId> result;
+  result.reserve(fetched.size());
+  std::unordered_set<ItemId> seen;
+  for (const ScoredItem& item : fetched) {
+    if (!seen.insert(item.id).second) continue;
+    result.push_back(item.id);
+    if (options.truncate_to_k && result.size() >= static_cast<size_t>(k)) break;
+  }
+  return result;
+}
+
+void HyperMNetwork::AddItemWithoutRepublish(int peer, ItemId id, const Vector& features) {
+  HM_CHECK_GE(peer, 0);
+  HM_CHECK_LT(peer, num_peers());
+  HM_CHECK_EQ(features.size(), data_dim_);
+  peers_[static_cast<size_t>(peer)].AddItem(id, features);
+}
+
+Result<std::vector<ItemId>> HyperMNetwork::PointQuery(const Vector& point,
+                                                      int querying_peer,
+                                                      RangeQueryInfo* info) {
+  return RangeQuery(point, 0.0, querying_peer, /*max_peers_contacted=*/-1, info);
+}
+
+Status HyperMNetwork::RepublishPeer(int peer, Rng& rng) {
+  if (peer < 0 || peer >= num_peers()) {
+    return InvalidArgumentError("RepublishPeer: bad peer");
+  }
+  const Peer& target = peers_[static_cast<size_t>(peer)];
+  if (target.num_items() == 0) return OkStatus();
+
+  // Unpublish: every replica holder processes one removal message.
+  for (auto& overlay : overlays_) {
+    const int removed = overlay->RemoveByOwner(peer);
+    for (int i = 0; i < removed; ++i) {
+      stats_.RecordHop(sim::TrafficClass::kReplicate, 32);
+    }
+  }
+
+  // Fresh per-layer projections of the peer's current collection.
+  std::vector<std::vector<Vector>> level_points(levels_.size());
+  for (const Vector& item : target.item_features()) {
+    HM_ASSIGN_OR_RETURN(wavelet::Pyramid pyramid,
+                        wavelet::DecomposeWith(options_.wavelet_kind, item));
+    for (size_t layer = 0; layer < levels_.size(); ++layer) {
+      level_points[layer].push_back(wavelet::Project(pyramid, levels_[layer]));
+    }
+  }
+  return PublishPeer(peer, level_points, options_, rng);
+}
+
+uint64_t HyperMNetwork::publication_hops(int id) const {
+  HM_CHECK_GE(id, 0);
+  HM_CHECK_LT(id, num_peers());
+  return publication_hops_[static_cast<size_t>(id)];
+}
+
+int HyperMNetwork::total_items() const {
+  int total = 0;
+  for (const Peer& p : peers_) total += static_cast<int>(p.num_items());
+  return total;
+}
+
+const overlay::Overlay& HyperMNetwork::overlay(int layer) const {
+  HM_CHECK_GE(layer, 0);
+  HM_CHECK_LT(static_cast<size_t>(layer), overlays_.size());
+  return *overlays_[static_cast<size_t>(layer)];
+}
+
+const wavelet::Level& HyperMNetwork::level(int layer) const {
+  HM_CHECK_GE(layer, 0);
+  HM_CHECK_LT(static_cast<size_t>(layer), levels_.size());
+  return levels_[static_cast<size_t>(layer)];
+}
+
+const KeyMapper& HyperMNetwork::mapper(int layer) const {
+  HM_CHECK_GE(layer, 0);
+  HM_CHECK_LT(static_cast<size_t>(layer), mappers_.size());
+  return mappers_[static_cast<size_t>(layer)];
+}
+
+const Peer& HyperMNetwork::peer(int id) const {
+  HM_CHECK_GE(id, 0);
+  HM_CHECK_LT(id, num_peers());
+  return peers_[static_cast<size_t>(id)];
+}
+
+}  // namespace hyperm::core

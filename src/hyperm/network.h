@@ -1,0 +1,197 @@
+// HyperMNetwork: the Hyper-M system (Sections 3–4).
+//
+// Orchestrates the full pipeline of Fig. 2 over a simulated P2P network:
+//
+//   i1  every peer decomposes its items with the Haar DWT,
+//   i2  each wavelet subspace is clustered independently with k-means,
+//   i3  the cluster spheres are published into one overlay per subspace,
+//
+// and the two-phase retrieval of Fig. 3: score peers from published
+// summaries (Eq. 1, min-score aggregation), then fetch actual items from
+// the selected peers' local stores. Range queries follow Theorem 4.1's
+// per-level thresholds (no false dismissals); k-NN uses the Fig. 5
+// heuristic with the Eq. 8 radius estimator.
+
+#ifndef HYPERM_HYPERM_NETWORK_H_
+#define HYPERM_HYPERM_NETWORK_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/peer_assignment.h"
+#include "hyperm/key_mapper.h"
+#include "hyperm/peer.h"
+#include "hyperm/score.h"
+#include "overlay/overlay.h"
+#include "sim/stats.h"
+#include "wavelet/level.h"
+#include "wavelet/transform.h"
+
+namespace hyperm::core {
+
+/// Which overlay implementation backs each layer.
+enum class OverlayKind {
+  kCan,          ///< CAN for every layer (the paper's configuration)
+  kRingAndCan,   ///< Chord-style ring for 1-D layers, CAN for the rest
+  kTree,         ///< balanced BSP tree (BATON/VBI flavour) for every layer
+};
+
+/// Configuration of a Hyper-M deployment.
+struct HyperMOptions {
+  int num_layers = 4;          ///< overlays used: A, D_0, .., D_{num_layers-2}
+  int clusters_per_peer = 10;  ///< K_p, identical on every peer (Section 5.1)
+  int kmeans_max_iterations = 30;
+  double key_margin = 0.05;    ///< KeyMapper safety margin
+  ScorePolicy score_policy = ScorePolicy::kMin;
+  OverlayKind overlay_kind = OverlayKind::kCan;
+  wavelet::WaveletKind wavelet_kind = wavelet::WaveletKind::kHaarAveraging;
+  bool replicate_spheres = true;  ///< false recreates the Fig. 6 failure mode
+                                  ///< (ablation only; breaks the range-query
+                                  ///< no-false-dismissal guarantee)
+};
+
+/// Traffic/effort account of one range query.
+struct RangeQueryInfo {
+  int overlay_routing_hops = 0;  ///< greedy routing in all layers
+  int overlay_flood_hops = 0;    ///< zone flooding in all layers
+  int candidate_peers = 0;       ///< peers with a positive aggregated score
+  int peers_contacted = 0;       ///< peers actually asked for items
+};
+
+/// Traffic/effort account of one k-NN query.
+struct KnnQueryInfo {
+  RangeQueryInfo range;                ///< per-level probing + final queries
+  std::vector<double> level_radii;     ///< estimated eps per layer (key space)
+  int items_requested = 0;             ///< sum of no_items_p over peers
+};
+
+/// Options of the Fig. 5 k-NN heuristic.
+struct KnnOptions {
+  double c = 1.5;           ///< the paper's C knob: items requested = C*k*share
+  int min_peers = 5;        ///< floor on P (scores are expectations, not
+                            ///< guarantees; a single high-score peer rarely
+                            ///< holds all k true neighbours)
+  int max_peers = 1 << 20;  ///< optional cap on peers contacted
+  bool truncate_to_k = false;  ///< return only the k best fetched items
+                               ///< (raises precision, caps recall at the
+                               ///< fetched set's coverage)
+};
+
+/// A deployed Hyper-M network over a dataset.
+class HyperMNetwork {
+ public:
+  /// Builds the overlays and publishes every peer's summaries.
+  ///
+  /// `assignment[p]` lists dataset indices stored at peer p (see
+  /// data::AssignByInterest). The dataset dimensionality must be a power of
+  /// two (PadToPowerOfTwo the data otherwise). Items are copied into the
+  /// peers' local stores; the dataset need not outlive the network. All
+  /// traffic is recorded in stats().
+  static Result<std::unique_ptr<HyperMNetwork>> Build(
+      const data::Dataset& dataset, const data::PeerAssignment& assignment,
+      const HyperMOptions& options, Rng& rng);
+
+  // Queries -----------------------------------------------------------------
+
+  /// Scores all peers against a range query (phase 1 of Fig. 3): per-layer
+  /// overlay range queries with the Theorem 4.1 thresholds, Eq. 1 scoring,
+  /// aggregation per the configured policy. Sorted descending.
+  Result<std::vector<PeerScore>> ScorePeers(const Vector& query, double epsilon,
+                                            int querying_peer,
+                                            RangeQueryInfo* info = nullptr);
+
+  /// Full range query: scores peers, contacts the top `max_peers_contacted`
+  /// (all candidates if negative), and unions their exact local results.
+  /// Precision is 1 by construction; recall depends on the contact budget.
+  Result<std::vector<ItemId>> RangeQuery(const Vector& query, double epsilon,
+                                         int querying_peer, int max_peers_contacted = -1,
+                                         RangeQueryInfo* info = nullptr);
+
+  /// The Fig. 5 k-NN heuristic. Returns the fetched ids ordered by true
+  /// distance to the query (the caller may truncate to k; the paper
+  /// evaluates the full fetched set, trading precision for recall via C).
+  Result<std::vector<ItemId>> KnnQuery(const Vector& query, int k,
+                                       const KnnOptions& options, int querying_peer,
+                                       KnnQueryInfo* info = nullptr);
+
+  /// Point query: ids of items exactly equal to `point` (a range query of
+  /// radius zero — Section 4's "straight forward" case).
+  Result<std::vector<ItemId>> PointQuery(const Vector& point, int querying_peer,
+                                         RangeQueryInfo* info = nullptr);
+
+  // Post-creation churn (Fig. 10c) ------------------------------------------
+
+  /// Adds an item to a peer's local store WITHOUT republishing summaries —
+  /// the paper's post-creation insertion model: summaries go stale and
+  /// recall degrades gracefully.
+  void AddItemWithoutRepublish(int peer, ItemId id, const Vector& features);
+
+  /// Re-clusters a peer's current local items and replaces its published
+  /// summaries in every layer (unpublish + fresh k-means + insert). This is
+  /// the maintenance action that repairs the staleness AddItemWithoutRepublish
+  /// introduces; all traffic is recorded in stats().
+  Status RepublishPeer(int peer, Rng& rng);
+
+  // Introspection ------------------------------------------------------------
+
+  int num_peers() const { return static_cast<int>(peers_.size()); }
+  int num_layers() const { return static_cast<int>(levels_.size()); }
+  size_t data_dim() const { return data_dim_; }
+
+  /// Traffic counters (join/insert/replicate recorded during Build).
+  const sim::NetworkStats& stats() const { return stats_; }
+  sim::NetworkStats& mutable_stats() { return stats_; }
+
+  /// Total items held by peers.
+  int total_items() const;
+
+  /// Overlay hops (routing + replication) spent publishing peer `id`'s
+  /// summaries during Build. Peers publish in parallel in a real deployment,
+  /// so the dissemination makespan is governed by the maximum of these.
+  uint64_t publication_hops(int id) const;
+
+  /// Overlay / level / mapper / peer of a layer (0 <= layer < num_layers()).
+  const overlay::Overlay& overlay(int layer) const;
+  const wavelet::Level& level(int layer) const;
+  const KeyMapper& mapper(int layer) const;
+  const Peer& peer(int id) const;
+
+  /// Projects a full-dimensional vector into layer `layer`'s subspace.
+  Vector ProjectToLevel(const Vector& x, int layer) const;
+
+  /// Theorem 3.1/4.1 radius threshold for layer `layer`: an original-space
+  /// radius `r` becomes `r * LevelRadiusScale(layer)` in the subspace.
+  double LevelRadiusScale(int layer) const;
+
+ private:
+  HyperMNetwork() = default;
+
+  /// Publishes one peer's summaries into all layers (steps i2–i3).
+  Status PublishPeer(int peer_id,
+                     const std::vector<std::vector<Vector>>& level_points,
+                     const HyperMOptions& options, Rng& rng);
+
+  /// One layer's overlay range query + Eq. 1 scores.
+  Result<std::unordered_map<int, double>> QueryLayer(int layer, const Vector& query,
+                                                     double epsilon, int querying_peer,
+                                                     RangeQueryInfo* info);
+
+  size_t data_dim_ = 0;
+  int num_detail_levels_ = 0;  // log2(data_dim_)
+  HyperMOptions options_;
+  std::vector<Peer> peers_;
+  std::vector<wavelet::Level> levels_;
+  std::vector<KeyMapper> mappers_;
+  std::vector<std::unique_ptr<overlay::Overlay>> overlays_;
+  sim::NetworkStats stats_;
+  std::vector<uint64_t> publication_hops_;  // per peer, set during Build
+  uint64_t next_cluster_id_ = 1;
+};
+
+}  // namespace hyperm::core
+
+#endif  // HYPERM_HYPERM_NETWORK_H_

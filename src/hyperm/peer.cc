@@ -1,0 +1,52 @@
+#include "hyperm/peer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hyperm::core {
+
+void Peer::AddItem(ItemId item_id, const Vector& features) {
+  HM_CHECK(features_.empty() || features.size() == features_.front().size());
+  ids_.push_back(item_id);
+  features_.push_back(features);
+}
+
+std::vector<ItemId> Peer::RangeSearch(const Vector& query, double epsilon) const {
+  HM_CHECK_GE(epsilon, 0.0);
+  std::vector<ItemId> hits;
+  const double eps_sq = epsilon * epsilon;
+  for (size_t i = 0; i < features_.size(); ++i) {
+    if (vec::SquaredDistance(features_[i], query) <= eps_sq) hits.push_back(ids_[i]);
+  }
+  return hits;
+}
+
+std::vector<ItemId> Peer::NearestItems(const Vector& query, int count) const {
+  std::vector<ItemId> out;
+  for (const ScoredItem& item : NearestItemsScored(query, count)) {
+    out.push_back(item.id);
+  }
+  return out;
+}
+
+std::vector<ScoredItem> Peer::NearestItemsScored(const Vector& query, int count) const {
+  HM_CHECK_GE(count, 0);
+  std::vector<std::pair<double, ItemId>> scored;
+  scored.reserve(features_.size());
+  for (size_t i = 0; i < features_.size(); ++i) {
+    scored.emplace_back(vec::SquaredDistance(features_[i], query), ids_[i]);
+  }
+  const size_t take = std::min<size_t>(static_cast<size_t>(count), scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(take),
+                    scored.end());
+  std::vector<ScoredItem> out;
+  out.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    out.push_back(ScoredItem{scored[i].second, std::sqrt(scored[i].first)});
+  }
+  return out;
+}
+
+}  // namespace hyperm::core

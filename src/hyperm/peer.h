@@ -1,0 +1,66 @@
+// An application peer: the device that owns data items.
+//
+// Peers hold their items locally (Hyper-M never ships raw items into the
+// overlay — only cluster summaries). Once the score phase has selected a
+// peer, queries are resolved against this local store exactly, which is why
+// range-query precision is always 100% (Section 6.1).
+
+#ifndef HYPERM_HYPERM_PEER_H_
+#define HYPERM_HYPERM_PEER_H_
+
+#include <vector>
+
+#include "vec/vector.h"
+
+namespace hyperm::core {
+
+/// Globally unique identifier of a data item (its dataset index).
+using ItemId = int;
+
+/// An item id with its exact distance to some query (what a peer actually
+/// returns over the network, so callers can merge results globally).
+struct ScoredItem {
+  ItemId id = -1;
+  double distance = 0.0;
+};
+
+/// A peer's local item store with exact search.
+class Peer {
+ public:
+  /// Creates peer `id` with no items.
+  explicit Peer(int id) : id_(id) {}
+
+  /// The peer id (== its overlay node id in every layer).
+  int id() const { return id_; }
+
+  /// Adds one item. The vector is copied; `item_id` must be unique per peer.
+  void AddItem(ItemId item_id, const Vector& features);
+
+  /// Number of locally stored items.
+  size_t num_items() const { return ids_.size(); }
+
+  /// Stored item ids.
+  const std::vector<ItemId>& item_ids() const { return ids_; }
+
+  /// Stored feature vectors, parallel to item_ids().
+  const std::vector<Vector>& item_features() const { return features_; }
+
+  /// Exact local range search: ids of items within `epsilon` of `query`.
+  std::vector<ItemId> RangeSearch(const Vector& query, double epsilon) const;
+
+  /// Exact local top-`count` search: the `count` ids nearest to `query`,
+  /// ordered by increasing distance (fewer if the peer holds fewer items).
+  std::vector<ItemId> NearestItems(const Vector& query, int count) const;
+
+  /// NearestItems with the exact distances included.
+  std::vector<ScoredItem> NearestItemsScored(const Vector& query, int count) const;
+
+ private:
+  int id_;
+  std::vector<ItemId> ids_;
+  std::vector<Vector> features_;
+};
+
+}  // namespace hyperm::core
+
+#endif  // HYPERM_HYPERM_PEER_H_

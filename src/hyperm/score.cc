@@ -1,0 +1,80 @@
+#include "hyperm/score.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "geom/sphere_volume.h"
+#include "vec/vector.h"
+
+namespace hyperm::core {
+
+double ClusterCoverageFraction(int dim, const overlay::PublishedCluster& cluster,
+                               const geom::Sphere& query) {
+  HM_CHECK_GE(dim, 1);
+  const double b = vec::Distance(cluster.sphere.center, query.center);
+  if (cluster.sphere.radius <= 0.0) {
+    // Point cluster: covered entirely or not at all.
+    return b <= query.radius ? 1.0 : 0.0;
+  }
+  if (query.radius <= 0.0) {
+    // Point query: the intersection volume is zero, but a cluster containing
+    // the point is still a full candidate — degrade to the containment
+    // indicator so score ranking keeps working.
+    return b <= cluster.sphere.radius ? 1.0 : 0.0;
+  }
+  return geom::SphereIntersectionFraction(dim, cluster.sphere.radius, query.radius, b);
+}
+
+std::unordered_map<int, double> ComputeLevelScores(
+    int dim, const std::vector<overlay::PublishedCluster>& matches,
+    const geom::Sphere& query) {
+  std::unordered_map<int, double> scores;
+  for (const overlay::PublishedCluster& cluster : matches) {
+    const double fraction = ClusterCoverageFraction(dim, cluster, query);
+    if (fraction <= 0.0) continue;
+    scores[cluster.owner_peer] += fraction * cluster.items;
+  }
+  return scores;
+}
+
+std::vector<PeerScore> AggregateScores(
+    const std::vector<std::unordered_map<int, double>>& level_scores,
+    ScorePolicy policy) {
+  std::unordered_map<int, double> aggregated;
+  std::unordered_map<int, int> levels_present;
+  for (const auto& level : level_scores) {
+    for (const auto& [peer, score] : level) {
+      ++levels_present[peer];
+      auto [it, inserted] = aggregated.try_emplace(peer, score);
+      if (inserted) continue;
+      switch (policy) {
+        case ScorePolicy::kMin:
+          it->second = std::fmin(it->second, score);
+          break;
+        case ScorePolicy::kSum:
+          it->second += score;
+          break;
+        case ScorePolicy::kProduct:
+          it->second *= score;
+          break;
+      }
+    }
+  }
+  std::vector<PeerScore> out;
+  const int num_levels = static_cast<int>(level_scores.size());
+  for (const auto& [peer, score] : aggregated) {
+    // Min/product semantics: a level with no intersecting cluster is a zero
+    // score, which zeroes the aggregate and prunes the peer.
+    if (policy != ScorePolicy::kSum && levels_present[peer] < num_levels) continue;
+    if (score <= 0.0) continue;
+    out.push_back(PeerScore{peer, score});
+  }
+  std::sort(out.begin(), out.end(), [](const PeerScore& a, const PeerScore& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.peer < b.peer;
+  });
+  return out;
+}
+
+}  // namespace hyperm::core

@@ -1,0 +1,58 @@
+// Peer relevance scoring (Section 3.2).
+//
+// A peer's score at one wavelet level is the expected number of its items
+// inside the query sphere (Eq. 1):
+//
+//   Score_l = sum_c  Vol(sphere_c ∩ sphere_q) / Vol(sphere_c) * items_c
+//
+// Per-level scores are then aggregated across levels; the paper uses the
+// *minimum* score ("it has the desirable property of pruning many candidate
+// peers") and proves it yields no false dismissals for range queries. Sum
+// and product aggregation are provided for the ablation bench.
+
+#ifndef HYPERM_HYPERM_SCORE_H_
+#define HYPERM_HYPERM_SCORE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "geom/shapes.h"
+#include "overlay/overlay.h"
+
+namespace hyperm::core {
+
+/// How per-level scores combine into a global peer score.
+enum class ScorePolicy {
+  kMin,      ///< paper default; no false dismissals for range queries
+  kSum,      ///< optimistic; keeps peers visible at any level
+  kProduct,  ///< aggressive pruning; sensitive to near-zero levels
+};
+
+/// A peer and its aggregated relevance score.
+struct PeerScore {
+  int peer = -1;
+  double score = 0.0;
+};
+
+/// Eq. 1 coverage fraction for one published cluster against a query
+/// sphere, in a `dim`-dimensional level space. Point clusters (radius 0)
+/// count fully iff their centroid lies inside the query.
+double ClusterCoverageFraction(int dim, const overlay::PublishedCluster& cluster,
+                               const geom::Sphere& query);
+
+/// Per-peer Eq. 1 scores of one level's range-query matches.
+std::unordered_map<int, double> ComputeLevelScores(
+    int dim, const std::vector<overlay::PublishedCluster>& matches,
+    const geom::Sphere& query);
+
+/// Aggregates per-level score maps into a single descending-sorted list.
+/// With kMin/kProduct a peer missing from any level scores 0 and is dropped;
+/// with kSum it keeps the sum of the levels where it appears. Ties broken by
+/// peer id for determinism.
+std::vector<PeerScore> AggregateScores(
+    const std::vector<std::unordered_map<int, double>>& level_scores,
+    ScorePolicy policy);
+
+}  // namespace hyperm::core
+
+#endif  // HYPERM_HYPERM_SCORE_H_

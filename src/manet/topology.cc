@@ -1,0 +1,149 @@
+#include "manet/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "common/check.h"
+
+namespace hyperm::manet {
+namespace {
+
+// Hop distances from `start` by breadth-first search; -1 = unreachable.
+std::vector<int> BfsHops(const std::vector<std::vector<int>>& neighbors, int start) {
+  std::vector<int> hops(neighbors.size(), -1);
+  std::deque<int> frontier;
+  hops[static_cast<size_t>(start)] = 0;
+  frontier.push_back(start);
+  while (!frontier.empty()) {
+    const int node = frontier.front();
+    frontier.pop_front();
+    for (int next : neighbors[static_cast<size_t>(node)]) {
+      if (hops[static_cast<size_t>(next)] >= 0) continue;
+      hops[static_cast<size_t>(next)] = hops[static_cast<size_t>(node)] + 1;
+      frontier.push_back(next);
+    }
+  }
+  return hops;
+}
+
+}  // namespace
+
+Result<ManetTopology> ManetTopology::Generate(const TopologyOptions& options, Rng& rng) {
+  if (options.num_nodes < 1) {
+    return InvalidArgumentError("ManetTopology: num_nodes < 1");
+  }
+  if (options.field_size_m <= 0.0 || options.radio_range_m <= 0.0) {
+    return InvalidArgumentError("ManetTopology: non-positive geometry");
+  }
+  ManetTopology topology;
+  topology.options_ = options;
+  for (int attempt = 0; attempt < options.max_placement_attempts; ++attempt) {
+    topology.positions_.clear();
+    topology.waypoints_.clear();
+    for (int i = 0; i < options.num_nodes; ++i) {
+      topology.positions_.push_back(
+          {rng.Uniform(0.0, options.field_size_m), rng.Uniform(0.0, options.field_size_m)});
+      topology.waypoints_.push_back(
+          {rng.Uniform(0.0, options.field_size_m), rng.Uniform(0.0, options.field_size_m)});
+    }
+    topology.RebuildConnectivity();
+    if (topology.connected()) return topology;
+  }
+  return FailedPreconditionError(
+      "ManetTopology: no connected placement found (radio range too small?)");
+}
+
+void ManetTopology::RebuildConnectivity() {
+  const size_t n = positions_.size();
+  neighbors_.assign(n, {});
+  const double range_sq = options_.radio_range_m * options_.radio_range_m;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (vec::SquaredDistance(positions_[i], positions_[j]) <= range_sq) {
+        neighbors_[i].push_back(static_cast<int>(j));
+        neighbors_[j].push_back(static_cast<int>(i));
+      }
+    }
+  }
+}
+
+const Vector& ManetTopology::position(int node) const {
+  HM_CHECK_GE(node, 0);
+  HM_CHECK_LT(node, num_nodes());
+  return positions_[static_cast<size_t>(node)];
+}
+
+const std::vector<int>& ManetTopology::neighbors(int node) const {
+  HM_CHECK_GE(node, 0);
+  HM_CHECK_LT(node, num_nodes());
+  return neighbors_[static_cast<size_t>(node)];
+}
+
+int ManetTopology::PathHops(int from, int to) const {
+  HM_CHECK_GE(from, 0);
+  HM_CHECK_LT(from, num_nodes());
+  HM_CHECK_GE(to, 0);
+  HM_CHECK_LT(to, num_nodes());
+  if (from == to) return 0;
+  const std::vector<int> hops = BfsHops(neighbors_, from);
+  HM_CHECK_GE(hops[static_cast<size_t>(to)], 0) << "topology disconnected";
+  return hops[static_cast<size_t>(to)];
+}
+
+double ManetTopology::MeanPairwiseHops() const {
+  const int n = num_nodes();
+  if (n < 2) return 0.0;
+  double total = 0.0;
+  int pairs = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::vector<int> hops = BfsHops(neighbors_, i);
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      HM_CHECK_GE(hops[static_cast<size_t>(j)], 0) << "topology disconnected";
+      total += hops[static_cast<size_t>(j)];
+      ++pairs;
+    }
+  }
+  return total / pairs;
+}
+
+bool ManetTopology::connected() const {
+  if (positions_.empty()) return false;
+  const std::vector<int> hops = BfsHops(neighbors_, 0);
+  return std::all_of(hops.begin(), hops.end(), [](int h) { return h >= 0; });
+}
+
+double ManetTopology::MeanLinkDistanceM() const {
+  double total = 0.0;
+  int links = 0;
+  for (size_t i = 0; i < positions_.size(); ++i) {
+    for (int j : neighbors_[i]) {
+      if (static_cast<size_t>(j) <= i) continue;
+      total += vec::Distance(positions_[i], positions_[static_cast<size_t>(j)]);
+      ++links;
+    }
+  }
+  return links == 0 ? 0.0 : total / links;
+}
+
+void ManetTopology::RandomWaypointStep(double max_step_m, Rng& rng) {
+  HM_CHECK_GE(max_step_m, 0.0);
+  for (size_t i = 0; i < positions_.size(); ++i) {
+    Vector& pos = positions_[i];
+    Vector& target = waypoints_[i];
+    const double dist = vec::Distance(pos, target);
+    if (dist <= max_step_m) {
+      pos = target;
+      target = {rng.Uniform(0.0, options_.field_size_m),
+                rng.Uniform(0.0, options_.field_size_m)};
+      continue;
+    }
+    for (size_t d = 0; d < 2; ++d) {
+      pos[d] += (target[d] - pos[d]) / dist * max_step_m;
+    }
+  }
+  RebuildConnectivity();
+}
+
+}  // namespace hyperm::manet

@@ -1,0 +1,82 @@
+// Physical MANET topology underneath the overlay.
+//
+// The paper evaluates Hyper-M purely in overlay hops; its motivating
+// scenario, however, is a physical ad-hoc radio network (conference room,
+// train car) where one overlay hop between two arbitrary peers costs a
+// multi-hop radio path. This module supplies that missing substrate: node
+// placement in a field, unit-disk connectivity, shortest-path hop metrics
+// and random-waypoint mobility. Because CAN zone assignment is independent
+// of geography, overlay neighbours are uniform random node pairs physically,
+// so `MeanPairwiseHops()` is the exact expected physical cost of one overlay
+// hop — the conversion factor the energy benches use.
+
+#ifndef HYPERM_MANET_TOPOLOGY_H_
+#define HYPERM_MANET_TOPOLOGY_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "vec/vector.h"
+
+namespace hyperm::manet {
+
+/// Physical deployment parameters.
+struct TopologyOptions {
+  int num_nodes = 50;
+  double field_size_m = 200.0;   ///< square field side
+  double radio_range_m = 50.0;   ///< unit-disk radio range
+  int max_placement_attempts = 200;  ///< retries until a connected placement
+};
+
+/// A static snapshot of node positions with unit-disk connectivity.
+class ManetTopology {
+ public:
+  /// Samples uniform placements until the unit-disk graph is connected.
+  /// Returns FailedPrecondition if no connected placement is found within
+  /// the attempt budget (radio range too small for the field).
+  static Result<ManetTopology> Generate(const TopologyOptions& options, Rng& rng);
+
+  /// Number of nodes.
+  int num_nodes() const { return static_cast<int>(positions_.size()); }
+
+  /// Position of `node` (2-D, meters).
+  const Vector& position(int node) const;
+
+  /// Physical radio neighbours of `node` (within radio range).
+  const std::vector<int>& neighbors(int node) const;
+
+  /// Shortest-path hop count between two nodes (0 for a == b). Fatal if the
+  /// graph has been disconnected by mobility; check connected() first.
+  int PathHops(int from, int to) const;
+
+  /// Mean hop count over all ordered node pairs — the expected physical cost
+  /// of one overlay hop.
+  double MeanPairwiseHops() const;
+
+  /// True iff the connectivity graph is currently connected.
+  bool connected() const;
+
+  /// Mean Euclidean distance (m) of one radio transmission (adjacent pairs).
+  double MeanLinkDistanceM() const;
+
+  /// One random-waypoint mobility step: every node moves up to
+  /// `max_step_m` toward its private waypoint (re-drawn when reached), then
+  /// connectivity is recomputed. Low speeds model the paper's "limited
+  /// mobility" sessions.
+  void RandomWaypointStep(double max_step_m, Rng& rng);
+
+ private:
+  ManetTopology() = default;
+
+  void RebuildConnectivity();
+
+  TopologyOptions options_;
+  std::vector<Vector> positions_;   // 2-D points
+  std::vector<Vector> waypoints_;   // mobility targets
+  std::vector<std::vector<int>> neighbors_;
+};
+
+}  // namespace hyperm::manet
+
+#endif  // HYPERM_MANET_TOPOLOGY_H_

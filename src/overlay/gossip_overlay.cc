@@ -1,0 +1,135 @@
+#include "overlay/gossip_overlay.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace hyperm::overlay {
+namespace {
+
+constexpr uint64_t kQueryBytes = 48;  // header + sphere (small dims)
+
+}  // namespace
+
+Result<std::unique_ptr<GossipOverlay>> GossipOverlay::Build(size_t dim, int num_nodes,
+                                                            int degree, int ttl,
+                                                            sim::NetworkStats* stats,
+                                                            Rng& rng) {
+  if (dim < 1) return InvalidArgumentError("GossipOverlay: dim must be >= 1");
+  if (num_nodes < 1) return InvalidArgumentError("GossipOverlay: need >= 1 node");
+  if (degree < 2) return InvalidArgumentError("GossipOverlay: degree must be >= 2");
+  HM_CHECK(stats != nullptr);
+  std::unique_ptr<GossipOverlay> overlay(new GossipOverlay(dim, ttl, stats));
+  overlay->links_.resize(static_cast<size_t>(num_nodes));
+  overlay->stored_.resize(static_cast<size_t>(num_nodes));
+
+  auto linked = [&](NodeId a, NodeId b) {
+    const auto& list = overlay->links_[static_cast<size_t>(a)];
+    return std::find(list.begin(), list.end(), b) != list.end();
+  };
+  auto link = [&](NodeId a, NodeId b) {
+    if (a == b || linked(a, b)) return;
+    overlay->links_[static_cast<size_t>(a)].push_back(b);
+    overlay->links_[static_cast<size_t>(b)].push_back(a);
+    // Each new link is a handshake.
+    stats->RecordHop(sim::TrafficClass::kJoin, 32);
+  };
+
+  // Ring backbone guarantees connectivity; random chords provide the
+  // small-world shortcuts unstructured networks rely on.
+  for (int i = 0; i + 1 < num_nodes; ++i) link(i, i + 1);
+  if (num_nodes > 2) link(num_nodes - 1, 0);
+  for (int i = 0; i < num_nodes; ++i) {
+    while (static_cast<int>(overlay->links_[static_cast<size_t>(i)].size()) < degree &&
+           num_nodes > degree) {
+      link(i, static_cast<NodeId>(rng.NextIndex(static_cast<uint64_t>(num_nodes))));
+    }
+  }
+  return overlay;
+}
+
+Result<InsertReceipt> GossipOverlay::Insert(const PublishedCluster& cluster,
+                                            NodeId origin) {
+  if (cluster.sphere.center.size() != dim_) {
+    return InvalidArgumentError("GossipOverlay::Insert: dimensionality mismatch");
+  }
+  if (origin < 0 || origin >= num_nodes()) {
+    return InvalidArgumentError("GossipOverlay::Insert: bad origin");
+  }
+  // No key space: the summary simply stays with its publisher. That is the
+  // whole attraction of unstructured overlays (publication is free)...
+  stored_[static_cast<size_t>(origin)].push_back(cluster);
+  return InsertReceipt{};
+}
+
+Result<RangeQueryResult> GossipOverlay::RangeQuery(const geom::Sphere& query,
+                                                   NodeId origin) {
+  if (query.center.size() != dim_) {
+    return InvalidArgumentError("GossipOverlay::RangeQuery: dimensionality mismatch");
+  }
+  if (origin < 0 || origin >= num_nodes()) {
+    return InvalidArgumentError("GossipOverlay::RangeQuery: bad origin");
+  }
+  // ...and this is the price: queries must flood blindly.
+  RangeQueryResult result;
+  std::unordered_set<NodeId> visited{origin};
+  std::unordered_set<uint64_t> seen;
+  std::deque<std::pair<NodeId, int>> frontier{{origin, 0}};
+  while (!frontier.empty()) {
+    const auto [node, depth] = frontier.front();
+    frontier.pop_front();
+    ++result.nodes_visited;
+    for (const PublishedCluster& cluster : stored_[static_cast<size_t>(node)]) {
+      if (!cluster.sphere.Intersects(query)) continue;
+      if (!seen.insert(cluster.cluster_id).second) continue;
+      result.matches.push_back(cluster);
+    }
+    if (ttl_ >= 0 && depth >= ttl_) continue;
+    for (NodeId next : links_[static_cast<size_t>(node)]) {
+      if (!visited.insert(next).second) continue;
+      frontier.emplace_back(next, depth + 1);
+      ++result.flood_hops;
+      stats_->RecordHop(sim::TrafficClass::kQuery, kQueryBytes);
+    }
+  }
+  return result;
+}
+
+std::vector<NodeStorage> GossipOverlay::StorageDistribution() const {
+  std::vector<NodeStorage> out;
+  out.reserve(stored_.size());
+  for (size_t i = 0; i < stored_.size(); ++i) {
+    NodeStorage s;
+    s.node = static_cast<NodeId>(i);
+    s.clusters = static_cast<int>(stored_[i].size());
+    for (const PublishedCluster& c : stored_[i]) s.items += c.items;
+    out.push_back(s);
+  }
+  return out;
+}
+
+void GossipOverlay::ClearStorage() {
+  for (auto& bucket : stored_) bucket.clear();
+}
+
+int GossipOverlay::RemoveByOwner(int owner_peer) {
+  int removed = 0;
+  for (auto& bucket : stored_) {
+    const auto end = std::remove_if(
+        bucket.begin(), bucket.end(),
+        [owner_peer](const PublishedCluster& c) { return c.owner_peer == owner_peer; });
+    removed += static_cast<int>(std::distance(end, bucket.end()));
+    bucket.erase(end, bucket.end());
+  }
+  return removed;
+}
+
+const std::vector<NodeId>& GossipOverlay::links(NodeId node) const {
+  HM_CHECK_GE(node, 0);
+  HM_CHECK_LT(node, num_nodes());
+  return links_[static_cast<size_t>(node)];
+}
+
+}  // namespace hyperm::overlay

@@ -1,0 +1,68 @@
+// An unstructured (Gnutella-style) overlay baseline.
+//
+// Hyper-M is built for *structured* overlays, but its home platform
+// (BestPeer, Section 2) "can switch smoothly between structured and
+// unstructured overlay". This implementation makes the comparison concrete:
+// peers form a random k-regular-ish graph, publication is free (summaries
+// stay at their publisher — there is no key space), and queries flood the
+// neighbourhood with a TTL. The trade-off it exposes in the ablation bench:
+// zero insertion hops against query cost that grows with the flood horizon,
+// and *no* completeness guarantee — a TTL too small for the graph's
+// diameter silently loses answers, which is exactly why the paper builds on
+// structured overlays.
+
+#ifndef HYPERM_OVERLAY_GOSSIP_OVERLAY_H_
+#define HYPERM_OVERLAY_GOSSIP_OVERLAY_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "overlay/overlay.h"
+#include "sim/stats.h"
+
+namespace hyperm::overlay {
+
+/// Unstructured flooding overlay; see file comment.
+class GossipOverlay : public Overlay {
+ public:
+  /// Builds a connected random graph of `num_nodes` nodes with ~`degree`
+  /// links each (a ring backbone plus random chords, the standard connected
+  /// construction). `ttl` bounds query floods; a negative ttl means
+  /// unbounded (full network flood).
+  static Result<std::unique_ptr<GossipOverlay>> Build(size_t dim, int num_nodes,
+                                                      int degree, int ttl,
+                                                      sim::NetworkStats* stats,
+                                                      Rng& rng);
+
+  size_t dim() const override { return dim_; }
+  int num_nodes() const override { return static_cast<int>(links_.size()); }
+  Result<InsertReceipt> Insert(const PublishedCluster& cluster, NodeId origin) override;
+  Result<RangeQueryResult> RangeQuery(const geom::Sphere& query, NodeId origin) override;
+  std::vector<NodeStorage> StorageDistribution() const override;
+  void ClearStorage() override;
+  int RemoveByOwner(int owner_peer) override;
+  /// No key space, no zones: replication is meaningless here (no-op).
+  void set_replicate_spheres(bool /*enabled*/) override {}
+
+  /// The flood TTL in use (-1 = unbounded).
+  int ttl() const { return ttl_; }
+
+  /// Physical links of `node`.
+  const std::vector<NodeId>& links(NodeId node) const;
+
+ private:
+  GossipOverlay(size_t dim, int ttl, sim::NetworkStats* stats)
+      : dim_(dim), ttl_(ttl), stats_(stats) {}
+
+  size_t dim_;
+  int ttl_;
+  sim::NetworkStats* stats_;  // not owned
+  std::vector<std::vector<NodeId>> links_;
+  std::vector<std::vector<PublishedCluster>> stored_;
+};
+
+}  // namespace hyperm::overlay
+
+#endif  // HYPERM_OVERLAY_GOSSIP_OVERLAY_H_

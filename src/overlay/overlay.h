@@ -1,0 +1,107 @@
+// Overlay-agnostic indexing interface.
+//
+// Hyper-M "has been designed independent of the underlying peer-to-peer
+// overlays ... so long as they can support multi-dimensional indexing"
+// (Section 5). This interface is that seam: the core publishes cluster
+// spheres into, and range-queries against, any `Overlay` implementation.
+// CAN (src/can) is the paper's evaluation overlay; RingOverlay (this module)
+// is a 1-dimensional Chord-style alternative used in ablations.
+//
+// Key-space convention: every overlay indexes the half-open unit cube
+// [0,1)^dim. The caller (hyperm core) maps wavelet coordinates into this
+// cube with a *uniform* per-level scale so spheres stay spheres and volume
+// *fractions* — all the scoring math needs — are preserved exactly.
+
+#ifndef HYPERM_OVERLAY_OVERLAY_H_
+#define HYPERM_OVERLAY_OVERLAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "geom/shapes.h"
+#include "sim/stats.h"
+
+namespace hyperm::overlay {
+
+/// Overlay node handle (index into the overlay's node table).
+using NodeId = int;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// A cluster summary as published into an overlay: its sphere in the
+/// normalized key space plus enough metadata to score and fetch from the
+/// owning application peer.
+struct PublishedCluster {
+  geom::Sphere sphere;      ///< centroid + radius in [0,1)^dim key space
+  int owner_peer = -1;      ///< application peer holding the summarized items
+  int items = 0;            ///< number of items the cluster summarizes
+  uint64_t cluster_id = 0;  ///< globally unique id (dedupes replicas)
+};
+
+/// Cost receipt for one publication.
+struct InsertReceipt {
+  int routing_hops = 0;  ///< greedy hops from origin to the centroid owner
+  int replicas = 0;      ///< additional zones the sphere was replicated into
+};
+
+/// Result of a range query.
+struct RangeQueryResult {
+  std::vector<PublishedCluster> matches;  ///< deduplicated intersecting clusters
+  int routing_hops = 0;                   ///< hops to reach the query center owner
+  int flood_hops = 0;                     ///< zone-flood edges traversed
+  int nodes_visited = 0;                  ///< overlay nodes that evaluated the query
+};
+
+/// Per-node storage snapshot (drives the Fig. 9 distribution analysis).
+struct NodeStorage {
+  NodeId node = kInvalidNode;
+  int clusters = 0;  ///< replicas count individually
+  int items = 0;     ///< sum of items over stored clusters (with replicas)
+};
+
+/// A structured P2P overlay indexing the unit cube.
+///
+/// Implementations record their traffic in the NetworkStats passed at
+/// construction; all operations are deterministic given the build RNG.
+class Overlay {
+ public:
+  virtual ~Overlay() = default;
+
+  /// Key-space dimensionality.
+  virtual size_t dim() const = 0;
+
+  /// Number of nodes in the overlay.
+  virtual int num_nodes() const = 0;
+
+  /// Publishes `cluster` starting from node `origin`. The sphere is stored
+  /// at the zone owning its centroid and replicated into every other zone it
+  /// overlaps (Fig. 6: otherwise queries landing in a neighbouring zone
+  /// would miss it).
+  virtual Result<InsertReceipt> Insert(const PublishedCluster& cluster, NodeId origin) = 0;
+
+  /// Returns all stored clusters whose sphere intersects `query`, flooding
+  /// outward from the zone owning the query center.
+  virtual Result<RangeQueryResult> RangeQuery(const geom::Sphere& query,
+                                              NodeId origin) = 0;
+
+  /// Current storage load of every node.
+  virtual std::vector<NodeStorage> StorageDistribution() const = 0;
+
+  /// Removes all stored clusters (keeps the topology).
+  virtual void ClearStorage() = 0;
+
+  /// Removes every stored cluster published by `owner_peer` (replicas
+  /// included); returns the number of stored entries erased. Supports
+  /// re-publication after a peer's local collection changed.
+  virtual int RemoveByOwner(int owner_peer) = 0;
+
+  /// Enables/disables sphere replication into overlapping zones. ON by
+  /// default; turning it OFF recreates the Fig. 6 failure mode (queries
+  /// landing in a neighbouring zone miss border-straddling clusters) and
+  /// exists for the replication ablation bench.
+  virtual void set_replicate_spheres(bool enabled) = 0;
+};
+
+}  // namespace hyperm::overlay
+
+#endif  // HYPERM_OVERLAY_OVERLAY_H_

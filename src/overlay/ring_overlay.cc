@@ -1,0 +1,203 @@
+#include "overlay/ring_overlay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace hyperm::overlay {
+namespace {
+
+constexpr uint64_t kKeyBytes = 24;       // header + scalar key
+constexpr uint64_t kClusterBytes = 56;   // header + sphere + metadata
+
+double ClampKey(double x) {
+  return std::clamp(x, 0.0, std::nextafter(1.0, 0.0));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<RingOverlay>> RingOverlay::Build(int num_nodes,
+                                                        sim::NetworkStats* stats,
+                                                        Rng& rng) {
+  if (num_nodes < 1) return InvalidArgumentError("RingOverlay: need >= 1 node");
+  HM_CHECK(stats != nullptr);
+  std::unique_ptr<RingOverlay> ring(new RingOverlay(stats));
+  ring->arc_start_.push_back(0.0);
+  for (int i = 1; i < num_nodes; ++i) {
+    // Join: route to the owner of a random key, split its arc in half.
+    const double point = rng.NextDouble();
+    ring->BuildFingers();
+    int hops = 0;
+    const NodeId bootstrap = static_cast<NodeId>(rng.NextIndex(ring->arc_start_.size()));
+    const NodeId owner =
+        ring->RouteTo(point, bootstrap, sim::TrafficClass::kJoin, kKeyBytes, &hops);
+    const size_t idx = static_cast<size_t>(owner);
+    const double lo = ring->arc_start_[idx];
+    const double hi =
+        idx + 1 < ring->arc_start_.size() ? ring->arc_start_[idx + 1] : 1.0;
+    const double mid = 0.5 * (lo + hi);
+    ring->arc_start_.insert(ring->arc_start_.begin() + static_cast<long>(idx) + 1, mid);
+    // Split handshake.
+    stats->RecordHop(sim::TrafficClass::kJoin, kClusterBytes);
+  }
+  ring->stored_.assign(ring->arc_start_.size(), {});
+  ring->BuildFingers();
+  return ring;
+}
+
+void RingOverlay::BuildFingers() {
+  const int n = static_cast<int>(arc_start_.size());
+  fingers_.assign(static_cast<size_t>(n), {});
+  for (int i = 0; i < n; ++i) {
+    auto& f = fingers_[static_cast<size_t>(i)];
+    // Successor and predecessor in ring order.
+    f.push_back((i + 1) % n);
+    f.push_back((i + n - 1) % n);
+    // Fingers at key offsets 1/2, 1/4, ... around the ring.
+    const double start = arc_start_[static_cast<size_t>(i)];
+    for (double offset = 0.5; offset > 1.0 / (2.0 * n); offset *= 0.5) {
+      double key = start + offset;
+      if (key >= 1.0) key -= 1.0;
+      const NodeId target = OwnerOf(key);
+      if (target != static_cast<NodeId>(i)) f.push_back(target);
+    }
+    std::sort(f.begin(), f.end());
+    f.erase(std::unique(f.begin(), f.end()), f.end());
+  }
+}
+
+NodeId RingOverlay::OwnerOf(double x) const {
+  const double key = ClampKey(x);
+  // arc_start_ is sorted; the owner is the last start <= key.
+  auto it = std::upper_bound(arc_start_.begin(), arc_start_.end(), key);
+  HM_CHECK(it != arc_start_.begin());
+  return static_cast<NodeId>(std::distance(arc_start_.begin(), it) - 1);
+}
+
+NodeId RingOverlay::RouteTo(double x, NodeId origin, sim::TrafficClass cls,
+                            uint64_t bytes, int* hops) {
+  const double key = ClampKey(x);
+  const int n = static_cast<int>(arc_start_.size());
+  auto ring_distance = [&](NodeId node) {
+    // Clockwise distance from the node's arc start to the key.
+    double d = key - arc_start_[static_cast<size_t>(node)];
+    if (d < 0.0) d += 1.0;
+    return d;
+  };
+  NodeId current = origin;
+  const NodeId target = OwnerOf(key);
+  int ttl = 4 * n + 16;
+  while (current != target) {
+    HM_CHECK_GT(ttl--, 0) << "RingOverlay routing TTL exceeded";
+    // Forward to the finger minimizing the remaining clockwise distance
+    // without overshooting (classic Chord rule); predecessor link covers the
+    // rare wrap case.
+    NodeId best = fingers_[static_cast<size_t>(current)].front();
+    double best_d = ring_distance(best);
+    for (NodeId f : fingers_[static_cast<size_t>(current)]) {
+      const double d = ring_distance(f);
+      if (d < best_d) {
+        best_d = d;
+        best = f;
+      }
+    }
+    current = best;
+    ++(*hops);
+    stats_->RecordHop(cls, bytes);
+  }
+  return current;
+}
+
+Result<InsertReceipt> RingOverlay::Insert(const PublishedCluster& cluster,
+                                          NodeId origin) {
+  if (cluster.sphere.center.size() != 1) {
+    return InvalidArgumentError("RingOverlay::Insert: dim must be 1");
+  }
+  if (origin < 0 || origin >= num_nodes()) {
+    return InvalidArgumentError("RingOverlay::Insert: bad origin");
+  }
+  InsertReceipt receipt;
+  const double center = cluster.sphere.center[0];
+  const NodeId owner = RouteTo(center, origin, sim::TrafficClass::kInsert,
+                               kClusterBytes, &receipt.routing_hops);
+  stored_[static_cast<size_t>(owner)].push_back(cluster);
+  if (!replicate_spheres_) return receipt;
+  // Replicate along successor/predecessor links over the covered interval
+  // [center - r, center + r] clipped to [0,1).
+  const double lo = std::max(0.0, center - cluster.sphere.radius);
+  const double hi = std::min(std::nextafter(1.0, 0.0), center + cluster.sphere.radius);
+  const NodeId first = OwnerOf(lo);
+  const NodeId last = OwnerOf(hi);
+  for (NodeId node = first; node <= last; ++node) {
+    if (node == owner) continue;
+    stored_[static_cast<size_t>(node)].push_back(cluster);
+    ++receipt.replicas;
+    stats_->RecordHop(sim::TrafficClass::kReplicate, kClusterBytes);
+  }
+  return receipt;
+}
+
+Result<RangeQueryResult> RingOverlay::RangeQuery(const geom::Sphere& query,
+                                                 NodeId origin) {
+  if (query.center.size() != 1) {
+    return InvalidArgumentError("RingOverlay::RangeQuery: dim must be 1");
+  }
+  if (origin < 0 || origin >= num_nodes()) {
+    return InvalidArgumentError("RingOverlay::RangeQuery: bad origin");
+  }
+  RangeQueryResult result;
+  const double center = query.center[0];
+  const NodeId entry = RouteTo(center, origin, sim::TrafficClass::kQuery, kKeyBytes,
+                               &result.routing_hops);
+  const double lo = std::max(0.0, center - query.radius);
+  const double hi = std::min(std::nextafter(1.0, 0.0), center + query.radius);
+  const NodeId first = OwnerOf(lo);
+  const NodeId last = OwnerOf(hi);
+  std::unordered_set<uint64_t> seen;
+  for (NodeId node = first; node <= last; ++node) {
+    ++result.nodes_visited;
+    if (node != entry) {
+      ++result.flood_hops;
+      stats_->RecordHop(sim::TrafficClass::kQuery, kKeyBytes);
+    }
+    for (const PublishedCluster& cluster : stored_[static_cast<size_t>(node)]) {
+      if (!cluster.sphere.Intersects(query)) continue;
+      if (!seen.insert(cluster.cluster_id).second) continue;
+      result.matches.push_back(cluster);
+    }
+  }
+  return result;
+}
+
+std::vector<NodeStorage> RingOverlay::StorageDistribution() const {
+  std::vector<NodeStorage> out;
+  out.reserve(stored_.size());
+  for (size_t i = 0; i < stored_.size(); ++i) {
+    NodeStorage s;
+    s.node = static_cast<NodeId>(i);
+    s.clusters = static_cast<int>(stored_[i].size());
+    for (const PublishedCluster& c : stored_[i]) s.items += c.items;
+    out.push_back(s);
+  }
+  return out;
+}
+
+void RingOverlay::ClearStorage() {
+  for (auto& bucket : stored_) bucket.clear();
+}
+
+int RingOverlay::RemoveByOwner(int owner_peer) {
+  int removed = 0;
+  for (auto& bucket : stored_) {
+    const auto end = std::remove_if(
+        bucket.begin(), bucket.end(),
+        [owner_peer](const PublishedCluster& c) { return c.owner_peer == owner_peer; });
+    removed += static_cast<int>(std::distance(end, bucket.end()));
+    bucket.erase(end, bucket.end());
+  }
+  return removed;
+}
+
+}  // namespace hyperm::overlay

@@ -1,0 +1,70 @@
+// A 1-dimensional Chord-style ring overlay.
+//
+// Hyper-M's approximation level A and detail level D_0 are 1-dimensional,
+// so a plain ring with finger tables indexes them just as well as a 1-D CAN.
+// This implementation exists to demonstrate the paper's claim that Hyper-M
+// is overlay-agnostic (Section 5) and backs the overlay-choice ablation.
+//
+// Nodes own half-open arcs of [0,1). Routing uses successor links plus
+// power-of-two fingers (O(log N) hops); interval queries walk successor
+// links across the covered arcs.
+
+#ifndef HYPERM_OVERLAY_RING_OVERLAY_H_
+#define HYPERM_OVERLAY_RING_OVERLAY_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "overlay/overlay.h"
+#include "sim/stats.h"
+
+namespace hyperm::overlay {
+
+/// Chord-like ring over [0,1). See file comment.
+class RingOverlay : public Overlay {
+ public:
+  /// Builds a ring of `num_nodes` nodes with arc boundaries drawn from `rng`
+  /// via the same split-on-join process CAN uses in one dimension. Join
+  /// traffic is recorded under TrafficClass::kJoin.
+  static Result<std::unique_ptr<RingOverlay>> Build(int num_nodes,
+                                                    sim::NetworkStats* stats, Rng& rng);
+
+  size_t dim() const override { return 1; }
+  int num_nodes() const override { return static_cast<int>(arc_start_.size()); }
+  Result<InsertReceipt> Insert(const PublishedCluster& cluster, NodeId origin) override;
+  Result<RangeQueryResult> RangeQuery(const geom::Sphere& query, NodeId origin) override;
+  std::vector<NodeStorage> StorageDistribution() const override;
+  void ClearStorage() override;
+  int RemoveByOwner(int owner_peer) override;
+  void set_replicate_spheres(bool enabled) override { replicate_spheres_ = enabled; }
+
+  /// Owner of scalar key `x` (clamped into [0,1)).
+  NodeId OwnerOf(double x) const;
+
+  /// Start of the arc owned by ring-position `node`.
+  double arc_start(NodeId node) const { return arc_start_[static_cast<size_t>(node)]; }
+
+ private:
+  explicit RingOverlay(sim::NetworkStats* stats) : stats_(stats) {}
+
+  void BuildFingers();
+
+  /// Greedy finger routing from `origin` to the owner of `x`; one recorded
+  /// hop per forward.
+  NodeId RouteTo(double x, NodeId origin, sim::TrafficClass cls, uint64_t bytes,
+                 int* hops);
+
+  // Node i (in ring order) owns [arc_start_[i], arc_start_[i+1]) with the
+  // last node owning up to 1.0.
+  std::vector<double> arc_start_;                 // sorted, arc_start_[0] == 0
+  std::vector<std::vector<NodeId>> fingers_;      // per node: successor + 2^-j jumps
+  std::vector<std::vector<PublishedCluster>> stored_;
+  sim::NetworkStats* stats_;  // not owned
+  bool replicate_spheres_ = true;
+};
+
+}  // namespace hyperm::overlay
+
+#endif  // HYPERM_OVERLAY_RING_OVERLAY_H_

@@ -1,0 +1,39 @@
+#include "overlay/storage_metrics.h"
+
+#include <algorithm>
+
+namespace hyperm::overlay {
+
+double GiniCoefficient(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  double cumulative = 0.0;
+  double weighted = 0.0;
+  const double n = static_cast<double>(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    cumulative += values[i];
+    weighted += (2.0 * (static_cast<double>(i) + 1.0) - n - 1.0) * values[i];
+  }
+  if (cumulative <= 0.0) return 0.0;
+  return weighted / (n * cumulative);
+}
+
+LoadSummary SummarizeLoad(const std::vector<NodeStorage>& storage) {
+  LoadSummary summary;
+  summary.nodes = static_cast<int>(storage.size());
+  std::vector<double> items;
+  items.reserve(storage.size());
+  for (const NodeStorage& s : storage) {
+    items.push_back(static_cast<double>(s.items));
+    if (s.items > 0) {
+      ++summary.holders;
+      summary.mean_items_on_holders += s.items;
+      summary.max_items = std::max(summary.max_items, s.items);
+    }
+  }
+  if (summary.holders > 0) summary.mean_items_on_holders /= summary.holders;
+  summary.gini = GiniCoefficient(std::move(items));
+  return summary;
+}
+
+}  // namespace hyperm::overlay

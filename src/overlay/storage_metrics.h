@@ -1,0 +1,35 @@
+// Load-distribution metrics over per-node storage snapshots (Section 5.3).
+//
+// The paper's Fig. 9 argues that the orthogonality of the wavelet subspaces
+// spreads data across the network without explicit balancing. These metrics
+// quantify a snapshot: how many nodes hold data, how concentrated the load
+// is (Gini), and the extremes.
+
+#ifndef HYPERM_OVERLAY_STORAGE_METRICS_H_
+#define HYPERM_OVERLAY_STORAGE_METRICS_H_
+
+#include <vector>
+
+#include "overlay/overlay.h"
+
+namespace hyperm::overlay {
+
+/// Summary of one StorageDistribution snapshot (item counts).
+struct LoadSummary {
+  int nodes = 0;               ///< nodes in the snapshot
+  int holders = 0;             ///< nodes with at least one item
+  int max_items = 0;           ///< heaviest node
+  double mean_items_on_holders = 0.0;
+  double gini = 0.0;           ///< 0 = perfectly even, -> 1 = one node has all
+};
+
+/// Computes the summary of `storage` (item counts; replicas included).
+LoadSummary SummarizeLoad(const std::vector<NodeStorage>& storage);
+
+/// Gini coefficient of arbitrary non-negative values (0 when empty or all
+/// zero).
+double GiniCoefficient(std::vector<double> values);
+
+}  // namespace hyperm::overlay
+
+#endif  // HYPERM_OVERLAY_STORAGE_METRICS_H_

@@ -1,0 +1,272 @@
+#include "overlay/tree_overlay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace hyperm::overlay {
+
+Result<std::unique_ptr<TreeOverlay>> TreeOverlay::Build(size_t dim, int num_nodes,
+                                                        sim::NetworkStats* stats,
+                                                        Rng& rng) {
+  if (dim < 1) return InvalidArgumentError("TreeOverlay: dim must be >= 1");
+  if (num_nodes < 1) return InvalidArgumentError("TreeOverlay: need >= 1 node");
+  HM_CHECK(stats != nullptr);
+  std::unique_ptr<TreeOverlay> overlay(new TreeOverlay(dim, stats));
+
+  TreeNode root;
+  root.box.lo.assign(dim, 0.0);
+  root.box.hi.assign(dim, 1.0);
+  overlay->tree_.push_back(root);
+
+  // Grow to num_nodes leaves by splitting a shallowest leaf each round
+  // (keeps the tree balanced); the split dimension cycles with depth.
+  std::vector<int> leaves{0};
+  while (static_cast<int>(leaves.size()) < num_nodes) {
+    // Shallowest leaf; ties broken by insertion order for determinism.
+    size_t pick = 0;
+    for (size_t i = 1; i < leaves.size(); ++i) {
+      if (overlay->tree_[static_cast<size_t>(leaves[i])].depth <
+          overlay->tree_[static_cast<size_t>(leaves[pick])].depth) {
+        pick = i;
+      }
+    }
+    const int parent_index = leaves[pick];
+    leaves.erase(leaves.begin() + static_cast<long>(pick));
+
+    TreeNode parent_copy = overlay->tree_[static_cast<size_t>(parent_index)];
+    const size_t split_dim = static_cast<size_t>(parent_copy.depth) % dim;
+    const double mid =
+        0.5 * (parent_copy.box.lo[split_dim] + parent_copy.box.hi[split_dim]);
+
+    TreeNode left = parent_copy;
+    left.parent = parent_index;
+    left.depth = parent_copy.depth + 1;
+    left.box.hi[split_dim] = mid;
+    TreeNode right = parent_copy;
+    right.parent = parent_index;
+    right.depth = parent_copy.depth + 1;
+    right.box.lo[split_dim] = mid;
+
+    const int left_index = static_cast<int>(overlay->tree_.size());
+    overlay->tree_.push_back(left);
+    const int right_index = static_cast<int>(overlay->tree_.size());
+    overlay->tree_.push_back(right);
+    overlay->tree_[static_cast<size_t>(parent_index)].left = left_index;
+    overlay->tree_[static_cast<size_t>(parent_index)].right = right_index;
+    leaves.push_back(left_index);
+    leaves.push_back(right_index);
+    // Split handshake between the splitting peer and the newcomer.
+    stats->RecordHop(sim::TrafficClass::kJoin, overlay->ClusterMessageBytes());
+  }
+
+  // Assign leaves to overlay nodes in random order (peers arrive in an
+  // arbitrary sequence).
+  rng.Shuffle(leaves);
+  overlay->leaf_of_node_.resize(leaves.size());
+  overlay->stored_.resize(leaves.size());
+  for (size_t node = 0; node < leaves.size(); ++node) {
+    overlay->leaf_of_node_[node] = leaves[node];
+    overlay->tree_[static_cast<size_t>(leaves[node])].owner = static_cast<NodeId>(node);
+  }
+  return overlay;
+}
+
+int TreeOverlay::LeafIndexOf(const Vector& key) const {
+  HM_CHECK_EQ(key.size(), dim_);
+  Vector clamped = key;
+  const double max_key = std::nextafter(1.0, 0.0);
+  for (double& x : clamped) x = std::clamp(x, 0.0, max_key);
+  int index = 0;
+  while (tree_[static_cast<size_t>(index)].left >= 0) {
+    const TreeNode& node = tree_[static_cast<size_t>(index)];
+    index = tree_[static_cast<size_t>(node.left)].box.ContainsHalfOpen(clamped)
+                ? node.left
+                : node.right;
+  }
+  return index;
+}
+
+NodeId TreeOverlay::OwnerOf(const Vector& key) const {
+  return tree_[static_cast<size_t>(LeafIndexOf(key))].owner;
+}
+
+const geom::Box& TreeOverlay::region(NodeId node) const {
+  HM_CHECK_GE(node, 0);
+  HM_CHECK_LT(node, num_nodes());
+  return tree_[static_cast<size_t>(leaf_of_node_[static_cast<size_t>(node)])].box;
+}
+
+int TreeOverlay::depth(NodeId node) const {
+  HM_CHECK_GE(node, 0);
+  HM_CHECK_LT(node, num_nodes());
+  return tree_[static_cast<size_t>(leaf_of_node_[static_cast<size_t>(node)])].depth;
+}
+
+void TreeOverlay::Charge(sim::TrafficClass cls, int hops, uint64_t bytes) {
+  for (int i = 0; i < hops; ++i) stats_->RecordHop(cls, bytes);
+}
+
+int TreeOverlay::TreeDistance(int leaf_a, int leaf_b) const {
+  int a = leaf_a, b = leaf_b;
+  int distance = 0;
+  while (a != b) {
+    const int depth_a = tree_[static_cast<size_t>(a)].depth;
+    const int depth_b = tree_[static_cast<size_t>(b)].depth;
+    if (depth_a >= depth_b) {
+      a = tree_[static_cast<size_t>(a)].parent;
+    } else {
+      b = tree_[static_cast<size_t>(b)].parent;
+    }
+    ++distance;
+  }
+  return distance;
+}
+
+std::vector<int> TreeOverlay::CollectOverlappingLeaves(const geom::Sphere& sphere,
+                                                       int entry_leaf,
+                                                       int* edges) const {
+  // Ascend from the entry leaf to the lowest ancestor whose box contains the
+  // whole overlap region (conservatively: the lowest ancestor that the
+  // sphere does not escape, or the root).
+  int cover = entry_leaf;
+  int ascent = 0;
+  while (tree_[static_cast<size_t>(cover)].parent >= 0) {
+    const geom::Box& box = tree_[static_cast<size_t>(cover)].box;
+    // The box covers the query iff no point of the sphere lies outside it;
+    // approximate with the bounding check center +- radius inside box.
+    bool covers = true;
+    for (size_t i = 0; i < dim_ && covers; ++i) {
+      const double c = sphere.center[i];
+      if (c - sphere.radius < box.lo[i] || c + sphere.radius > box.hi[i]) {
+        covers = false;
+      }
+    }
+    if (covers) break;
+    cover = tree_[static_cast<size_t>(cover)].parent;
+    ++ascent;
+  }
+
+  // Pruned descent from the covering ancestor.
+  std::vector<int> overlapping;
+  int descent_edges = 0;
+  std::deque<int> frontier{cover};
+  while (!frontier.empty()) {
+    const int index = frontier.front();
+    frontier.pop_front();
+    const TreeNode& node = tree_[static_cast<size_t>(index)];
+    if (!node.box.IntersectsSphere(sphere)) continue;
+    if (node.left < 0) {
+      overlapping.push_back(index);
+      continue;
+    }
+    frontier.push_back(node.left);
+    frontier.push_back(node.right);
+    descent_edges += 2;
+  }
+  if (edges != nullptr) *edges = ascent + descent_edges;
+  return overlapping;
+}
+
+Result<InsertReceipt> TreeOverlay::Insert(const PublishedCluster& cluster,
+                                          NodeId origin) {
+  if (cluster.sphere.center.size() != dim_) {
+    return InvalidArgumentError("TreeOverlay::Insert: dimensionality mismatch");
+  }
+  if (cluster.sphere.radius < 0.0) {
+    return InvalidArgumentError("TreeOverlay::Insert: negative radius");
+  }
+  if (origin < 0 || origin >= num_nodes()) {
+    return InvalidArgumentError("TreeOverlay::Insert: bad origin");
+  }
+  InsertReceipt receipt;
+  const int origin_leaf = leaf_of_node_[static_cast<size_t>(origin)];
+  const int target_leaf = LeafIndexOf(cluster.sphere.center);
+  receipt.routing_hops = TreeDistance(origin_leaf, target_leaf);
+  Charge(sim::TrafficClass::kInsert, receipt.routing_hops, ClusterMessageBytes());
+
+  const NodeId target = tree_[static_cast<size_t>(target_leaf)].owner;
+  stored_[static_cast<size_t>(target)].push_back(cluster);
+  if (!replicate_spheres_) return receipt;
+
+  int edges = 0;
+  const std::vector<int> leaves =
+      CollectOverlappingLeaves(cluster.sphere, target_leaf, &edges);
+  for (int leaf : leaves) {
+    const NodeId owner = tree_[static_cast<size_t>(leaf)].owner;
+    if (owner == target) continue;
+    stored_[static_cast<size_t>(owner)].push_back(cluster);
+    ++receipt.replicas;
+  }
+  Charge(sim::TrafficClass::kReplicate, edges, ClusterMessageBytes());
+  return receipt;
+}
+
+Result<RangeQueryResult> TreeOverlay::RangeQuery(const geom::Sphere& query,
+                                                 NodeId origin) {
+  if (query.center.size() != dim_) {
+    return InvalidArgumentError("TreeOverlay::RangeQuery: dimensionality mismatch");
+  }
+  if (query.radius < 0.0) {
+    return InvalidArgumentError("TreeOverlay::RangeQuery: negative radius");
+  }
+  if (origin < 0 || origin >= num_nodes()) {
+    return InvalidArgumentError("TreeOverlay::RangeQuery: bad origin");
+  }
+  RangeQueryResult result;
+  const int origin_leaf = leaf_of_node_[static_cast<size_t>(origin)];
+  const int entry_leaf = LeafIndexOf(query.center);
+  result.routing_hops = TreeDistance(origin_leaf, entry_leaf);
+  Charge(sim::TrafficClass::kQuery, result.routing_hops, KeyMessageBytes());
+
+  int edges = 0;
+  const std::vector<int> leaves = CollectOverlappingLeaves(query, entry_leaf, &edges);
+  result.flood_hops = edges;
+  Charge(sim::TrafficClass::kQuery, edges, KeyMessageBytes());
+
+  std::unordered_set<uint64_t> seen;
+  for (int leaf : leaves) {
+    const NodeId owner = tree_[static_cast<size_t>(leaf)].owner;
+    ++result.nodes_visited;
+    for (const PublishedCluster& cluster : stored_[static_cast<size_t>(owner)]) {
+      if (!cluster.sphere.Intersects(query)) continue;
+      if (!seen.insert(cluster.cluster_id).second) continue;
+      result.matches.push_back(cluster);
+    }
+  }
+  return result;
+}
+
+std::vector<NodeStorage> TreeOverlay::StorageDistribution() const {
+  std::vector<NodeStorage> out;
+  out.reserve(stored_.size());
+  for (size_t i = 0; i < stored_.size(); ++i) {
+    NodeStorage s;
+    s.node = static_cast<NodeId>(i);
+    s.clusters = static_cast<int>(stored_[i].size());
+    for (const PublishedCluster& c : stored_[i]) s.items += c.items;
+    out.push_back(s);
+  }
+  return out;
+}
+
+void TreeOverlay::ClearStorage() {
+  for (auto& bucket : stored_) bucket.clear();
+}
+
+int TreeOverlay::RemoveByOwner(int owner_peer) {
+  int removed = 0;
+  for (auto& bucket : stored_) {
+    const auto end = std::remove_if(
+        bucket.begin(), bucket.end(),
+        [owner_peer](const PublishedCluster& c) { return c.owner_peer == owner_peer; });
+    removed += static_cast<int>(std::distance(end, bucket.end()));
+    bucket.erase(end, bucket.end());
+  }
+  return removed;
+}
+
+}  // namespace hyperm::overlay

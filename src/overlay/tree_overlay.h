@@ -1,0 +1,100 @@
+// A balanced space-partitioning tree overlay (BATON/VBI-tree flavour).
+//
+// The paper claims Hyper-M "could be implemented on top of BATON, VBI-tree,
+// CAN or any peer-to-peer overlay ... so long as they can support
+// multi-dimensional indexing" (Section 5). This overlay is the
+// tree-structured member of that family: the key cube is partitioned into
+// one rectangular region per peer by recursive midpoint splits, and messages
+// travel along tree edges (child <-> parent), giving O(log N) routing
+// instead of CAN's O(d N^(1/d)) neighbour walk.
+//
+// Peers own the leaves; interior tree nodes are routing state replicated at
+// the peers of their subtrees (BATON's "virtual peer" view), so traversing
+// one tree edge costs one overlay hop.
+
+#ifndef HYPERM_OVERLAY_TREE_OVERLAY_H_
+#define HYPERM_OVERLAY_TREE_OVERLAY_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "overlay/overlay.h"
+#include "sim/stats.h"
+
+namespace hyperm::overlay {
+
+/// Balanced BSP-tree overlay; see file comment.
+class TreeOverlay : public Overlay {
+ public:
+  /// Builds a tree with `num_nodes` leaves over [0,1)^dim by repeatedly
+  /// midpoint-splitting the largest leaf (cycling the split dimension).
+  /// Construction messages (one per split handshake) land under
+  /// TrafficClass::kJoin.
+  static Result<std::unique_ptr<TreeOverlay>> Build(size_t dim, int num_nodes,
+                                                    sim::NetworkStats* stats, Rng& rng);
+
+  size_t dim() const override { return dim_; }
+  int num_nodes() const override { return static_cast<int>(leaf_of_node_.size()); }
+  Result<InsertReceipt> Insert(const PublishedCluster& cluster, NodeId origin) override;
+  Result<RangeQueryResult> RangeQuery(const geom::Sphere& query, NodeId origin) override;
+  std::vector<NodeStorage> StorageDistribution() const override;
+  void ClearStorage() override;
+  int RemoveByOwner(int owner_peer) override;
+  void set_replicate_spheres(bool enabled) override { replicate_spheres_ = enabled; }
+
+  /// The region owned by `node`.
+  const geom::Box& region(NodeId node) const;
+
+  /// Tree depth of `node`'s leaf (root = 0).
+  int depth(NodeId node) const;
+
+  /// Exact owner of `key` by tree descent (also the routing destination).
+  NodeId OwnerOf(const Vector& key) const;
+
+ private:
+  struct TreeNode {
+    geom::Box box;
+    int parent = -1;
+    int left = -1;    // tree-node index; -1 for leaves
+    int right = -1;
+    int depth = 0;
+    NodeId owner = kInvalidNode;  // valid for leaves only
+  };
+
+  TreeOverlay(size_t dim, sim::NetworkStats* stats) : dim_(dim), stats_(stats) {}
+
+  /// Tree-node index of the leaf owning `key` (clamped into the cube).
+  int LeafIndexOf(const Vector& key) const;
+
+  /// Records `hops` message transmissions of `bytes` each under `cls`.
+  void Charge(sim::TrafficClass cls, int hops, uint64_t bytes);
+
+  /// Hops along tree edges between two leaves (via their lowest common
+  /// ancestor).
+  int TreeDistance(int leaf_a, int leaf_b) const;
+
+  /// Visits every leaf whose region intersects `sphere`, starting from the
+  /// leaf owning the (clamped) sphere center; returns the leaves and the
+  /// number of tree edges traversed (ascent to the covering ancestor plus
+  /// the pruned descent).
+  std::vector<int> CollectOverlappingLeaves(const geom::Sphere& sphere,
+                                            int entry_leaf, int* edges) const;
+
+  uint64_t KeyMessageBytes() const { return 16 + 8 * static_cast<uint64_t>(dim_); }
+  uint64_t ClusterMessageBytes() const {
+    return 16 + 16 * static_cast<uint64_t>(dim_) + 24;
+  }
+
+  size_t dim_;
+  sim::NetworkStats* stats_;  // not owned
+  bool replicate_spheres_ = true;
+  std::vector<TreeNode> tree_;           // tree_[0] is the root
+  std::vector<int> leaf_of_node_;        // overlay node -> its leaf tree-index
+  std::vector<std::vector<PublishedCluster>> stored_;  // per overlay node
+};
+
+}  // namespace hyperm::overlay
+
+#endif  // HYPERM_OVERLAY_TREE_OVERLAY_H_

@@ -1,0 +1,34 @@
+#include "sim/dissemination.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hyperm::sim {
+
+double ParallelMakespanMs(const std::vector<uint64_t>& per_peer_hops,
+                          double avg_bytes_per_hop, const LinkModel& link) {
+  HM_CHECK_GE(avg_bytes_per_hop, 0.0);
+  const double hop_ms = link.HopMs(avg_bytes_per_hop);
+  Simulator simulator;
+  double makespan = 0.0;
+  for (uint64_t hops : per_peer_hops) {
+    simulator.ScheduleAfter(static_cast<double>(hops) * hop_ms,
+                            [&makespan, &simulator] {
+                              makespan = std::max(makespan, simulator.now());
+                            });
+  }
+  simulator.Run();
+  return makespan;
+}
+
+double AverageInsertBytesPerHop(const NetworkStats& stats) {
+  const uint64_t hops =
+      stats.hops(TrafficClass::kInsert) + stats.hops(TrafficClass::kReplicate);
+  if (hops == 0) return 0.0;
+  const uint64_t bytes =
+      stats.bytes(TrafficClass::kInsert) + stats.bytes(TrafficClass::kReplicate);
+  return static_cast<double>(bytes) / static_cast<double>(hops);
+}
+
+}  // namespace hyperm::sim

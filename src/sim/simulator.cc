@@ -1,0 +1,50 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace hyperm::sim {
+
+void Simulator::ScheduleAfter(TimeMs delay, std::function<void()> fn) {
+  HM_CHECK_GE(delay, 0.0);
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void Simulator::ScheduleAt(TimeMs when, std::function<void()> fn) {
+  HM_CHECK_GE(when, now_);
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+uint64_t Simulator::Run(uint64_t max_events) {
+  uint64_t count = 0;
+  while (!queue_.empty()) {
+    if (max_events != 0 && count >= max_events) break;
+    // priority_queue::top returns const&; the function object must be moved
+    // out before pop, so copy the POD parts and steal the callable.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    ++count;
+    ++executed_;
+    event.fn();
+  }
+  return count;
+}
+
+uint64_t Simulator::RunUntil(TimeMs until) {
+  HM_CHECK_GE(until, now_);
+  uint64_t count = 0;
+  while (!queue_.empty() && queue_.top().time <= until) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    ++count;
+    ++executed_;
+    event.fn();
+  }
+  now_ = until;
+  return count;
+}
+
+}  // namespace hyperm::sim

@@ -1,0 +1,70 @@
+#include "wavelet/haar.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace hyperm::wavelet {
+
+HaarStep DecomposeStep(const Vector& x) {
+  HM_CHECK(!x.empty());
+  HM_CHECK_EQ(x.size() % 2, 0u);
+  const size_t n = x.size() / 2;
+  HaarStep step;
+  step.approximation.resize(n);
+  step.detail.resize(n);
+  for (size_t k = 0; k < n; ++k) {
+    step.approximation[k] = (x[2 * k] + x[2 * k + 1]) / 2.0;
+    step.detail[k] = (x[2 * k] - x[2 * k + 1]) / 2.0;
+  }
+  return step;
+}
+
+Vector ReconstructStep(const Vector& approximation, const Vector& detail) {
+  HM_CHECK_EQ(approximation.size(), detail.size());
+  Vector x(2 * approximation.size());
+  for (size_t k = 0; k < approximation.size(); ++k) {
+    x[2 * k] = approximation[k] + detail[k];
+    x[2 * k + 1] = approximation[k] - detail[k];
+  }
+  return x;
+}
+
+Result<Pyramid> Decompose(const Vector& x) {
+  if (x.empty() || !IsPowerOfTwo(static_cast<int64_t>(x.size()))) {
+    return InvalidArgumentError("Decompose requires a power-of-two dimensionality");
+  }
+  const int m = Log2Exact(static_cast<int64_t>(x.size()));
+  Pyramid pyramid;
+  pyramid.details.resize(static_cast<size_t>(m));
+  Vector current = x;
+  // Step from fine to coarse: the detail produced when the approximation has
+  // length 2^l (after the step) is D_l.
+  for (int l = m - 1; l >= 0; --l) {
+    HaarStep step = DecomposeStep(current);
+    pyramid.details[static_cast<size_t>(l)] = std::move(step.detail);
+    current = std::move(step.approximation);
+  }
+  pyramid.approximation = std::move(current);
+  HM_CHECK_EQ(pyramid.approximation.size(), 1u);
+  return pyramid;
+}
+
+Vector Reconstruct(const Pyramid& pyramid) {
+  Vector current = pyramid.approximation;
+  for (const Vector& detail : pyramid.details) {
+    current = ReconstructStep(current, detail);
+  }
+  return current;
+}
+
+Vector PadToPowerOfTwo(const Vector& x) {
+  HM_CHECK(!x.empty());
+  const auto target = static_cast<size_t>(NextPowerOfTwo(static_cast<int64_t>(x.size())));
+  Vector padded = x;
+  padded.resize(target, 0.0);
+  return padded;
+}
+
+}  // namespace hyperm::wavelet

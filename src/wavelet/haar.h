@@ -1,0 +1,63 @@
+// Averaging Haar Discrete Wavelet Transform.
+//
+// Hyper-M uses the *averaging* convention from the paper: one decomposition
+// step maps a vector x of even length 2n to
+//
+//   A[k] = (x[2k] + x[2k+1]) / 2      (approximation)
+//   D[k] = (x[2k] - x[2k+1]) / 2      (detail)
+//
+// and is inverted exactly by x[2k] = A[k] + D[k], x[2k+1] = A[k] - D[k].
+// Under this convention a sphere of radius r in the input space maps inside a
+// sphere of radius r / sqrt(2) in each output space (Theorem 3.1), so after
+// (log2 d - l) steps the level-l radius is r / sqrt(2^(log2 d - l)).
+
+#ifndef HYPERM_WAVELET_HAAR_H_
+#define HYPERM_WAVELET_HAAR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "vec/vector.h"
+
+namespace hyperm::wavelet {
+
+/// Result of one averaging-Haar step on an even-length vector.
+struct HaarStep {
+  Vector approximation;  ///< pairwise averages, length n
+  Vector detail;         ///< pairwise half-differences, length n
+};
+
+/// Applies one decomposition step. Fatal if x has odd or zero length.
+HaarStep DecomposeStep(const Vector& x);
+
+/// Inverts one step. Fatal if the parts differ in length.
+Vector ReconstructStep(const Vector& approximation, const Vector& detail);
+
+/// Full multiresolution decomposition of a power-of-two-length vector.
+///
+/// For d = 2^m the pyramid holds the final 1-dimensional approximation `A`
+/// and details `D_0 .. D_{m-1}` ordered coarse to fine; `D_l` has length 2^l.
+struct Pyramid {
+  Vector approximation;         ///< A: length 1
+  std::vector<Vector> details;  ///< details[l] = D_l, length 2^l
+
+  /// Number of detail levels (= log2 of the original dimensionality).
+  int num_detail_levels() const { return static_cast<int>(details.size()); }
+
+  /// The original dimensionality 2^num_detail_levels().
+  size_t original_dim() const { return size_t{1} << details.size(); }
+};
+
+/// Fully decomposes `x`. Returns InvalidArgument unless x.size() is a power
+/// of two >= 1 (use PadToPowerOfTwo first for other sizes).
+Result<Pyramid> Decompose(const Vector& x);
+
+/// Exact inverse of Decompose.
+Vector Reconstruct(const Pyramid& pyramid);
+
+/// Returns `x` zero-padded on the right to the next power of two.
+Vector PadToPowerOfTwo(const Vector& x);
+
+}  // namespace hyperm::wavelet
+
+#endif  // HYPERM_WAVELET_HAAR_H_

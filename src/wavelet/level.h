@@ -1,0 +1,66 @@
+// Wavelet level descriptors.
+//
+// Hyper-M publishes summaries into one overlay per wavelet subspace. A
+// subspace ("level") is either the final approximation A or a detail space
+// D_l; this header names those subspaces, projects vectors into them, and
+// encodes the Theorem 3.1 radius-contraction law.
+
+#ifndef HYPERM_WAVELET_LEVEL_H_
+#define HYPERM_WAVELET_LEVEL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "wavelet/haar.h"
+
+namespace hyperm::wavelet {
+
+/// Identifies one wavelet subspace of a d = 2^m dimensional data space.
+struct Level {
+  enum class Kind {
+    kApproximation,  ///< the 1-dimensional final approximation A
+    kDetail,         ///< detail space D_index of dimension 2^index
+  };
+
+  Kind kind = Kind::kApproximation;
+  int index = 0;  ///< detail index l (ignored for the approximation)
+
+  /// The approximation level A.
+  static Level Approximation() { return Level{Kind::kApproximation, 0}; }
+
+  /// The detail level D_l.
+  static Level Detail(int l) { return Level{Kind::kDetail, l}; }
+
+  /// Dimensionality of this subspace: 1 for A, 2^index for D_index.
+  size_t dim() const {
+    return kind == Kind::kApproximation ? 1 : (size_t{1} << index);
+  }
+
+  /// "A" or "D0", "D1", ...
+  std::string name() const;
+
+  friend bool operator==(const Level& a, const Level& b) {
+    return a.kind == b.kind && (a.kind == Kind::kApproximation || a.index == b.index);
+  }
+};
+
+/// The subspace vector of `pyramid` at `level`. Fatal if the level does not
+/// exist in the pyramid.
+const Vector& Project(const Pyramid& pyramid, const Level& level);
+
+/// Theorem 3.1 contraction factor: a sphere of radius r in the original
+/// d-dimensional space (d = 2^m) maps inside a sphere of radius
+/// `r * RadiusScale(m, level)` in the level subspace.
+///
+/// For A and D_0 the factor is 2^(-m/2); for D_l it is 2^(-(m - l)/2).
+double RadiusScale(int num_detail_levels, const Level& level);
+
+/// The subspaces Hyper-M uses with `num_layers` overlays:
+/// {A, D_0, D_1, ..., D_{num_layers-2}} (the paper's default of four layers
+/// yields A, D_0, D_1, D_2). Requires 1 <= num_layers <= m + 1.
+std::vector<Level> DefaultLevels(int num_detail_levels, int num_layers);
+
+}  // namespace hyperm::wavelet
+
+#endif  // HYPERM_WAVELET_LEVEL_H_

@@ -1,0 +1,161 @@
+#include "wavelet/transform.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace hyperm::wavelet {
+namespace {
+
+const double kSqrt2 = std::sqrt(2.0);
+const double kSqrt3 = std::sqrt(3.0);
+
+// Daubechies-4 scaling coefficients (orthonormal).
+const double kD4H[4] = {
+    (1.0 + kSqrt3) / (4.0 * kSqrt2),
+    (3.0 + kSqrt3) / (4.0 * kSqrt2),
+    (3.0 - kSqrt3) / (4.0 * kSqrt2),
+    (1.0 - kSqrt3) / (4.0 * kSqrt2),
+};
+// Wavelet coefficients: g_i = (-1)^i h_{3-i}.
+const double kD4G[4] = {kD4H[3], -kD4H[2], kD4H[1], -kD4H[0]};
+
+HaarStep HaarOrthonormalStep(const Vector& x) {
+  HM_CHECK(!x.empty());
+  HM_CHECK_EQ(x.size() % 2, 0u);
+  const size_t n = x.size() / 2;
+  HaarStep step;
+  step.approximation.resize(n);
+  step.detail.resize(n);
+  for (size_t k = 0; k < n; ++k) {
+    step.approximation[k] = (x[2 * k] + x[2 * k + 1]) / kSqrt2;
+    step.detail[k] = (x[2 * k] - x[2 * k + 1]) / kSqrt2;
+  }
+  return step;
+}
+
+Vector HaarOrthonormalInverse(const Vector& a, const Vector& d) {
+  HM_CHECK_EQ(a.size(), d.size());
+  Vector x(2 * a.size());
+  for (size_t k = 0; k < a.size(); ++k) {
+    x[2 * k] = (a[k] + d[k]) / kSqrt2;
+    x[2 * k + 1] = (a[k] - d[k]) / kSqrt2;
+  }
+  return x;
+}
+
+HaarStep Daubechies4Step(const Vector& x) {
+  HM_CHECK(!x.empty());
+  HM_CHECK_EQ(x.size() % 2, 0u);
+  const size_t n = x.size();
+  // The 4-tap filter needs at least 4 samples; below that the orthonormal
+  // Haar step is the canonical degenerate case.
+  if (n < 4) return HaarOrthonormalStep(x);
+  HaarStep step;
+  step.approximation.resize(n / 2);
+  step.detail.resize(n / 2);
+  for (size_t k = 0; k < n / 2; ++k) {
+    double a = 0.0, d = 0.0;
+    for (size_t i = 0; i < 4; ++i) {
+      const double v = x[(2 * k + i) % n];  // periodic boundary
+      a += kD4H[i] * v;
+      d += kD4G[i] * v;
+    }
+    step.approximation[k] = a;
+    step.detail[k] = d;
+  }
+  return step;
+}
+
+Vector Daubechies4Inverse(const Vector& a, const Vector& d) {
+  HM_CHECK_EQ(a.size(), d.size());
+  const size_t n = 2 * a.size();
+  if (n < 4) return HaarOrthonormalInverse(a, d);
+  // The forward transform is orthogonal, so the inverse is its transpose:
+  // x[j] += h[i] * a[k] + g[i] * d[k] for every (k, i) with (2k+i) mod n == j.
+  Vector x(n, 0.0);
+  for (size_t k = 0; k < a.size(); ++k) {
+    for (size_t i = 0; i < 4; ++i) {
+      const size_t j = (2 * k + i) % n;
+      x[j] += kD4H[i] * a[k] + kD4G[i] * d[k];
+    }
+  }
+  return x;
+}
+
+}  // namespace
+
+std::string WaveletKindName(WaveletKind kind) {
+  switch (kind) {
+    case WaveletKind::kHaarAveraging:
+      return "haar-averaging";
+    case WaveletKind::kHaarOrthonormal:
+      return "haar-orthonormal";
+    case WaveletKind::kDaubechies4:
+      return "daubechies-4";
+  }
+  return "unknown";
+}
+
+HaarStep DecomposeStepWith(WaveletKind kind, const Vector& x) {
+  switch (kind) {
+    case WaveletKind::kHaarAveraging:
+      return DecomposeStep(x);
+    case WaveletKind::kHaarOrthonormal:
+      return HaarOrthonormalStep(x);
+    case WaveletKind::kDaubechies4:
+      return Daubechies4Step(x);
+  }
+  return DecomposeStep(x);
+}
+
+Vector ReconstructStepWith(WaveletKind kind, const Vector& approximation,
+                           const Vector& detail) {
+  switch (kind) {
+    case WaveletKind::kHaarAveraging:
+      return ReconstructStep(approximation, detail);
+    case WaveletKind::kHaarOrthonormal:
+      return HaarOrthonormalInverse(approximation, detail);
+    case WaveletKind::kDaubechies4:
+      return Daubechies4Inverse(approximation, detail);
+  }
+  return ReconstructStep(approximation, detail);
+}
+
+Result<Pyramid> DecomposeWith(WaveletKind kind, const Vector& x) {
+  if (x.empty() || !IsPowerOfTwo(static_cast<int64_t>(x.size()))) {
+    return InvalidArgumentError("DecomposeWith requires a power-of-two dimensionality");
+  }
+  const int m = Log2Exact(static_cast<int64_t>(x.size()));
+  Pyramid pyramid;
+  pyramid.details.resize(static_cast<size_t>(m));
+  Vector current = x;
+  for (int l = m - 1; l >= 0; --l) {
+    HaarStep step = DecomposeStepWith(kind, current);
+    pyramid.details[static_cast<size_t>(l)] = std::move(step.detail);
+    current = std::move(step.approximation);
+  }
+  pyramid.approximation = std::move(current);
+  return pyramid;
+}
+
+Vector ReconstructWith(WaveletKind kind, const Pyramid& pyramid) {
+  Vector current = pyramid.approximation;
+  for (const Vector& detail : pyramid.details) {
+    current = ReconstructStepWith(kind, current, detail);
+  }
+  return current;
+}
+
+double RadiusScaleFor(WaveletKind kind, int num_detail_levels, const Level& level) {
+  if (kind == WaveletKind::kHaarAveraging) {
+    return RadiusScale(num_detail_levels, level);
+  }
+  // Orthonormal transforms are isometries of the full space; an individual
+  // subspace never expands distances, so 1 is a sound (if loose) factor.
+  return 1.0;
+}
+
+}  // namespace hyperm::wavelet

@@ -1,0 +1,64 @@
+// Wavelet families beyond the paper's averaging Haar.
+//
+// The paper proves Theorem 3.1 for the averaging Haar convention and notes
+// that "similar, though more laborious proofs can be done for other
+// wavelets". This header provides the transform family abstraction:
+//
+//  * kHaarAveraging  — the paper's convention; radius contracts by
+//    2^(-steps/2) (Theorem 3.1), giving the tightest per-level query radii.
+//  * kHaarOrthonormal — Haar with 1/sqrt(2) normalisation. The transform is
+//    an isometry, so each level's pairwise distance is bounded by the full
+//    distance: the safe radius scale is 1 per level (looser thresholds, but
+//    the pyramid preserves energy exactly).
+//  * kDaubechies4    — the 4-tap Daubechies orthonormal wavelet with
+//    periodic boundary handling; smoother basis, same isometry bound.
+//
+// All three produce the same Pyramid shape, so the rest of the stack is
+// agnostic to the choice.
+
+#ifndef HYPERM_WAVELET_TRANSFORM_H_
+#define HYPERM_WAVELET_TRANSFORM_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "wavelet/haar.h"
+#include "wavelet/level.h"
+
+namespace hyperm::wavelet {
+
+/// Supported wavelet families.
+enum class WaveletKind {
+  kHaarAveraging,   ///< the paper's convention (default)
+  kHaarOrthonormal, ///< energy-preserving Haar
+  kDaubechies4,     ///< 4-tap Daubechies, periodic boundary
+};
+
+/// Human-readable family name.
+std::string WaveletKindName(WaveletKind kind);
+
+/// One decomposition step of the chosen family (input length must be even
+/// and >= 2; Daubechies-4 additionally requires length >= 4, falling back to
+/// orthonormal Haar below that).
+HaarStep DecomposeStepWith(WaveletKind kind, const Vector& x);
+
+/// Inverse of DecomposeStepWith.
+Vector ReconstructStepWith(WaveletKind kind, const Vector& approximation,
+                           const Vector& detail);
+
+/// Full pyramid decomposition with the chosen family. Same contract as
+/// haar.h's Decompose.
+Result<Pyramid> DecomposeWith(WaveletKind kind, const Vector& x);
+
+/// Exact inverse of DecomposeWith.
+Vector ReconstructWith(WaveletKind kind, const Pyramid& pyramid);
+
+/// Sound per-level radius contraction factor for the family: a sphere of
+/// radius r maps inside radius `r * RadiusScaleFor(...)` in the subspace.
+/// Averaging Haar uses the tight Theorem 3.1 factor; the orthonormal
+/// families use the isometry bound of 1.
+double RadiusScaleFor(WaveletKind kind, int num_detail_levels, const Level& level);
+
+}  // namespace hyperm::wavelet
+
+#endif  // HYPERM_WAVELET_TRANSFORM_H_

@@ -1,0 +1,87 @@
+#include "hyperm/baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "data/markov_generator.h"
+
+namespace hyperm::core {
+namespace {
+
+struct BaselineBed {
+  data::Dataset dataset;
+  data::PeerAssignment assignment;
+};
+
+BaselineBed MakeBed(int items = 600, int dim = 32, int peers = 12, uint64_t seed = 1) {
+  Rng rng(seed);
+  data::MarkovOptions options;
+  options.count = items;
+  options.dim = dim;
+  options.num_families = 6;
+  Result<data::Dataset> ds = data::GenerateMarkov(options, rng);
+  EXPECT_TRUE(ds.ok());
+  Result<data::PeerAssignment> assignment = data::AssignUniform(*ds, peers, rng);
+  EXPECT_TRUE(assignment.ok());
+  return BaselineBed{std::move(ds).value(), std::move(assignment).value()};
+}
+
+TEST(CanItemBaselineTest, RejectsBadInput) {
+  Rng rng(1);
+  BaselineBed setup = MakeBed();
+  ItemBaselineOptions options;
+  options.index_dims = 1000;  // larger than data dim
+  EXPECT_FALSE(CanItemBaseline::Build(setup.dataset, setup.assignment, options, rng).ok());
+  EXPECT_FALSE(
+      CanItemBaseline::Build(data::Dataset{}, setup.assignment, {}, rng).ok());
+}
+
+TEST(CanItemBaselineTest, InsertsEveryItem) {
+  Rng rng(2);
+  BaselineBed setup = MakeBed();
+  Result<std::unique_ptr<CanItemBaseline>> baseline =
+      CanItemBaseline::Build(setup.dataset, setup.assignment, {}, rng);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  EXPECT_EQ((*baseline)->items_inserted(), 600);
+  // Every item stored somewhere in the overlay.
+  int stored = 0;
+  for (const overlay::NodeStorage& s : (*baseline)->overlay().StorageDistribution()) {
+    stored += s.clusters;
+  }
+  EXPECT_EQ(stored, 600);  // radius-0 keys are never replicated
+}
+
+TEST(CanItemBaselineTest, FullDimensionalIndexByDefault) {
+  Rng rng(3);
+  BaselineBed setup = MakeBed(200, 16, 8);
+  Result<std::unique_ptr<CanItemBaseline>> baseline =
+      CanItemBaseline::Build(setup.dataset, setup.assignment, {}, rng);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ((*baseline)->overlay().dim(), 16u);
+}
+
+TEST(CanItemBaselineTest, TwoDimensionalVariant) {
+  Rng rng(4);
+  BaselineBed setup = MakeBed(200, 16, 8);
+  ItemBaselineOptions options;
+  options.index_dims = 2;
+  Result<std::unique_ptr<CanItemBaseline>> baseline =
+      CanItemBaseline::Build(setup.dataset, setup.assignment, options, rng);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ((*baseline)->overlay().dim(), 2u);
+}
+
+TEST(CanItemBaselineTest, HopAccountingConsistent) {
+  Rng rng(5);
+  BaselineBed setup = MakeBed(300, 8, 10);
+  Result<std::unique_ptr<CanItemBaseline>> baseline =
+      CanItemBaseline::Build(setup.dataset, setup.assignment, {}, rng);
+  ASSERT_TRUE(baseline.ok());
+  const auto& stats = (*baseline)->stats();
+  EXPECT_EQ(stats.hops(sim::TrafficClass::kReplicate), 0u);
+  EXPECT_NEAR((*baseline)->average_insert_hops_per_item(),
+              static_cast<double>(stats.hops(sim::TrafficClass::kInsert)) / 300.0,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace hyperm::core

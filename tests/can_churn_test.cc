@@ -1,0 +1,265 @@
+// CAN node-departure (zone takeover) tests: the partition, neighbour and
+// storage invariants must survive arbitrary join/leave churn.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "can/can_overlay.h"
+#include "common/rng.h"
+
+namespace hyperm::can {
+namespace {
+
+using overlay::NodeId;
+using overlay::PublishedCluster;
+
+std::unique_ptr<CanOverlay> MakeCan(size_t dim, int nodes, sim::NetworkStats* stats,
+                                    uint64_t seed = 7) {
+  Rng rng(seed);
+  auto result = CanOverlay::Build(dim, nodes, stats, rng);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+// Active zones must tile the cube exactly.
+void ExpectConsistentPartition(const CanOverlay& can) {
+  double volume = 0.0;
+  for (NodeId n = 0; n < can.num_nodes(); ++n) {
+    if (can.active(n)) volume += can.zone(n).Volume();
+  }
+  EXPECT_NEAR(volume, 1.0, 1e-9);
+  Rng rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    Vector key(can.dim());
+    for (double& x : key) x = rng.NextDouble();
+    int owners = 0;
+    for (NodeId n = 0; n < can.num_nodes(); ++n) {
+      if (can.active(n) && can.zone(n).ContainsHalfOpen(key)) ++owners;
+    }
+    EXPECT_EQ(owners, 1);
+  }
+  // Neighbour symmetry among active nodes only.
+  for (NodeId a = 0; a < can.num_nodes(); ++a) {
+    if (!can.active(a)) {
+      EXPECT_TRUE(can.neighbors(a).empty());
+      continue;
+    }
+    for (NodeId b : can.neighbors(a)) {
+      EXPECT_TRUE(can.active(b));
+      const auto& back = can.neighbors(b);
+      EXPECT_NE(std::find(back.begin(), back.end(), a), back.end());
+    }
+  }
+}
+
+TEST(CanLeaveTest, RejectsInvalidDepartures) {
+  sim::NetworkStats stats;
+  auto can = MakeCan(2, 4, &stats);
+  EXPECT_FALSE(can->Leave(99).ok());
+  ASSERT_TRUE(can->Leave(2).ok());
+  EXPECT_FALSE(can->Leave(2).ok());  // already gone
+}
+
+TEST(CanLeaveTest, LastNodeCannotLeave) {
+  sim::NetworkStats stats;
+  auto can = MakeCan(2, 1, &stats);
+  EXPECT_FALSE(can->Leave(0).ok());
+}
+
+TEST(CanLeaveTest, MergeWithSiblingNeighbor) {
+  sim::NetworkStats stats;
+  auto can = MakeCan(2, 2, &stats);
+  // With two nodes the zones are always siblings: the survivor owns it all.
+  ASSERT_TRUE(can->Leave(1).ok());
+  EXPECT_EQ(can->num_active_nodes(), 1);
+  EXPECT_TRUE(can->active(0));
+  EXPECT_NEAR(can->zone(0).Volume(), 1.0, 1e-12);
+}
+
+TEST(CanLeaveTest, PartitionSurvivesEveryDeparture) {
+  sim::NetworkStats stats;
+  auto can = MakeCan(2, 24, &stats);
+  Rng rng(5);
+  // Remove nodes one by one in random order down to a single survivor.
+  std::vector<NodeId> order;
+  for (NodeId n = 0; n < can->num_nodes(); ++n) order.push_back(n);
+  rng.Shuffle(order);
+  order.pop_back();  // keep one
+  for (NodeId n : order) {
+    ASSERT_TRUE(can->Leave(n).ok()) << "leaving node " << n;
+    ExpectConsistentPartition(*can);
+  }
+  EXPECT_EQ(can->num_active_nodes(), 1);
+}
+
+TEST(CanLeaveTest, RoutingStillReachesOwnersAfterChurn) {
+  sim::NetworkStats stats;
+  auto can = MakeCan(3, 32, &stats);
+  Rng rng(6);
+  for (int i = 0; i < 12; ++i) {
+    NodeId victim = static_cast<NodeId>(rng.NextIndex(32));
+    while (!can->active(victim)) victim = static_cast<NodeId>(rng.NextIndex(32));
+    ASSERT_TRUE(can->Leave(victim).ok());
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    Vector key(3);
+    for (double& x : key) x = rng.NextDouble();
+    NodeId origin = static_cast<NodeId>(rng.NextIndex(32));
+    while (!can->active(origin)) origin = static_cast<NodeId>(rng.NextIndex(32));
+    Result<RouteResult> route = can->Route(key, origin, sim::TrafficClass::kQuery, 32);
+    ASSERT_TRUE(route.ok()) << route.status().ToString();
+    EXPECT_EQ(route->destination, can->OwnerOf(key));
+  }
+}
+
+TEST(CanLeaveTest, StoredClustersSurviveDeparture) {
+  sim::NetworkStats stats;
+  auto can = MakeCan(2, 16, &stats);
+  Rng rng(8);
+  std::vector<PublishedCluster> all;
+  for (uint64_t id = 1; id <= 30; ++id) {
+    PublishedCluster c;
+    c.sphere = geom::Sphere{{rng.NextDouble(), rng.NextDouble()},
+                            rng.Uniform(0.0, 0.12)};
+    c.owner_peer = static_cast<int>(id % 5);
+    c.items = 2;
+    c.cluster_id = id;
+    ASSERT_TRUE(can->Insert(c, 0).ok());
+    all.push_back(c);
+  }
+  // Half the nodes leave.
+  for (int i = 0; i < 8; ++i) {
+    NodeId victim = static_cast<NodeId>(rng.NextIndex(16));
+    while (!can->active(victim)) victim = static_cast<NodeId>(rng.NextIndex(16));
+    ASSERT_TRUE(can->Leave(victim).ok());
+  }
+  // Every cluster is still fully discoverable by range queries.
+  NodeId origin = 0;
+  while (!can->active(origin)) ++origin;
+  for (int trial = 0; trial < 40; ++trial) {
+    geom::Sphere query{{rng.NextDouble(), rng.NextDouble()}, rng.Uniform(0.0, 0.25)};
+    Result<overlay::RangeQueryResult> result = can->RangeQuery(query, origin);
+    ASSERT_TRUE(result.ok());
+    std::set<uint64_t> found;
+    for (const PublishedCluster& c : result->matches) found.insert(c.cluster_id);
+    for (const PublishedCluster& c : all) {
+      EXPECT_EQ(found.count(c.cluster_id), c.sphere.Intersects(query) ? 1u : 0u)
+          << "cluster " << c.cluster_id << " trial " << trial;
+    }
+  }
+}
+
+TEST(CanLeaveTest, JoinAfterLeaveWorks) {
+  sim::NetworkStats stats;
+  Rng rng(9);
+  auto can = CanOverlay::Build(2, 8, &stats, rng).value();
+  ASSERT_TRUE(can->Leave(3).ok());
+  ASSERT_TRUE(can->Leave(5).ok());
+  // The overlay keeps functioning: joins via Build are not exposed, but
+  // inserts and queries must keep their guarantees.
+  PublishedCluster c;
+  c.sphere = geom::Sphere{{0.4, 0.6}, 0.2};
+  c.items = 3;
+  c.cluster_id = 77;
+  ASSERT_TRUE(can->Insert(c, 0).ok());
+  Result<overlay::RangeQueryResult> result =
+      can->RangeQuery(geom::Sphere{{0.45, 0.55}, 0.05}, 0);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->matches.size(), 1u);
+  EXPECT_EQ(result->matches[0].cluster_id, 77u);
+}
+
+TEST(CanLeaveTest, MaintenanceTrafficRecorded) {
+  sim::NetworkStats stats;
+  auto can = MakeCan(2, 16, &stats);
+  const uint64_t before = stats.hops(sim::TrafficClass::kJoin);
+  ASSERT_TRUE(can->Leave(7).ok());
+  EXPECT_GT(stats.hops(sim::TrafficClass::kJoin), before);
+}
+
+TEST(CanJoinTest, AddNodeGrowsTheNetworkConsistently) {
+  sim::NetworkStats stats;
+  auto can = MakeCan(2, 4, &stats);
+  Rng rng(12);
+  for (int i = 0; i < 12; ++i) {
+    Result<NodeId> fresh = can->AddNode(rng);
+    ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+    EXPECT_TRUE(can->active(*fresh));
+  }
+  EXPECT_EQ(can->num_active_nodes(), 16);
+  ExpectConsistentPartition(*can);
+}
+
+TEST(CanJoinTest, StoredClustersSurviveJoins) {
+  sim::NetworkStats stats;
+  auto can = MakeCan(2, 4, &stats);
+  Rng rng(13);
+  std::vector<PublishedCluster> all;
+  for (uint64_t id = 1; id <= 20; ++id) {
+    PublishedCluster c;
+    c.sphere = geom::Sphere{{rng.NextDouble(), rng.NextDouble()},
+                            rng.Uniform(0.0, 0.2)};
+    c.items = 1;
+    c.cluster_id = id;
+    ASSERT_TRUE(can->Insert(c, 0).ok());
+    all.push_back(c);
+  }
+  for (int i = 0; i < 12; ++i) ASSERT_TRUE(can->AddNode(rng).ok());
+  for (int trial = 0; trial < 30; ++trial) {
+    geom::Sphere query{{rng.NextDouble(), rng.NextDouble()}, rng.Uniform(0.0, 0.3)};
+    Result<overlay::RangeQueryResult> result = can->RangeQuery(query, 0);
+    ASSERT_TRUE(result.ok());
+    std::set<uint64_t> found;
+    for (const PublishedCluster& c : result->matches) found.insert(c.cluster_id);
+    for (const PublishedCluster& c : all) {
+      EXPECT_EQ(found.count(c.cluster_id), c.sphere.Intersects(query) ? 1u : 0u);
+    }
+  }
+}
+
+TEST(CanJoinTest, InterleavedJoinLeaveChurn) {
+  sim::NetworkStats stats;
+  auto can = MakeCan(2, 10, &stats, 77);
+  Rng rng(14);
+  for (int round = 0; round < 40; ++round) {
+    if (rng.Bernoulli(0.5) && can->num_active_nodes() > 2) {
+      NodeId victim =
+          static_cast<NodeId>(rng.NextIndex(static_cast<uint64_t>(can->num_nodes())));
+      while (!can->active(victim)) {
+        victim = static_cast<NodeId>(
+            rng.NextIndex(static_cast<uint64_t>(can->num_nodes())));
+      }
+      ASSERT_TRUE(can->Leave(victim).ok());
+    } else {
+      ASSERT_TRUE(can->AddNode(rng).ok());
+    }
+    if (round % 8 == 0) ExpectConsistentPartition(*can);
+  }
+  ExpectConsistentPartition(*can);
+}
+
+// Heavier randomized churn sweep across dimensions.
+class CanChurnSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CanChurnSweep, InvariantsHoldUnderRandomChurn) {
+  const int dim = GetParam();
+  sim::NetworkStats stats;
+  auto can = MakeCan(static_cast<size_t>(dim), 20, &stats,
+                     static_cast<uint64_t>(dim) + 100);
+  Rng rng(static_cast<uint64_t>(dim) * 31);
+  int departures = 0;
+  while (can->num_active_nodes() > 3) {
+    NodeId victim = static_cast<NodeId>(rng.NextIndex(20));
+    if (!can->active(victim)) continue;
+    ASSERT_TRUE(can->Leave(victim).ok());
+    ++departures;
+    if (departures % 4 == 0) ExpectConsistentPartition(*can);
+  }
+  ExpectConsistentPartition(*can);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, CanChurnSweep, ::testing::Values(1, 2, 3, 5));
+
+}  // namespace
+}  // namespace hyperm::can

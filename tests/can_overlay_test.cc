@@ -1,0 +1,257 @@
+#include "can/can_overlay.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hyperm::can {
+namespace {
+
+using overlay::NodeId;
+using overlay::PublishedCluster;
+
+std::unique_ptr<CanOverlay> MakeCan(size_t dim, int nodes, sim::NetworkStats* stats,
+                                    uint64_t seed = 7) {
+  Rng rng(seed);
+  Result<std::unique_ptr<CanOverlay>> result = CanOverlay::Build(dim, nodes, stats, rng);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+TEST(CanBuildTest, RejectsBadArguments) {
+  sim::NetworkStats stats;
+  Rng rng(1);
+  EXPECT_FALSE(CanOverlay::Build(0, 5, &stats, rng).ok());
+  EXPECT_FALSE(CanOverlay::Build(2, 0, &stats, rng).ok());
+}
+
+TEST(CanBuildTest, SingleNodeOwnsWholeCube) {
+  sim::NetworkStats stats;
+  auto can = MakeCan(3, 1, &stats);
+  EXPECT_EQ(can->num_nodes(), 1);
+  EXPECT_EQ(can->zone(0).lo, (Vector{0.0, 0.0, 0.0}));
+  EXPECT_EQ(can->zone(0).hi, (Vector{1.0, 1.0, 1.0}));
+  EXPECT_TRUE(can->neighbors(0).empty());
+}
+
+TEST(CanBuildTest, JoinTrafficRecorded) {
+  sim::NetworkStats stats;
+  auto can = MakeCan(2, 20, &stats);
+  EXPECT_GT(stats.hops(sim::TrafficClass::kJoin), 0u);
+}
+
+// Zones must exactly tile the unit cube: volumes sum to 1 and every random
+// key has exactly one owner.
+class CanPartition : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CanPartition, ZonesTileTheCube) {
+  const auto [dim, nodes] = GetParam();
+  sim::NetworkStats stats;
+  auto can = MakeCan(static_cast<size_t>(dim), nodes, &stats);
+  double volume = 0.0;
+  for (NodeId n = 0; n < can->num_nodes(); ++n) volume += can->zone(n).Volume();
+  EXPECT_NEAR(volume, 1.0, 1e-9);
+
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    Vector key(static_cast<size_t>(dim));
+    for (double& x : key) x = rng.NextDouble();
+    int owners = 0;
+    for (NodeId n = 0; n < can->num_nodes(); ++n) {
+      if (can->zone(n).ContainsHalfOpen(key)) ++owners;
+    }
+    EXPECT_EQ(owners, 1) << "trial " << trial;
+  }
+}
+
+TEST_P(CanPartition, NeighborListsAreSymmetricAndCorrect) {
+  const auto [dim, nodes] = GetParam();
+  sim::NetworkStats stats;
+  auto can = MakeCan(static_cast<size_t>(dim), nodes, &stats);
+  for (NodeId a = 0; a < can->num_nodes(); ++a) {
+    for (NodeId b : can->neighbors(a)) {
+      const auto& back = can->neighbors(b);
+      EXPECT_NE(std::find(back.begin(), back.end(), a), back.end())
+          << "neighbor symmetry broken between " << a << " and " << b;
+    }
+    // No duplicates, no self-loop.
+    std::set<NodeId> unique(can->neighbors(a).begin(), can->neighbors(a).end());
+    EXPECT_EQ(unique.size(), can->neighbors(a).size());
+    EXPECT_EQ(unique.count(a), 0u);
+  }
+}
+
+TEST_P(CanPartition, GreedyRoutingReachesOracleOwner) {
+  const auto [dim, nodes] = GetParam();
+  sim::NetworkStats stats;
+  auto can = MakeCan(static_cast<size_t>(dim), nodes, &stats);
+  Rng rng(123);
+  for (int trial = 0; trial < 100; ++trial) {
+    Vector key(static_cast<size_t>(dim));
+    for (double& x : key) x = rng.NextDouble();
+    const NodeId origin = static_cast<NodeId>(rng.NextIndex(
+        static_cast<uint64_t>(can->num_nodes())));
+    Result<RouteResult> route = can->Route(key, origin, sim::TrafficClass::kQuery, 32);
+    ASSERT_TRUE(route.ok()) << route.status().ToString();
+    EXPECT_EQ(route->destination, can->OwnerOf(key));
+    EXPECT_LE(route->hops, can->num_nodes());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndSizes, CanPartition,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 8),
+                       ::testing::Values(2, 17, 64)));
+
+TEST(CanInsertTest, PointStoredAtOwner) {
+  sim::NetworkStats stats;
+  auto can = MakeCan(2, 16, &stats);
+  PublishedCluster cluster;
+  cluster.sphere = geom::Sphere{{0.3, 0.7}, 0.0};
+  cluster.owner_peer = 5;
+  cluster.items = 3;
+  cluster.cluster_id = 42;
+  Result<overlay::InsertReceipt> receipt = can->Insert(cluster, 0);
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_EQ(receipt->replicas, 0);
+  const NodeId owner = can->OwnerOf(cluster.sphere.center);
+  ASSERT_EQ(can->stored(owner).size(), 1u);
+  EXPECT_EQ(can->stored(owner)[0].cluster_id, 42u);
+}
+
+TEST(CanInsertTest, SphereReplicatedToEveryOverlappingZone) {
+  sim::NetworkStats stats;
+  auto can = MakeCan(2, 32, &stats);
+  PublishedCluster cluster;
+  cluster.sphere = geom::Sphere{{0.5, 0.5}, 0.25};
+  cluster.owner_peer = 1;
+  cluster.items = 10;
+  cluster.cluster_id = 7;
+  Result<overlay::InsertReceipt> receipt = can->Insert(cluster, 0);
+  ASSERT_TRUE(receipt.ok());
+  int holders = 0;
+  for (NodeId n = 0; n < can->num_nodes(); ++n) {
+    const bool overlaps = can->zone(n).IntersectsSphere(cluster.sphere);
+    const bool holds = !can->stored(n).empty();
+    EXPECT_EQ(overlaps, holds) << "node " << n;
+    if (holds) ++holders;
+  }
+  EXPECT_EQ(receipt->replicas, holders - 1);
+  EXPECT_GT(holders, 1);  // a radius-0.25 sphere must straddle zones here
+}
+
+TEST(CanInsertTest, RejectsDimensionMismatch) {
+  sim::NetworkStats stats;
+  auto can = MakeCan(2, 4, &stats);
+  PublishedCluster cluster;
+  cluster.sphere = geom::Sphere{{0.5}, 0.1};
+  EXPECT_FALSE(can->Insert(cluster, 0).ok());
+}
+
+TEST(CanQueryTest, FindsEveryIntersectingClusterExactlyOnce) {
+  sim::NetworkStats stats;
+  auto can = MakeCan(2, 24, &stats);
+  Rng rng(5);
+  std::vector<PublishedCluster> all;
+  for (uint64_t id = 1; id <= 40; ++id) {
+    PublishedCluster c;
+    c.sphere = geom::Sphere{{rng.NextDouble(), rng.NextDouble()},
+                            rng.Uniform(0.0, 0.15)};
+    c.owner_peer = static_cast<int>(id % 10);
+    c.items = 1 + static_cast<int>(id % 5);
+    c.cluster_id = id;
+    ASSERT_TRUE(can->Insert(c, 0).ok());
+    all.push_back(c);
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    geom::Sphere query{{rng.NextDouble(), rng.NextDouble()}, rng.Uniform(0.0, 0.3)};
+    Result<overlay::RangeQueryResult> result = can->RangeQuery(query, 0);
+    ASSERT_TRUE(result.ok());
+    std::set<uint64_t> found;
+    for (const PublishedCluster& c : result->matches) {
+      EXPECT_TRUE(found.insert(c.cluster_id).second) << "duplicate id " << c.cluster_id;
+    }
+    for (const PublishedCluster& c : all) {
+      EXPECT_EQ(found.count(c.cluster_id), c.sphere.Intersects(query) ? 1u : 0u)
+          << "cluster " << c.cluster_id << " trial " << trial;
+    }
+  }
+}
+
+TEST(CanQueryTest, VisitsOnlyOverlappingZones) {
+  sim::NetworkStats stats;
+  auto can = MakeCan(2, 32, &stats);
+  geom::Sphere query{{0.25, 0.25}, 0.1};
+  Result<overlay::RangeQueryResult> result = can->RangeQuery(query, 0);
+  ASSERT_TRUE(result.ok());
+  int overlapping = 0;
+  for (NodeId n = 0; n < can->num_nodes(); ++n) {
+    if (can->zone(n).IntersectsSphere(query)) ++overlapping;
+  }
+  EXPECT_EQ(result->nodes_visited, overlapping);
+}
+
+TEST(CanQueryTest, QueryCenterOutsideCubeIsClamped) {
+  sim::NetworkStats stats;
+  auto can = MakeCan(2, 8, &stats);
+  geom::Sphere query{{1.5, -0.5}, 0.2};
+  EXPECT_TRUE(can->RangeQuery(query, 0).ok());
+}
+
+TEST(CanStorageTest, DistributionAndClear) {
+  sim::NetworkStats stats;
+  auto can = MakeCan(2, 8, &stats);
+  PublishedCluster c;
+  c.sphere = geom::Sphere{{0.5, 0.5}, 0.3};
+  c.items = 4;
+  c.cluster_id = 1;
+  ASSERT_TRUE(can->Insert(c, 0).ok());
+  int total_items = 0;
+  for (const overlay::NodeStorage& s : can->StorageDistribution()) {
+    total_items += s.items;
+  }
+  EXPECT_GE(total_items, 4);  // replicas multiply the stored count
+  can->ClearStorage();
+  for (const overlay::NodeStorage& s : can->StorageDistribution()) {
+    EXPECT_EQ(s.clusters, 0);
+  }
+}
+
+TEST(CanStorageTest, RemoveByOwnerErasesAllReplicas) {
+  sim::NetworkStats stats;
+  auto can = MakeCan(2, 16, &stats);
+  for (uint64_t id = 1; id <= 6; ++id) {
+    PublishedCluster c;
+    c.sphere = geom::Sphere{{0.5, 0.5}, 0.3};
+    c.owner_peer = static_cast<int>(id % 2);  // peers 0 and 1
+    c.items = 1;
+    c.cluster_id = id;
+    ASSERT_TRUE(can->Insert(c, 0).ok());
+  }
+  const int removed = can->RemoveByOwner(1);
+  EXPECT_GT(removed, 0);
+  EXPECT_EQ(can->RemoveByOwner(1), 0);  // idempotent
+  // Peer 0's clusters survive; peer 1's are gone everywhere.
+  for (NodeId n = 0; n < can->num_nodes(); ++n) {
+    for (const PublishedCluster& c : can->stored(n)) {
+      EXPECT_EQ(c.owner_peer, 0);
+    }
+  }
+}
+
+TEST(CanHighDimTest, BuildsAndRoutesIn512Dims) {
+  sim::NetworkStats stats;
+  auto can = MakeCan(512, 20, &stats, 3);
+  Rng rng(4);
+  Vector key(512);
+  for (double& x : key) x = rng.NextDouble();
+  Result<RouteResult> route = can->Route(key, 0, sim::TrafficClass::kInsert, 128);
+  ASSERT_TRUE(route.ok());
+  EXPECT_EQ(route->destination, can->OwnerOf(key));
+}
+
+}  // namespace
+}  // namespace hyperm::can

@@ -1,0 +1,53 @@
+#include "sim/dissemination.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperm::sim {
+namespace {
+
+TEST(LinkModelTest, HopDurationComposition) {
+  LinkModel link;
+  link.hop_overhead_ms = 2.0;
+  link.bandwidth_bytes_per_ms = 100.0;
+  EXPECT_DOUBLE_EQ(link.HopMs(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(link.HopMs(500.0), 7.0);
+}
+
+TEST(ParallelMakespanTest, EmptyNetworkIsInstant) {
+  EXPECT_DOUBLE_EQ(ParallelMakespanMs({}, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(ParallelMakespanMs({0, 0, 0}, 100.0), 0.0);
+}
+
+TEST(ParallelMakespanTest, GovernedBySlowestPeer) {
+  LinkModel link;
+  link.hop_overhead_ms = 1.0;
+  link.bandwidth_bytes_per_ms = 1000.0;
+  // Hop duration = 1 + 0.1 = 1.1 ms; peers with 10/20/40 hops.
+  const double makespan = ParallelMakespanMs({10, 20, 40}, 100.0, link);
+  EXPECT_NEAR(makespan, 40 * 1.1, 1e-9);
+}
+
+TEST(ParallelMakespanTest, BiggerMessagesTakeLonger) {
+  const double small = ParallelMakespanMs({100}, 50.0);
+  const double large = ParallelMakespanMs({100}, 5000.0);
+  EXPECT_GT(large, small);
+}
+
+TEST(ParallelMakespanTest, ParallelismBeatsSerial) {
+  // 4 peers with 25 hops each finish 4x sooner than 1 peer with 100.
+  const double parallel = ParallelMakespanMs({25, 25, 25, 25}, 100.0);
+  const double serial = ParallelMakespanMs({100}, 100.0);
+  EXPECT_NEAR(serial, 4.0 * parallel, 1e-9);
+}
+
+TEST(AverageInsertBytesTest, ComputesInsertPathMean) {
+  NetworkStats stats;
+  EXPECT_DOUBLE_EQ(AverageInsertBytesPerHop(stats), 0.0);
+  stats.RecordHop(TrafficClass::kInsert, 100);
+  stats.RecordHop(TrafficClass::kReplicate, 300);
+  stats.RecordHop(TrafficClass::kQuery, 5000);  // not insert-path: ignored
+  EXPECT_DOUBLE_EQ(AverageInsertBytesPerHop(stats), 200.0);
+}
+
+}  // namespace
+}  // namespace hyperm::sim

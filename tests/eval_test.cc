@@ -1,0 +1,68 @@
+#include "hyperm/eval.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperm::core {
+namespace {
+
+TEST(EvaluateTest, PerfectRetrieval) {
+  const PrecisionRecall pr = Evaluate({1, 2, 3}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+}
+
+TEST(EvaluateTest, PartialRetrieval) {
+  const PrecisionRecall pr = Evaluate({1, 2, 9, 8}, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(pr.precision, 0.5);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.5);
+}
+
+TEST(EvaluateTest, SupersetRetrievalTradesPrecision) {
+  const PrecisionRecall pr = Evaluate({1, 2, 3, 4, 5, 6}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(pr.precision, 0.5);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+}
+
+TEST(EvaluateTest, EmptyRetrieved) {
+  // No false positives => precision 1 by convention (the paper's "precision
+  // is constantly 100%" for range queries relies on this).
+  const PrecisionRecall pr = Evaluate({}, {1});
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.0);
+}
+
+TEST(EvaluateTest, EmptyRelevant) {
+  const PrecisionRecall pr = Evaluate({1, 2}, {});
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.0);
+}
+
+TEST(EvaluateTest, BothEmpty) {
+  const PrecisionRecall pr = Evaluate({}, {});
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+}
+
+TEST(EvaluateTest, DuplicatesIgnored) {
+  const PrecisionRecall pr = Evaluate({1, 1, 1, 2}, {1, 2});
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+}
+
+TEST(SummarizeTest, AggregatesMeanMinMax) {
+  std::vector<PrecisionRecall> results{
+      {1.0, 0.5},
+      {0.5, 1.0},
+  };
+  const EffectivenessSummary s = Summarize(results);
+  EXPECT_EQ(s.queries, 2);
+  EXPECT_DOUBLE_EQ(s.mean_precision, 0.75);
+  EXPECT_DOUBLE_EQ(s.mean_recall, 0.75);
+  EXPECT_DOUBLE_EQ(s.min_recall, 0.5);
+  EXPECT_DOUBLE_EQ(s.max_recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.min_precision, 0.5);
+  EXPECT_DOUBLE_EQ(s.max_precision, 1.0);
+}
+
+}  // namespace
+}  // namespace hyperm::core

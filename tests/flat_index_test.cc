@@ -1,0 +1,65 @@
+#include "hyperm/flat_index.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/markov_generator.h"
+
+namespace hyperm::core {
+namespace {
+
+data::Dataset LineDataset() {
+  data::Dataset ds;
+  for (int i = 0; i < 10; ++i) ds.items.push_back({static_cast<double>(i)});
+  return ds;
+}
+
+TEST(FlatIndexTest, RangeSearchInclusive) {
+  const data::Dataset ds = LineDataset();
+  const FlatIndex index(ds);
+  const std::vector<ItemId> hits = index.RangeSearch({3.0}, 1.0);
+  EXPECT_EQ(hits, (std::vector<ItemId>{2, 3, 4}));
+}
+
+TEST(FlatIndexTest, KnnOrderedByDistance) {
+  const data::Dataset ds = LineDataset();
+  const FlatIndex index(ds);
+  const std::vector<ItemId> knn = index.Knn({2.2}, 3);
+  EXPECT_EQ(knn, (std::vector<ItemId>{2, 3, 1}));
+}
+
+TEST(FlatIndexTest, KnnClampedToDatasetSize) {
+  const data::Dataset ds = LineDataset();
+  const FlatIndex index(ds);
+  EXPECT_EQ(index.Knn({0.0}, 100).size(), 10u);
+  EXPECT_TRUE(index.Knn({0.0}, 0).empty());
+}
+
+TEST(FlatIndexTest, KnnRadiusMatchesKthDistance) {
+  const data::Dataset ds = LineDataset();
+  const FlatIndex index(ds);
+  EXPECT_DOUBLE_EQ(index.KnnRadius({0.0}, 1), 0.0);
+  EXPECT_DOUBLE_EQ(index.KnnRadius({0.0}, 3), 2.0);
+  EXPECT_TRUE(std::isinf(index.KnnRadius({0.0}, 11)));
+}
+
+TEST(FlatIndexTest, KnnRadiusConsistentWithRange) {
+  Rng rng(1);
+  data::MarkovOptions options;
+  options.count = 300;
+  options.dim = 16;
+  Result<data::Dataset> ds = data::GenerateMarkov(options, rng);
+  ASSERT_TRUE(ds.ok());
+  const FlatIndex index(*ds);
+  const Vector& query = ds->items[7];
+  for (int k : {1, 5, 20}) {
+    const double radius = index.KnnRadius(query, k);
+    const std::vector<ItemId> in_range = index.RangeSearch(query, radius);
+    EXPECT_GE(static_cast<int>(in_range.size()), k);
+  }
+}
+
+}  // namespace
+}  // namespace hyperm::core

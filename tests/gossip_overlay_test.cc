@@ -1,0 +1,149 @@
+#include "overlay/gossip_overlay.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hyperm::overlay {
+namespace {
+
+std::unique_ptr<GossipOverlay> MakeGossip(int nodes, int ttl,
+                                          sim::NetworkStats* stats, int degree = 4,
+                                          uint64_t seed = 3) {
+  Rng rng(seed);
+  auto result = GossipOverlay::Build(2, nodes, degree, ttl, stats, rng);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+TEST(GossipBuildTest, RejectsBadArguments) {
+  sim::NetworkStats stats;
+  Rng rng(1);
+  EXPECT_FALSE(GossipOverlay::Build(0, 4, 4, -1, &stats, rng).ok());
+  EXPECT_FALSE(GossipOverlay::Build(2, 0, 4, -1, &stats, rng).ok());
+  EXPECT_FALSE(GossipOverlay::Build(2, 4, 1, -1, &stats, rng).ok());
+}
+
+TEST(GossipBuildTest, GraphIsConnectedWithRequestedDegree) {
+  sim::NetworkStats stats;
+  auto gossip = MakeGossip(32, -1, &stats);
+  // Connectivity: an unbounded flood from node 0 reaches everyone.
+  PublishedCluster c;
+  c.sphere = geom::Sphere{{0.5, 0.5}, 0.1};
+  c.items = 1;
+  c.cluster_id = 1;
+  ASSERT_TRUE(gossip->Insert(c, 31).ok());
+  Result<RangeQueryResult> result =
+      gossip->RangeQuery(geom::Sphere{{0.5, 0.5}, 0.2}, 0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->nodes_visited, 32);
+  ASSERT_EQ(result->matches.size(), 1u);
+  // Degree: every node has at least 4 links (backbone + chords).
+  for (NodeId n = 0; n < gossip->num_nodes(); ++n) {
+    EXPECT_GE(gossip->links(n).size(), 4u);
+  }
+}
+
+TEST(GossipInsertTest, PublicationIsFree) {
+  sim::NetworkStats stats;
+  auto gossip = MakeGossip(16, -1, &stats);
+  stats.Reset();
+  PublishedCluster c;
+  c.sphere = geom::Sphere{{0.2, 0.3}, 0.05};
+  c.items = 9;
+  c.cluster_id = 5;
+  Result<InsertReceipt> receipt = gossip->Insert(c, 7);
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_EQ(receipt->routing_hops, 0);
+  EXPECT_EQ(receipt->replicas, 0);
+  EXPECT_EQ(stats.total_hops(), 0u);
+  // Stored at the publisher.
+  bool found = false;
+  for (const NodeStorage& s : gossip->StorageDistribution()) {
+    if (s.node == 7) found = s.clusters == 1;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GossipQueryTest, TtlBoundsTheFloodAndCanMissAnswers) {
+  sim::NetworkStats stats;
+  // Degree 2 => a plain ring of 32: the farthest node is 16 hops away.
+  auto gossip = MakeGossip(32, /*ttl=*/2, &stats, /*degree=*/2);
+  PublishedCluster c;
+  c.sphere = geom::Sphere{{0.5, 0.5}, 0.1};
+  c.items = 1;
+  c.cluster_id = 1;
+  ASSERT_TRUE(gossip->Insert(c, 16).ok());  // publisher far from node 0
+  Result<RangeQueryResult> bounded =
+      gossip->RangeQuery(geom::Sphere{{0.5, 0.5}, 0.2}, 0);
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_LE(bounded->nodes_visited, 5);     // ttl 2 on a ring: <= 5 nodes
+  EXPECT_TRUE(bounded->matches.empty());    // the unstructured failure mode
+  // Querying next to the publisher finds it.
+  Result<RangeQueryResult> near =
+      gossip->RangeQuery(geom::Sphere{{0.5, 0.5}, 0.2}, 15);
+  ASSERT_TRUE(near.ok());
+  EXPECT_EQ(near->matches.size(), 1u);
+}
+
+TEST(GossipQueryTest, UnboundedFloodFindsEverythingOnce) {
+  sim::NetworkStats stats;
+  auto gossip = MakeGossip(24, -1, &stats);
+  Rng rng(9);
+  std::vector<PublishedCluster> all;
+  for (uint64_t id = 1; id <= 30; ++id) {
+    PublishedCluster c;
+    c.sphere = geom::Sphere{{rng.NextDouble(), rng.NextDouble()},
+                            rng.Uniform(0.0, 0.2)};
+    c.owner_peer = static_cast<int>(id % 6);
+    c.items = 1;
+    c.cluster_id = id;
+    ASSERT_TRUE(gossip->Insert(c, static_cast<NodeId>(rng.NextIndex(24))).ok());
+    all.push_back(c);
+  }
+  for (int trial = 0; trial < 25; ++trial) {
+    geom::Sphere query{{rng.NextDouble(), rng.NextDouble()}, rng.Uniform(0.0, 0.3)};
+    Result<RangeQueryResult> result = gossip->RangeQuery(query, 0);
+    ASSERT_TRUE(result.ok());
+    std::set<uint64_t> found;
+    for (const PublishedCluster& c : result->matches) {
+      EXPECT_TRUE(found.insert(c.cluster_id).second);
+    }
+    for (const PublishedCluster& c : all) {
+      EXPECT_EQ(found.count(c.cluster_id), c.sphere.Intersects(query) ? 1u : 0u);
+    }
+  }
+}
+
+TEST(GossipQueryTest, FloodCostCountsEveryEdgeOnce) {
+  sim::NetworkStats stats;
+  auto gossip = MakeGossip(16, -1, &stats);
+  stats.Reset();
+  Result<RangeQueryResult> result =
+      gossip->RangeQuery(geom::Sphere{{0.5, 0.5}, 0.1}, 0);
+  ASSERT_TRUE(result.ok());
+  // Spanning flood: exactly nodes-1 forwarding edges.
+  EXPECT_EQ(result->flood_hops, 15);
+  EXPECT_EQ(stats.hops(sim::TrafficClass::kQuery), 15u);
+}
+
+TEST(GossipStorageTest, RemoveByOwnerAndClear) {
+  sim::NetworkStats stats;
+  auto gossip = MakeGossip(8, -1, &stats);
+  PublishedCluster c;
+  c.sphere = geom::Sphere{{0.1, 0.1}, 0.0};
+  c.owner_peer = 3;
+  c.items = 1;
+  c.cluster_id = 2;
+  ASSERT_TRUE(gossip->Insert(c, 0).ok());
+  EXPECT_EQ(gossip->RemoveByOwner(3), 1);
+  EXPECT_EQ(gossip->RemoveByOwner(3), 0);
+  ASSERT_TRUE(gossip->Insert(c, 0).ok());
+  gossip->ClearStorage();
+  for (const NodeStorage& s : gossip->StorageDistribution()) EXPECT_EQ(s.clusters, 0);
+}
+
+}  // namespace
+}  // namespace hyperm::overlay

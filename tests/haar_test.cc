@@ -1,0 +1,134 @@
+#include "wavelet/haar.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "vec/vector.h"
+
+namespace hyperm::wavelet {
+namespace {
+
+Vector RandomVector(size_t dim, Rng& rng) {
+  Vector x(dim);
+  for (double& v : x) v = rng.Uniform(-5.0, 5.0);
+  return x;
+}
+
+TEST(HaarStepTest, AveragingConvention) {
+  const Vector x{2.0, 4.0, -1.0, 3.0};
+  HaarStep step = DecomposeStep(x);
+  EXPECT_EQ(step.approximation, (Vector{3.0, 1.0}));
+  EXPECT_EQ(step.detail, (Vector{-1.0, -2.0}));
+}
+
+TEST(HaarStepTest, StepRoundTrips) {
+  Rng rng(1);
+  const Vector x = RandomVector(16, rng);
+  HaarStep step = DecomposeStep(x);
+  const Vector back = ReconstructStep(step.approximation, step.detail);
+  ASSERT_EQ(back.size(), x.size());
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(back[i], x[i], 1e-12);
+}
+
+TEST(HaarStepTest, EnergyRelation) {
+  // Averaging Haar: ||A||^2 + ||D||^2 = ||x||^2 / 2 per step.
+  Rng rng(2);
+  const Vector x = RandomVector(32, rng);
+  HaarStep step = DecomposeStep(x);
+  EXPECT_NEAR(vec::SquaredNorm(step.approximation) + vec::SquaredNorm(step.detail),
+              vec::SquaredNorm(x) / 2.0, 1e-9);
+}
+
+TEST(HaarDecomposeTest, RejectsNonPowerOfTwo) {
+  EXPECT_FALSE(Decompose(Vector(6, 1.0)).ok());
+  EXPECT_FALSE(Decompose(Vector{}).ok());
+}
+
+TEST(HaarDecomposeTest, PyramidShape) {
+  Result<Pyramid> p = Decompose(Vector(16, 1.0));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->approximation.size(), 1u);
+  EXPECT_EQ(p->num_detail_levels(), 4);
+  EXPECT_EQ(p->original_dim(), 16u);
+  for (int l = 0; l < 4; ++l) {
+    EXPECT_EQ(p->details[static_cast<size_t>(l)].size(), size_t{1} << l);
+  }
+}
+
+TEST(HaarDecomposeTest, ConstantVectorHasZeroDetails) {
+  Result<Pyramid> p = Decompose(Vector(8, 3.5));
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(p->approximation[0], 3.5, 1e-12);
+  for (const Vector& d : p->details) {
+    for (double v : d) EXPECT_NEAR(v, 0.0, 1e-12);
+  }
+}
+
+TEST(HaarDecomposeTest, ApproximationIsGlobalMean) {
+  Rng rng(3);
+  const Vector x = RandomVector(64, rng);
+  Result<Pyramid> p = Decompose(x);
+  ASSERT_TRUE(p.ok());
+  double mean = 0.0;
+  for (double v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  EXPECT_NEAR(p->approximation[0], mean, 1e-10);
+}
+
+TEST(HaarDecomposeTest, DimensionOneIsIdentity) {
+  Result<Pyramid> p = Decompose(Vector{7.0});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->num_detail_levels(), 0);
+  EXPECT_EQ(p->approximation, (Vector{7.0}));
+  EXPECT_EQ(Reconstruct(*p), (Vector{7.0}));
+}
+
+TEST(HaarDecomposeTest, Linearity) {
+  Rng rng(4);
+  const Vector x = RandomVector(32, rng);
+  const Vector y = RandomVector(32, rng);
+  const Vector z = vec::Add(vec::Scale(x, 2.0), y);
+  Result<Pyramid> px = Decompose(x);
+  Result<Pyramid> py = Decompose(y);
+  Result<Pyramid> pz = Decompose(z);
+  ASSERT_TRUE(px.ok() && py.ok() && pz.ok());
+  EXPECT_NEAR(pz->approximation[0], 2.0 * px->approximation[0] + py->approximation[0],
+              1e-10);
+  for (size_t l = 0; l < pz->details.size(); ++l) {
+    for (size_t i = 0; i < pz->details[l].size(); ++i) {
+      EXPECT_NEAR(pz->details[l][i], 2.0 * px->details[l][i] + py->details[l][i], 1e-10);
+    }
+  }
+}
+
+TEST(HaarDecomposeTest, PadToPowerOfTwo) {
+  const Vector x{1.0, 2.0, 3.0};
+  const Vector padded = PadToPowerOfTwo(x);
+  EXPECT_EQ(padded, (Vector{1.0, 2.0, 3.0, 0.0}));
+  // Already a power of two: unchanged.
+  EXPECT_EQ(PadToPowerOfTwo(padded), padded);
+}
+
+// Property sweep: perfect reconstruction over many dims and seeds.
+class HaarRoundTrip : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HaarRoundTrip, PerfectReconstruction) {
+  const auto [dim, seed] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  const Vector x = RandomVector(static_cast<size_t>(dim), rng);
+  Result<Pyramid> p = Decompose(x);
+  ASSERT_TRUE(p.ok());
+  const Vector back = Reconstruct(*p);
+  ASSERT_EQ(back.size(), x.size());
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(back[i], x[i], 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndSeeds, HaarRoundTrip,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8, 64, 512),
+                       ::testing::Values(10, 20, 30)));
+
+}  // namespace
+}  // namespace hyperm::wavelet

@@ -1,0 +1,92 @@
+#include "hyperm/key_mapper.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hyperm::core {
+namespace {
+
+TEST(KeyMapperTest, MapsBoundsInsideUnitCube) {
+  Bounds bounds;
+  bounds.lo = {-2.0, 0.0};
+  bounds.hi = {2.0, 1.0};
+  const KeyMapper mapper = KeyMapper::FromBounds(bounds, 0.05);
+  const Vector lo_key = mapper.ToKey(bounds.lo);
+  const Vector hi_key = mapper.ToKey(bounds.hi);
+  for (double v : lo_key) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+  for (double v : hi_key) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+  // Margin respected on the widest dimension.
+  EXPECT_NEAR(lo_key[0], 0.05, 1e-12);
+  EXPECT_NEAR(hi_key[0], 0.95, 1e-12);
+}
+
+TEST(KeyMapperTest, UniformScalePreservesDistanceRatios) {
+  Bounds bounds;
+  bounds.lo = {0.0, -5.0};
+  bounds.hi = {10.0, 5.0};
+  const KeyMapper mapper = KeyMapper::FromBounds(bounds, 0.1);
+  Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    Vector a{rng.Uniform(0.0, 10.0), rng.Uniform(-5.0, 5.0)};
+    Vector b{rng.Uniform(0.0, 10.0), rng.Uniform(-5.0, 5.0)};
+    const double original = vec::Distance(a, b);
+    const double mapped = vec::Distance(mapper.ToKey(a), mapper.ToKey(b));
+    EXPECT_NEAR(mapped, original * mapper.scale(), 1e-9);
+  }
+}
+
+TEST(KeyMapperTest, RadiusScalesWithSameFactor) {
+  Bounds bounds;
+  bounds.lo = {0.0};
+  bounds.hi = {4.0};
+  const KeyMapper mapper = KeyMapper::FromBounds(bounds, 0.0);
+  EXPECT_NEAR(mapper.ToKeyRadius(2.0), 2.0 * mapper.scale(), 1e-12);
+  const geom::Sphere s = mapper.ToKeySphere(Vector{2.0}, 1.0);
+  EXPECT_NEAR(s.radius, mapper.scale(), 1e-12);
+  EXPECT_NEAR(s.center[0], 0.5, 1e-12);
+}
+
+TEST(KeyMapperTest, OutOfBoundsPointsClamped) {
+  Bounds bounds;
+  bounds.lo = {0.0};
+  bounds.hi = {1.0};
+  const KeyMapper mapper = KeyMapper::FromBounds(bounds, 0.05);
+  const Vector low = mapper.ToKey(Vector{-100.0});
+  const Vector high = mapper.ToKey(Vector{100.0});
+  EXPECT_EQ(low[0], 0.0);
+  EXPECT_LT(high[0], 1.0);
+  EXPECT_GT(high[0], 0.99);
+}
+
+TEST(KeyMapperTest, DegenerateBoundsStillUsable) {
+  Bounds bounds;
+  bounds.lo = {3.0};
+  bounds.hi = {3.0};
+  const KeyMapper mapper = KeyMapper::FromBounds(bounds, 0.05);
+  const Vector key = mapper.ToKey(Vector{3.0});
+  EXPECT_GE(key[0], 0.0);
+  EXPECT_LT(key[0], 1.0);
+}
+
+TEST(KeyMapperTest, NarrowDimensionsOccupyProportionalSlice) {
+  // Dim 0 spans 10, dim 1 spans 1: after uniform scaling dim 1 occupies a
+  // tenth of the cube's extent.
+  Bounds bounds;
+  bounds.lo = {0.0, 0.0};
+  bounds.hi = {10.0, 1.0};
+  const KeyMapper mapper = KeyMapper::FromBounds(bounds, 0.0);
+  const Vector hi_key = mapper.ToKey(bounds.hi);
+  EXPECT_NEAR(hi_key[1], 0.1, 1e-9);
+}
+
+}  // namespace
+}  // namespace hyperm::core

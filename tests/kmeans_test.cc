@@ -1,0 +1,204 @@
+#include "cluster/kmeans.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hyperm::cluster {
+namespace {
+
+// Three well-separated gaussian blobs in 2-D.
+std::vector<Vector> ThreeBlobs(Rng& rng, int per_blob = 50) {
+  const std::vector<Vector> centers{{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  std::vector<Vector> points;
+  for (const Vector& c : centers) {
+    for (int i = 0; i < per_blob; ++i) {
+      points.push_back({c[0] + rng.Gaussian(0.0, 0.3), c[1] + rng.Gaussian(0.0, 0.3)});
+    }
+  }
+  return points;
+}
+
+TEST(KMeansTest, RejectsBadInput) {
+  Rng rng(1);
+  EXPECT_FALSE(KMeans({}, KMeansOptions{}, rng).ok());
+  KMeansOptions bad;
+  bad.k = 0;
+  EXPECT_FALSE(KMeans({{1.0}}, bad, rng).ok());
+}
+
+TEST(KMeansTest, RejectsInconsistentDimensions) {
+  Rng rng(1);
+  std::vector<Vector> points{{1.0, 2.0}, {1.0}};
+  EXPECT_FALSE(KMeans(points, KMeansOptions{}, rng).ok());
+}
+
+TEST(KMeansTest, SinglePoint) {
+  Rng rng(2);
+  KMeansOptions options;
+  options.k = 3;
+  Result<KMeansResult> r = KMeans({{1.0, 2.0}}, options, rng);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->clusters.size(), 1u);
+  EXPECT_EQ(r->clusters[0].centroid, (Vector{1.0, 2.0}));
+  EXPECT_EQ(r->clusters[0].radius, 0.0);
+  EXPECT_EQ(r->clusters[0].count, 1);
+}
+
+TEST(KMeansTest, RecoversSeparatedBlobs) {
+  Rng rng(3);
+  const std::vector<Vector> points = ThreeBlobs(rng);
+  KMeansOptions options;
+  options.k = 3;
+  Result<KMeansResult> r = KMeans(points, options, rng);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->clusters.size(), 3u);
+  // Every blob center has a centroid within 0.5.
+  for (const Vector& blob : {Vector{0.0, 0.0}, Vector{10.0, 0.0}, Vector{0.0, 10.0}}) {
+    double best = 1e9;
+    for (const SphereCluster& c : r->clusters) {
+      best = std::fmin(best, vec::Distance(blob, c.centroid));
+    }
+    EXPECT_LT(best, 0.5);
+  }
+}
+
+TEST(KMeansTest, CountsConserveItems) {
+  Rng rng(4);
+  const std::vector<Vector> points = ThreeBlobs(rng, 33);
+  KMeansOptions options;
+  options.k = 7;
+  Result<KMeansResult> r = KMeans(points, options, rng);
+  ASSERT_TRUE(r.ok());
+  int total = 0;
+  for (const SphereCluster& c : r->clusters) {
+    EXPECT_GT(c.count, 0);
+    total += c.count;
+  }
+  EXPECT_EQ(total, static_cast<int>(points.size()));
+  EXPECT_EQ(r->assignments.size(), points.size());
+}
+
+TEST(KMeansTest, RadiusCoversEveryMember) {
+  Rng rng(5);
+  const std::vector<Vector> points = ThreeBlobs(rng);
+  KMeansOptions options;
+  options.k = 5;
+  Result<KMeansResult> r = KMeans(points, options, rng);
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SphereCluster& c = r->clusters[static_cast<size_t>(r->assignments[i])];
+    EXPECT_LE(vec::Distance(points[i], c.centroid), c.radius + 1e-9);
+  }
+}
+
+TEST(KMeansTest, AssignmentsAreNearestCentroid) {
+  Rng rng(6);
+  const std::vector<Vector> points = ThreeBlobs(rng);
+  KMeansOptions options;
+  options.k = 4;
+  Result<KMeansResult> r = KMeans(points, options, rng);
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 0; i < points.size(); ++i) {
+    const double assigned =
+        vec::SquaredDistance(points[i], r->clusters[static_cast<size_t>(r->assignments[i])].centroid);
+    for (const SphereCluster& c : r->clusters) {
+      EXPECT_LE(assigned, vec::SquaredDistance(points[i], c.centroid) + 1e-9);
+    }
+  }
+}
+
+TEST(KMeansTest, InertiaMatchesDefinition) {
+  Rng rng(7);
+  const std::vector<Vector> points = ThreeBlobs(rng, 20);
+  KMeansOptions options;
+  options.k = 3;
+  Result<KMeansResult> r = KMeans(points, options, rng);
+  ASSERT_TRUE(r.ok());
+  double inertia = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    inertia += vec::SquaredDistance(
+        points[i], r->clusters[static_cast<size_t>(r->assignments[i])].centroid);
+  }
+  EXPECT_NEAR(r->inertia, inertia, 1e-9);
+}
+
+TEST(KMeansTest, MoreClustersNeverHurtMuch) {
+  Rng rng(8);
+  const std::vector<Vector> points = ThreeBlobs(rng);
+  double prev_inertia = 1e18;
+  for (int k : {1, 3, 10}) {
+    KMeansOptions options;
+    options.k = k;
+    Rng local(42);
+    Result<KMeansResult> r = KMeans(points, options, local);
+    ASSERT_TRUE(r.ok());
+    EXPECT_LE(r->inertia, prev_inertia * 1.05);
+    prev_inertia = r->inertia;
+  }
+}
+
+TEST(KMeansTest, KClampedToPointCount) {
+  Rng rng(9);
+  std::vector<Vector> points{{0.0}, {1.0}, {2.0}};
+  KMeansOptions options;
+  options.k = 10;
+  Result<KMeansResult> r = KMeans(points, options, rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->clusters.size(), 3u);
+}
+
+TEST(KMeansTest, DeterministicGivenRngState) {
+  const std::vector<Vector> points = [] {
+    Rng data_rng(10);
+    return ThreeBlobs(data_rng);
+  }();
+  KMeansOptions options;
+  options.k = 4;
+  Rng a(55), b(55);
+  Result<KMeansResult> ra = KMeans(points, options, a);
+  Result<KMeansResult> rb = KMeans(points, options, b);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_EQ(ra->assignments, rb->assignments);
+  EXPECT_DOUBLE_EQ(ra->inertia, rb->inertia);
+}
+
+TEST(KMeansTest, DuplicatePointsHandled) {
+  Rng rng(11);
+  std::vector<Vector> points(20, Vector{1.0, 1.0});
+  KMeansOptions options;
+  options.k = 4;
+  Result<KMeansResult> r = KMeans(points, options, rng);
+  ASSERT_TRUE(r.ok());
+  int total = 0;
+  for (const SphereCluster& c : r->clusters) {
+    total += c.count;
+    EXPECT_EQ(c.radius, 0.0);
+  }
+  EXPECT_EQ(total, 20);
+}
+
+TEST(KMeansTest, UniformSeedingAlsoWorks) {
+  Rng rng(12);
+  const std::vector<Vector> points = ThreeBlobs(rng);
+  KMeansOptions options;
+  options.k = 3;
+  options.plus_plus_seeding = false;
+  Result<KMeansResult> r = KMeans(points, options, rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->clusters.size(), 3u);
+}
+
+TEST(SummarizeTest, BuildsTightSphere) {
+  std::vector<Vector> points{{0.0, 0.0}, {2.0, 0.0}};
+  SphereCluster c = Summarize(points);
+  EXPECT_EQ(c.centroid, (Vector{1.0, 0.0}));
+  EXPECT_DOUBLE_EQ(c.radius, 1.0);
+  EXPECT_EQ(c.count, 2);
+}
+
+}  // namespace
+}  // namespace hyperm::cluster

@@ -1,0 +1,128 @@
+#include "wavelet/level.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "vec/vector.h"
+#include "wavelet/haar.h"
+
+namespace hyperm::wavelet {
+namespace {
+
+TEST(LevelTest, NamesAndDims) {
+  EXPECT_EQ(Level::Approximation().name(), "A");
+  EXPECT_EQ(Level::Approximation().dim(), 1u);
+  EXPECT_EQ(Level::Detail(0).name(), "D0");
+  EXPECT_EQ(Level::Detail(0).dim(), 1u);
+  EXPECT_EQ(Level::Detail(3).name(), "D3");
+  EXPECT_EQ(Level::Detail(3).dim(), 8u);
+}
+
+TEST(LevelTest, Equality) {
+  EXPECT_EQ(Level::Approximation(), Level::Approximation());
+  EXPECT_EQ(Level::Detail(2), Level::Detail(2));
+  EXPECT_FALSE(Level::Detail(1) == Level::Detail(2));
+  EXPECT_FALSE(Level::Approximation() == Level::Detail(0));
+}
+
+TEST(LevelTest, ProjectSelectsSubspaces) {
+  Result<Pyramid> p = Decompose(Vector{1.0, 2.0, 3.0, 4.0});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(Project(*p, Level::Approximation()).size(), 1u);
+  EXPECT_EQ(Project(*p, Level::Detail(0)).size(), 1u);
+  EXPECT_EQ(Project(*p, Level::Detail(1)).size(), 2u);
+  EXPECT_EQ(&Project(*p, Level::Approximation()), &p->approximation);
+}
+
+TEST(LevelTest, RadiusScaleFormula) {
+  // d = 2^m. For A and D_0 the scale is 2^{-m/2}; for D_l it is 2^{-(m-l)/2}.
+  const int m = 9;  // d = 512
+  EXPECT_NEAR(RadiusScale(m, Level::Approximation()), std::pow(2.0, -4.5), 1e-12);
+  EXPECT_NEAR(RadiusScale(m, Level::Detail(0)), std::pow(2.0, -4.5), 1e-12);
+  EXPECT_NEAR(RadiusScale(m, Level::Detail(8)), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(RadiusScale(m, Level::Detail(5)), std::pow(2.0, -2.0), 1e-12);
+}
+
+TEST(LevelTest, DefaultLevelsLayout) {
+  const std::vector<Level> levels = DefaultLevels(9, 4);
+  ASSERT_EQ(levels.size(), 4u);
+  EXPECT_EQ(levels[0], Level::Approximation());
+  EXPECT_EQ(levels[1], Level::Detail(0));
+  EXPECT_EQ(levels[2], Level::Detail(1));
+  EXPECT_EQ(levels[3], Level::Detail(2));
+}
+
+TEST(LevelTest, DefaultLevelsSingleLayer) {
+  const std::vector<Level> levels = DefaultLevels(9, 1);
+  ASSERT_EQ(levels.size(), 1u);
+  EXPECT_EQ(levels[0], Level::Approximation());
+}
+
+// Property: Theorem 3.1. Points inside a sphere of radius r map inside a
+// sphere of radius r * RadiusScale(level) around the projected center, at
+// every level.
+class RadiusContraction : public ::testing::TestWithParam<int> {};
+
+TEST_P(RadiusContraction, Theorem31HoldsEmpirically) {
+  const int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  const int dim = 64;
+  const int m = 6;
+  const double r = 2.0;
+
+  // Random center.
+  Vector center(dim);
+  for (double& v : center) v = rng.Uniform(-3.0, 3.0);
+  Result<Pyramid> center_pyramid = Decompose(center);
+  ASSERT_TRUE(center_pyramid.ok());
+
+  std::vector<Level> levels = DefaultLevels(m, m + 1);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Random point inside the sphere: gaussian direction, scaled radius.
+    Vector offset(dim);
+    for (double& v : offset) v = rng.Gaussian();
+    const double norm = vec::Norm(offset);
+    const double radius = r * std::pow(rng.NextDouble(), 1.0 / dim);
+    Vector point = center;
+    for (int i = 0; i < dim; ++i) {
+      point[static_cast<size_t>(i)] += offset[static_cast<size_t>(i)] / norm * radius;
+    }
+    Result<Pyramid> point_pyramid = Decompose(point);
+    ASSERT_TRUE(point_pyramid.ok());
+    for (const Level& level : levels) {
+      const double scaled = r * RadiusScale(m, level);
+      const double dist = vec::Distance(Project(*point_pyramid, level),
+                                        Project(*center_pyramid, level));
+      EXPECT_LE(dist, scaled + 1e-9)
+          << "level " << level.name() << " trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RadiusContraction, ::testing::Values(1, 2, 3, 4, 5));
+
+// The contraction bound is tight: for some point the level distance gets
+// close to the bound (within a factor ~1/sqrt(2) for random probes).
+TEST(LevelTest, ContractionBoundIsNotVacuous) {
+  Rng rng(99);
+  const int dim = 16;
+  const int m = 4;
+  const Vector center(dim, 0.0);
+  double best = 0.0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    Vector point(dim);
+    for (double& v : point) v = rng.Uniform(-1.0, 1.0);
+    const double norm = vec::Norm(point);
+    for (double& v : point) v /= norm;  // on the unit sphere
+    Result<Pyramid> p = Decompose(point);
+    ASSERT_TRUE(p.ok());
+    const double dist = std::fabs(p->approximation[0]);
+    best = std::fmax(best, dist / RadiusScale(m, Level::Approximation()));
+  }
+  EXPECT_GT(best, 0.5);  // bound exercised, not off by an order of magnitude
+}
+
+}  // namespace
+}  // namespace hyperm::wavelet

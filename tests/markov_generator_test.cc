@@ -1,0 +1,122 @@
+#include "data/markov_generator.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace hyperm::data {
+namespace {
+
+TEST(MarkovGeneratorTest, RejectsBadOptions) {
+  Rng rng(1);
+  MarkovOptions bad;
+  bad.count = 0;
+  EXPECT_FALSE(GenerateMarkov(bad, rng).ok());
+  bad = MarkovOptions{};
+  bad.dim = 0;
+  EXPECT_FALSE(GenerateMarkov(bad, rng).ok());
+  bad = MarkovOptions{};
+  bad.num_families = 0;
+  EXPECT_FALSE(GenerateMarkov(bad, rng).ok());
+}
+
+TEST(MarkovGeneratorTest, ShapeMatchesOptions) {
+  Rng rng(2);
+  MarkovOptions options;
+  options.count = 500;
+  options.dim = 64;
+  options.num_families = 10;
+  Result<Dataset> ds = GenerateMarkov(options, rng);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 500u);
+  EXPECT_EQ(ds->dim(), 64u);
+  ASSERT_TRUE(ds->has_labels());
+  for (int label : ds->labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 10);
+  }
+}
+
+TEST(MarkovGeneratorTest, UsesMultipleFamilies) {
+  Rng rng(3);
+  MarkovOptions options;
+  options.count = 200;
+  options.dim = 16;
+  options.num_families = 8;
+  Result<Dataset> ds = GenerateMarkov(options, rng);
+  ASSERT_TRUE(ds.ok());
+  std::set<int> families(ds->labels.begin(), ds->labels.end());
+  EXPECT_GT(families.size(), 4u);
+}
+
+TEST(MarkovGeneratorTest, DeterministicGivenSeed) {
+  MarkovOptions options;
+  options.count = 50;
+  options.dim = 32;
+  Rng a(9), b(9);
+  Result<Dataset> da = GenerateMarkov(options, a);
+  Result<Dataset> db = GenerateMarkov(options, b);
+  ASSERT_TRUE(da.ok() && db.ok());
+  EXPECT_EQ(da->items, db->items);
+  EXPECT_EQ(da->labels, db->labels);
+}
+
+TEST(MarkovGeneratorTest, TracesAreBoundedWalks) {
+  Rng rng(4);
+  MarkovOptions options;
+  options.count = 100;
+  options.dim = 512;
+  Result<Dataset> ds = GenerateMarkov(options, rng);
+  ASSERT_TRUE(ds.ok());
+  // A 512-step walk with max step 0.1 stays within start ± 51.2 strictly.
+  for (const Vector& trace : ds->items) {
+    for (double v : trace) {
+      EXPECT_GT(v, -52.0);
+      EXPECT_LT(v, 53.0);
+    }
+  }
+}
+
+TEST(MarkovGeneratorTest, ConsecutiveValuesMoveByAtMostMaxStep) {
+  Rng rng(5);
+  MarkovOptions options;
+  options.count = 20;
+  options.dim = 128;
+  Result<Dataset> ds = GenerateMarkov(options, rng);
+  ASSERT_TRUE(ds.ok());
+  for (const Vector& trace : ds->items) {
+    for (size_t i = 1; i < trace.size(); ++i) {
+      EXPECT_LE(std::abs(trace[i] - trace[i - 1]), 0.1 + 1e-12);
+    }
+  }
+}
+
+TEST(MarkovGeneratorTest, SameFamilyTracesAreMoreSimilar) {
+  Rng rng(6);
+  MarkovOptions options;
+  options.count = 400;
+  options.dim = 64;
+  options.num_families = 4;
+  Result<Dataset> ds = GenerateMarkov(options, rng);
+  ASSERT_TRUE(ds.ok());
+  double intra = 0.0, inter = 0.0;
+  int intra_n = 0, inter_n = 0;
+  for (size_t i = 0; i < ds->size(); i += 7) {
+    for (size_t j = i + 1; j < ds->size(); j += 7) {
+      const double d = vec::Distance(ds->items[i], ds->items[j]);
+      if (ds->labels[i] == ds->labels[j]) {
+        intra += d;
+        ++intra_n;
+      } else {
+        inter += d;
+        ++inter_n;
+      }
+    }
+  }
+  ASSERT_GT(intra_n, 0);
+  ASSERT_GT(inter_n, 0);
+  EXPECT_LT(intra / intra_n, inter / inter_n);
+}
+
+}  // namespace
+}  // namespace hyperm::data

@@ -1,0 +1,79 @@
+#include "cluster/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cluster/kmeans.h"
+#include "common/rng.h"
+
+namespace hyperm::cluster {
+namespace {
+
+TEST(MetricsTest, CohesionOfPerfectClusters) {
+  std::vector<Vector> points{{0.0}, {0.0}, {10.0}, {10.0}};
+  std::vector<int> assignments{0, 0, 1, 1};
+  std::vector<SphereCluster> clusters{
+      {{0.0}, 0.0, 2},
+      {{10.0}, 0.0, 2},
+  };
+  EXPECT_DOUBLE_EQ(Cohesion(points, assignments, clusters), 0.0);
+}
+
+TEST(MetricsTest, CohesionAveragesDistances) {
+  std::vector<Vector> points{{-1.0}, {1.0}};
+  std::vector<int> assignments{0, 0};
+  std::vector<SphereCluster> clusters{{{0.0}, 1.0, 2}};
+  EXPECT_DOUBLE_EQ(Cohesion(points, assignments, clusters), 1.0);
+}
+
+TEST(MetricsTest, SeparationPairwiseMean) {
+  std::vector<SphereCluster> clusters{
+      {{0.0}, 0.0, 1}, {{2.0}, 0.0, 1}, {{4.0}, 0.0, 1}};
+  // Pairwise distances 2, 4, 2 -> mean 8/3.
+  EXPECT_NEAR(Separation(clusters), 8.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, SeparationDegenerate) {
+  EXPECT_EQ(Separation({}), 0.0);
+  EXPECT_EQ(Separation({{{1.0}, 0.0, 5}}), 0.0);
+}
+
+TEST(MetricsTest, QualityRatioLowerIsBetter) {
+  std::vector<Vector> tight{{0.0}, {0.1}, {9.9}, {10.0}};
+  std::vector<int> assignments{0, 0, 1, 1};
+  std::vector<SphereCluster> tight_clusters{{{0.05}, 0.05, 2}, {{9.95}, 0.05, 2}};
+  const double good = QualityRatio(tight, assignments, tight_clusters);
+
+  std::vector<Vector> loose{{0.0}, {4.0}, {6.0}, {10.0}};
+  std::vector<SphereCluster> loose_clusters{{{2.0}, 2.0, 2}, {{8.0}, 2.0, 2}};
+  const double bad = QualityRatio(loose, assignments, loose_clusters);
+  EXPECT_LT(good, bad);
+}
+
+TEST(MetricsTest, QualityRatioInfiniteWithoutSeparation) {
+  std::vector<Vector> points{{0.0}, {1.0}};
+  std::vector<int> assignments{0, 0};
+  std::vector<SphereCluster> one{{{0.5}, 0.5, 2}};
+  EXPECT_TRUE(std::isinf(QualityRatio(points, assignments, one)));
+}
+
+TEST(MetricsTest, EndToEndWithKMeans) {
+  Rng rng(1);
+  std::vector<Vector> points;
+  for (int blob = 0; blob < 2; ++blob) {
+    for (int i = 0; i < 40; ++i) {
+      points.push_back({blob * 20.0 + rng.Gaussian(0.0, 0.5)});
+    }
+  }
+  KMeansOptions options;
+  options.k = 2;
+  Result<KMeansResult> r = KMeans(points, options, rng);
+  ASSERT_TRUE(r.ok());
+  const double ratio = QualityRatio(points, r->assignments, r->clusters);
+  // Tight blobs 20 apart: cohesion ~0.4, separation ~20.
+  EXPECT_LT(ratio, 0.1);
+}
+
+}  // namespace
+}  // namespace hyperm::cluster

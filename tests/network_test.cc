@@ -1,0 +1,416 @@
+#include "hyperm/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "data/histogram_generator.h"
+#include "data/markov_generator.h"
+#include "hyperm/baseline.h"
+#include "hyperm/flat_index.h"
+#include "hyperm/eval.h"
+
+namespace hyperm::core {
+namespace {
+
+struct TestBed {
+  data::Dataset dataset;
+  data::PeerAssignment assignment;
+  std::unique_ptr<HyperMNetwork> network;
+};
+
+TestBed MakeTestBed(const HyperMOptions& options = {}, uint64_t seed = 1,
+                    int items = 800, int dim = 64, int peers = 16) {
+  Rng rng(seed);
+  data::MarkovOptions data_options;
+  data_options.count = items;
+  data_options.dim = dim;
+  data_options.num_families = 8;
+  Result<data::Dataset> ds = data::GenerateMarkov(data_options, rng);
+  EXPECT_TRUE(ds.ok());
+  TestBed bed;
+  bed.dataset = std::move(ds).value();
+  data::AssignmentOptions assign_options;
+  assign_options.num_peers = peers;
+  assign_options.num_interest_classes = 8;
+  assign_options.min_peers_per_class = 4;
+  assign_options.max_peers_per_class = 6;
+  Result<data::PeerAssignment> assignment =
+      data::AssignByInterest(bed.dataset, assign_options, rng);
+  EXPECT_TRUE(assignment.ok());
+  bed.assignment = std::move(assignment).value();
+  Result<std::unique_ptr<HyperMNetwork>> net =
+      HyperMNetwork::Build(bed.dataset, bed.assignment, options, rng);
+  EXPECT_TRUE(net.ok()) << net.status().ToString();
+  bed.network = std::move(net).value();
+  return bed;
+}
+
+TEST(NetworkBuildTest, RejectsBadInput) {
+  Rng rng(1);
+  data::Dataset empty;
+  EXPECT_FALSE(HyperMNetwork::Build(empty, {{0}}, {}, rng).ok());
+
+  data::Dataset odd;
+  odd.items.push_back(Vector(6, 1.0));  // not a power of two
+  EXPECT_FALSE(HyperMNetwork::Build(odd, {{0}}, {}, rng).ok());
+
+  data::Dataset good;
+  good.items.push_back(Vector(8, 1.0));
+  EXPECT_FALSE(HyperMNetwork::Build(good, {}, {}, rng).ok());
+
+  HyperMOptions too_many_layers;
+  too_many_layers.num_layers = 10;  // 8-dim data has only log2(8)+1 = 4 levels
+  EXPECT_FALSE(HyperMNetwork::Build(good, {{0}}, too_many_layers, rng).ok());
+
+  EXPECT_FALSE(HyperMNetwork::Build(good, {{5}}, {}, rng).ok());  // bad index
+}
+
+TEST(NetworkBuildTest, TopologyMatchesConfiguration) {
+  TestBed bed = MakeTestBed();
+  EXPECT_EQ(bed.network->num_peers(), 16);
+  EXPECT_EQ(bed.network->num_layers(), 4);
+  EXPECT_EQ(bed.network->data_dim(), 64u);
+  EXPECT_EQ(bed.network->total_items(), 800);
+  // Layer dims: A=1, D0=1, D1=2, D2=4.
+  EXPECT_EQ(bed.network->overlay(0).dim(), 1u);
+  EXPECT_EQ(bed.network->overlay(1).dim(), 1u);
+  EXPECT_EQ(bed.network->overlay(2).dim(), 2u);
+  EXPECT_EQ(bed.network->overlay(3).dim(), 4u);
+  EXPECT_EQ(bed.network->level(0).name(), "A");
+  EXPECT_EQ(bed.network->level(3).name(), "D2");
+}
+
+TEST(NetworkBuildTest, PublishesAtMostKpClustersPerPeerPerLayer) {
+  HyperMOptions options;
+  options.clusters_per_peer = 5;
+  TestBed bed = MakeTestBed(options);
+  for (int layer = 0; layer < bed.network->num_layers(); ++layer) {
+    // A whole-cube range query surfaces every published cluster exactly once
+    // (replicas are deduplicated by id).
+    const size_t dim = bed.network->overlay(layer).dim();
+    geom::Sphere everything{Vector(dim, 0.5), 2.0 * std::sqrt(static_cast<double>(dim))};
+    Result<overlay::RangeQueryResult> all =
+        const_cast<overlay::Overlay&>(bed.network->overlay(layer))
+            .RangeQuery(everything, 0);
+    ASSERT_TRUE(all.ok()) << all.status().ToString();
+    std::vector<int> per_peer(16, 0);
+    int items_summarized = 0;
+    for (const overlay::PublishedCluster& c : all->matches) {
+      ASSERT_GE(c.owner_peer, 0);
+      ASSERT_LT(c.owner_peer, 16);
+      ++per_peer[static_cast<size_t>(c.owner_peer)];
+      items_summarized += c.items;
+    }
+    for (int count : per_peer) {
+      EXPECT_GT(count, 0);
+      EXPECT_LE(count, 5);
+    }
+    // Every peer's items are covered by its published summaries.
+    EXPECT_EQ(items_summarized, 800);
+  }
+}
+
+TEST(NetworkBuildTest, InsertionTrafficRecorded) {
+  TestBed bed = MakeTestBed();
+  const sim::NetworkStats& stats = bed.network->stats();
+  EXPECT_GT(stats.hops(sim::TrafficClass::kJoin), 0u);
+  EXPECT_GT(stats.hops(sim::TrafficClass::kInsert) +
+                stats.hops(sim::TrafficClass::kReplicate),
+            0u);
+  EXPECT_GT(stats.total_energy_millijoules(), 0.0);
+}
+
+TEST(NetworkBuildTest, SummarizationBeatsPerItemInsertion) {
+  // The headline claim: publication cost is per-cluster, not per-item, so
+  // once items/peer exceeds the published cluster count the per-item CAN
+  // baseline loses. 2000 items over 10 peers (200 each) vs 10 clusters * 4
+  // layers per peer is the paper's regime in miniature.
+  TestBed bed = MakeTestBed({}, /*seed=*/21, /*items=*/2000, /*dim=*/64,
+                            /*peers=*/10);
+  const uint64_t hyperm_hops =
+      bed.network->stats().hops(sim::TrafficClass::kInsert) +
+      bed.network->stats().hops(sim::TrafficClass::kReplicate);
+
+  Rng rng(21);
+  Result<std::unique_ptr<CanItemBaseline>> baseline =
+      CanItemBaseline::Build(bed.dataset, bed.assignment, {}, rng);
+  ASSERT_TRUE(baseline.ok());
+  const uint64_t baseline_hops =
+      (*baseline)->stats().hops(sim::TrafficClass::kInsert);
+  EXPECT_LT(hyperm_hops, baseline_hops);
+}
+
+TEST(NetworkQueryTest, RangeQueryFindsExactMatches) {
+  TestBed bed = MakeTestBed();
+  const FlatIndex oracle(bed.dataset);
+  // Query centered at an existing item with a moderate radius.
+  const Vector& query = bed.dataset.items[17];
+  const double eps = oracle.KnnRadius(query, 10);
+  RangeQueryInfo info;
+  Result<std::vector<ItemId>> result =
+      bed.network->RangeQuery(query, eps, /*querying_peer=*/0,
+                              /*max_peers_contacted=*/-1, &info);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const std::vector<ItemId> truth = oracle.RangeSearch(query, eps);
+  const PrecisionRecall pr = Evaluate(*result, truth);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);  // only true range members returned
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);     // contacting all candidates: no misses
+  EXPECT_GT(info.candidate_peers, 0);
+  EXPECT_EQ(info.peers_contacted, info.candidate_peers);
+}
+
+TEST(NetworkQueryTest, ContactBudgetTradesRecall) {
+  TestBed bed = MakeTestBed();
+  const FlatIndex oracle(bed.dataset);
+  const Vector& query = bed.dataset.items[3];
+  const double eps = oracle.KnnRadius(query, 40);
+  const std::vector<ItemId> truth = oracle.RangeSearch(query, eps);
+
+  Result<std::vector<ItemId>> all =
+      bed.network->RangeQuery(query, eps, 0, -1);
+  Result<std::vector<ItemId>> one =
+      bed.network->RangeQuery(query, eps, 0, 1);
+  ASSERT_TRUE(all.ok() && one.ok());
+  EXPECT_GE(Evaluate(*all, truth).recall, Evaluate(*one, truth).recall);
+  EXPECT_DOUBLE_EQ(Evaluate(*one, truth).precision, 1.0);
+}
+
+TEST(NetworkQueryTest, ScoresAreSortedAndPositive) {
+  TestBed bed = MakeTestBed();
+  const Vector& query = bed.dataset.items[50];
+  Result<std::vector<PeerScore>> scores = bed.network->ScorePeers(query, 0.5, 0);
+  ASSERT_TRUE(scores.ok());
+  for (size_t i = 0; i < scores->size(); ++i) {
+    EXPECT_GT((*scores)[i].score, 0.0);
+    if (i > 0) {
+      EXPECT_GE((*scores)[i - 1].score, (*scores)[i].score);
+    }
+  }
+}
+
+TEST(NetworkQueryTest, RejectsBadQueries) {
+  TestBed bed = MakeTestBed();
+  EXPECT_FALSE(bed.network->RangeQuery(Vector(3, 0.0), 1.0, 0).ok());
+  EXPECT_FALSE(bed.network->RangeQuery(bed.dataset.items[0], -1.0, 0).ok());
+  EXPECT_FALSE(bed.network->RangeQuery(bed.dataset.items[0], 1.0, -1).ok());
+  EXPECT_FALSE(bed.network->RangeQuery(bed.dataset.items[0], 1.0, 99).ok());
+  KnnOptions knn;
+  EXPECT_FALSE(bed.network->KnnQuery(bed.dataset.items[0], 0, knn, 0).ok());
+  knn.c = 0.0;
+  EXPECT_FALSE(bed.network->KnnQuery(bed.dataset.items[0], 5, knn, 0).ok());
+}
+
+TEST(NetworkQueryTest, KnnReturnsSortedResultsCoveringK) {
+  TestBed bed = MakeTestBed();
+  const FlatIndex oracle(bed.dataset);
+  const Vector& query = bed.dataset.items[99];
+  KnnOptions options;
+  options.c = 1.5;
+  KnnQueryInfo info;
+  Result<std::vector<ItemId>> result = bed.network->KnnQuery(query, 10, options, 0, &info);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->empty());
+  // Sorted by true distance.
+  for (size_t i = 1; i < result->size(); ++i) {
+    EXPECT_LE(vec::Distance(bed.dataset.items[static_cast<size_t>((*result)[i - 1])], query),
+              vec::Distance(bed.dataset.items[static_cast<size_t>((*result)[i])], query) +
+                  1e-12);
+  }
+  EXPECT_EQ(info.level_radii.size(), 4u);
+  EXPECT_GT(info.items_requested, 0);
+  // Self-query: the item itself must be the first result.
+  EXPECT_EQ((*result)[0], 99);
+}
+
+TEST(NetworkQueryTest, KnnRecallIsReasonable) {
+  TestBed bed = MakeTestBed({}, /*seed=*/2);
+  const FlatIndex oracle(bed.dataset);
+  std::vector<PrecisionRecall> prs;
+  KnnOptions options;
+  options.c = 1.5;
+  for (int q = 0; q < 20; ++q) {
+    const Vector& query = bed.dataset.items[static_cast<size_t>(q * 37 % 800)];
+    const int k = 10;
+    Result<std::vector<ItemId>> result = bed.network->KnnQuery(query, k, options, 0);
+    ASSERT_TRUE(result.ok());
+    prs.push_back(Evaluate(*result, oracle.Knn(query, k)));
+  }
+  const EffectivenessSummary s = Summarize(prs);
+  EXPECT_GT(s.mean_recall, 0.5);  // the paper balances P/R above 50%
+}
+
+TEST(NetworkChurnTest, PostCreationInsertsDegradeRecallGracefully) {
+  TestBed bed = MakeTestBed({}, /*seed=*/3);
+  // New items resembling existing ones, added without republication.
+  Rng rng(42);
+  data::MarkovOptions new_options;
+  new_options.count = 200;
+  new_options.dim = 64;
+  new_options.num_families = 8;
+  Result<data::Dataset> extra = data::GenerateMarkov(new_options, rng);
+  ASSERT_TRUE(extra.ok());
+
+  data::Dataset combined = bed.dataset;
+  for (size_t i = 0; i < extra->items.size(); ++i) {
+    const ItemId id = static_cast<ItemId>(combined.items.size());
+    combined.items.push_back(extra->items[i]);
+    bed.network->AddItemWithoutRepublish(static_cast<int>(i % 16), id,
+                                         extra->items[i]);
+  }
+  EXPECT_EQ(bed.network->total_items(), 1000);
+
+  const FlatIndex oracle(combined);
+  double recall_sum = 0.0;
+  int queries = 0;
+  for (int q = 0; q < 10; ++q) {
+    const Vector& query = combined.items[static_cast<size_t>(800 + q * 13)];
+    const double eps = oracle.KnnRadius(query, 20);
+    Result<std::vector<ItemId>> result = bed.network->RangeQuery(query, eps, 0, -1);
+    ASSERT_TRUE(result.ok());
+    recall_sum += Evaluate(*result, oracle.RangeSearch(query, eps)).recall;
+    ++queries;
+  }
+  const double recall = recall_sum / queries;
+  // Recall drops below the no-churn 100% but stays usable (paper: <=33% loss
+  // at 45% new items; here 25% new items).
+  EXPECT_GT(recall, 0.4);
+  EXPECT_LE(recall, 1.0);
+}
+
+TEST(NetworkQueryTest, PointQueryFindsExactItem) {
+  TestBed bed = MakeTestBed({}, /*seed=*/31);
+  for (ItemId id : {5, 123, 700}) {
+    Result<std::vector<ItemId>> result =
+        bed.network->PointQuery(bed.dataset.items[static_cast<size_t>(id)], 0);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_NE(std::find(result->begin(), result->end(), id), result->end())
+        << "item " << id << " not found by point query";
+  }
+}
+
+TEST(NetworkQueryTest, PointQueryMissesAbsentPoint) {
+  TestBed bed = MakeTestBed({}, /*seed=*/32);
+  Vector absent(64, 12345.678);  // far outside the data range
+  Result<std::vector<ItemId>> result = bed.network->PointQuery(absent, 0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(NetworkChurnTest, RepublishRestoresTheGuarantee) {
+  TestBed bed = MakeTestBed({}, /*seed=*/33);
+  // Add fresh items without republication.
+  Rng rng(77);
+  data::MarkovOptions new_options;
+  new_options.count = 300;
+  new_options.dim = 64;
+  new_options.num_families = 8;
+  Result<data::Dataset> extra = data::GenerateMarkov(new_options, rng);
+  ASSERT_TRUE(extra.ok());
+  data::Dataset combined = bed.dataset;
+  for (size_t i = 0; i < extra->items.size(); ++i) {
+    const ItemId id = static_cast<ItemId>(combined.items.size());
+    combined.items.push_back(extra->items[i]);
+    bed.network->AddItemWithoutRepublish(static_cast<int>(i % 16), id,
+                                         extra->items[i]);
+  }
+  // Repair: every peer republishes its summaries.
+  Rng republish_rng(99);
+  for (int p = 0; p < bed.network->num_peers(); ++p) {
+    ASSERT_TRUE(bed.network->RepublishPeer(p, republish_rng).ok());
+  }
+  // The no-false-dismissal guarantee holds again over the full corpus.
+  const FlatIndex oracle(combined);
+  for (int q = 0; q < 8; ++q) {
+    const size_t index = (static_cast<size_t>(q) * 131 + 801) % combined.items.size();
+    const Vector& query = combined.items[index];
+    const double eps = oracle.KnnRadius(query, 15);
+    Result<std::vector<ItemId>> result = bed.network->RangeQuery(query, eps, 0, -1);
+    ASSERT_TRUE(result.ok());
+    const PrecisionRecall pr = Evaluate(*result, oracle.RangeSearch(query, eps));
+    EXPECT_DOUBLE_EQ(pr.recall, 1.0) << "query " << index;
+  }
+}
+
+TEST(NetworkChurnTest, RepublishIsIdempotentOnCleanPeers) {
+  TestBed bed = MakeTestBed({}, /*seed=*/34);
+  const FlatIndex oracle(bed.dataset);
+  Rng rng(5);
+  ASSERT_TRUE(bed.network->RepublishPeer(3, rng).ok());
+  ASSERT_TRUE(bed.network->RepublishPeer(3, rng).ok());  // twice is fine
+  const Vector& query = bed.dataset.items[10];
+  const double eps = oracle.KnnRadius(query, 10);
+  Result<std::vector<ItemId>> result = bed.network->RangeQuery(query, eps, 0, -1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(Evaluate(*result, oracle.RangeSearch(query, eps)).recall, 1.0);
+}
+
+TEST(NetworkConfigTest, RingOverlayHybridWorks) {
+  HyperMOptions options;
+  options.overlay_kind = OverlayKind::kRingAndCan;
+  TestBed bed = MakeTestBed(options, /*seed=*/4);
+  const FlatIndex oracle(bed.dataset);
+  const Vector& query = bed.dataset.items[11];
+  const double eps = oracle.KnnRadius(query, 10);
+  Result<std::vector<ItemId>> result = bed.network->RangeQuery(query, eps, 0, -1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(Evaluate(*result, oracle.RangeSearch(query, eps)).recall, 1.0);
+}
+
+TEST(NetworkConfigTest, TreeOverlayWorks) {
+  HyperMOptions options;
+  options.overlay_kind = OverlayKind::kTree;
+  TestBed bed = MakeTestBed(options, /*seed=*/14);
+  const FlatIndex oracle(bed.dataset);
+  const Vector& query = bed.dataset.items[33];
+  const double eps = oracle.KnnRadius(query, 10);
+  Result<std::vector<ItemId>> result = bed.network->RangeQuery(query, eps, 0, -1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(Evaluate(*result, oracle.RangeSearch(query, eps)).recall, 1.0);
+}
+
+TEST(NetworkConfigTest, OrthonormalWaveletsPreserveTheGuarantee) {
+  for (wavelet::WaveletKind kind : {wavelet::WaveletKind::kHaarOrthonormal,
+                                    wavelet::WaveletKind::kDaubechies4}) {
+    HyperMOptions options;
+    options.wavelet_kind = kind;
+    TestBed bed = MakeTestBed(options, /*seed=*/15);
+    const FlatIndex oracle(bed.dataset);
+    const Vector& query = bed.dataset.items[44];
+    const double eps = oracle.KnnRadius(query, 10);
+    Result<std::vector<ItemId>> result = bed.network->RangeQuery(query, eps, 0, -1);
+    ASSERT_TRUE(result.ok());
+    EXPECT_DOUBLE_EQ(Evaluate(*result, oracle.RangeSearch(query, eps)).recall, 1.0)
+        << wavelet::WaveletKindName(kind);
+  }
+}
+
+TEST(NetworkConfigTest, SumPolicyStillFindsResults) {
+  HyperMOptions options;
+  options.score_policy = ScorePolicy::kSum;
+  TestBed bed = MakeTestBed(options, /*seed=*/5);
+  const FlatIndex oracle(bed.dataset);
+  const Vector& query = bed.dataset.items[22];
+  const double eps = oracle.KnnRadius(query, 10);
+  Result<std::vector<ItemId>> result = bed.network->RangeQuery(query, eps, 0, -1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(Evaluate(*result, oracle.RangeSearch(query, eps)).recall, 1.0);
+}
+
+TEST(NetworkConfigTest, SingleLayerNetworkWorks) {
+  HyperMOptions options;
+  options.num_layers = 1;
+  TestBed bed = MakeTestBed(options, /*seed=*/6);
+  EXPECT_EQ(bed.network->num_layers(), 1);
+  const FlatIndex oracle(bed.dataset);
+  const Vector& query = bed.dataset.items[40];
+  const double eps = oracle.KnnRadius(query, 5);
+  Result<std::vector<ItemId>> result = bed.network->RangeQuery(query, eps, 0, -1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(Evaluate(*result, oracle.RangeSearch(query, eps)).recall, 1.0);
+}
+
+}  // namespace
+}  // namespace hyperm::core

@@ -1,0 +1,129 @@
+#include "data/peer_assignment.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/markov_generator.h"
+
+namespace hyperm::data {
+namespace {
+
+Dataset SmallDataset(uint64_t seed = 1) {
+  Rng rng(seed);
+  MarkovOptions options;
+  options.count = 1000;
+  options.dim = 32;
+  options.num_families = 8;
+  Result<Dataset> ds = GenerateMarkov(options, rng);
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).value();
+}
+
+TEST(AssignByInterestTest, RejectsBadOptions) {
+  Rng rng(1);
+  const Dataset ds = SmallDataset();
+  AssignmentOptions bad;
+  bad.num_peers = 0;
+  EXPECT_FALSE(AssignByInterest(ds, bad, rng).ok());
+  bad = AssignmentOptions{};
+  bad.max_peers_per_class = 2;
+  bad.min_peers_per_class = 5;
+  EXPECT_FALSE(AssignByInterest(ds, bad, rng).ok());
+  EXPECT_FALSE(AssignByInterest(Dataset{}, AssignmentOptions{}, rng).ok());
+}
+
+TEST(AssignByInterestTest, PartitionsEveryItemExactlyOnce) {
+  Rng rng(2);
+  const Dataset ds = SmallDataset();
+  AssignmentOptions options;
+  options.num_peers = 20;
+  options.num_interest_classes = 10;
+  Result<PeerAssignment> a = AssignByInterest(ds, options, rng);
+  ASSERT_TRUE(a.ok());
+  ASSERT_EQ(a->size(), 20u);
+  std::set<int> seen;
+  size_t total = 0;
+  for (const auto& items : *a) {
+    total += items.size();
+    for (int id : items) {
+      EXPECT_TRUE(seen.insert(id).second) << "item assigned twice: " << id;
+      EXPECT_GE(id, 0);
+      EXPECT_LT(static_cast<size_t>(id), ds.size());
+    }
+  }
+  EXPECT_EQ(total, ds.size());
+}
+
+TEST(AssignByInterestTest, NoPeerLeftEmpty) {
+  Rng rng(3);
+  const Dataset ds = SmallDataset();
+  AssignmentOptions options;
+  options.num_peers = 50;
+  options.num_interest_classes = 12;
+  Result<PeerAssignment> a = AssignByInterest(ds, options, rng);
+  ASSERT_TRUE(a.ok());
+  for (const auto& items : *a) EXPECT_FALSE(items.empty());
+}
+
+TEST(AssignByInterestTest, ClassSpreadIsBounded) {
+  Rng rng(4);
+  const Dataset ds = SmallDataset();
+  AssignmentOptions options;
+  options.num_peers = 100;
+  options.num_interest_classes = 10;
+  Result<PeerAssignment> a = AssignByInterest(ds, options, rng);
+  ASSERT_TRUE(a.ok());
+  // Peers hold items of a limited number of interest classes: since each
+  // class spreads over <= 10 peers and there are 10 classes, at most 100
+  // class-peer pairs exist; the empty-peer top-up can add one extra class
+  // per peer. On average a peer should see very few classes.
+  // (A statistical proxy: on average a peer sees a strict subset of the 8
+  // generator families, since interest classes spread over <= 10 of the 100
+  // peers each.)
+  double total_distinct_labels = 0.0;
+  for (const auto& items : *a) {
+    std::set<int> labels;
+    for (int id : items) labels.insert(ds.labels[static_cast<size_t>(id)]);
+    total_distinct_labels += static_cast<double>(labels.size());
+  }
+  EXPECT_LT(total_distinct_labels / static_cast<double>(a->size()), 6.0);
+}
+
+TEST(AssignUniformTest, CoversAllItems) {
+  Rng rng(5);
+  const Dataset ds = SmallDataset();
+  Result<PeerAssignment> a = AssignUniform(ds, 10, rng);
+  ASSERT_TRUE(a.ok());
+  size_t total = 0;
+  for (const auto& items : *a) total += items.size();
+  EXPECT_EQ(total, ds.size());
+}
+
+TEST(SelectSkewedSubsetTest, KeepsOnlySelectedClasses) {
+  Rng rng(6);
+  const Dataset ds = SmallDataset();
+  Result<std::vector<int>> kept = SelectSkewedSubset(ds, 3, 10, rng);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_GT(kept->size(), 0u);
+  EXPECT_LT(kept->size(), ds.size());
+}
+
+TEST(SelectSkewedSubsetTest, MoreClassesKeepMoreItems) {
+  const Dataset ds = SmallDataset();
+  Rng a(7), b(7);
+  Result<std::vector<int>> two = SelectSkewedSubset(ds, 2, 10, a);
+  Result<std::vector<int>> five = SelectSkewedSubset(ds, 5, 10, b);
+  ASSERT_TRUE(two.ok() && five.ok());
+  EXPECT_LT(two->size(), five->size());
+}
+
+TEST(SelectSkewedSubsetTest, RejectsBadArguments) {
+  Rng rng(8);
+  const Dataset ds = SmallDataset();
+  EXPECT_FALSE(SelectSkewedSubset(ds, 0, 10, rng).ok());
+  EXPECT_FALSE(SelectSkewedSubset(ds, 11, 10, rng).ok());
+}
+
+}  // namespace
+}  // namespace hyperm::data

@@ -1,0 +1,55 @@
+#include "hyperm/peer.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperm::core {
+namespace {
+
+Peer MakePeer() {
+  Peer peer(3);
+  peer.AddItem(10, {0.0, 0.0});
+  peer.AddItem(11, {1.0, 0.0});
+  peer.AddItem(12, {0.0, 2.0});
+  peer.AddItem(13, {5.0, 5.0});
+  return peer;
+}
+
+TEST(PeerTest, BasicAccessors) {
+  const Peer peer = MakePeer();
+  EXPECT_EQ(peer.id(), 3);
+  EXPECT_EQ(peer.num_items(), 4u);
+  EXPECT_EQ(peer.item_ids(), (std::vector<ItemId>{10, 11, 12, 13}));
+}
+
+TEST(PeerTest, RangeSearchInclusiveBoundary) {
+  const Peer peer = MakePeer();
+  const std::vector<ItemId> hits = peer.RangeSearch({0.0, 0.0}, 1.0);
+  EXPECT_EQ(hits, (std::vector<ItemId>{10, 11}));  // distance 1.0 included
+}
+
+TEST(PeerTest, RangeSearchZeroRadiusIsPointLookup) {
+  const Peer peer = MakePeer();
+  EXPECT_EQ(peer.RangeSearch({5.0, 5.0}, 0.0), (std::vector<ItemId>{13}));
+  EXPECT_TRUE(peer.RangeSearch({9.0, 9.0}, 0.0).empty());
+}
+
+TEST(PeerTest, NearestItemsOrderedByDistance) {
+  const Peer peer = MakePeer();
+  const std::vector<ItemId> nearest = peer.NearestItems({0.0, 0.0}, 3);
+  EXPECT_EQ(nearest, (std::vector<ItemId>{10, 11, 12}));
+}
+
+TEST(PeerTest, NearestItemsClampedToStoreSize) {
+  const Peer peer = MakePeer();
+  EXPECT_EQ(peer.NearestItems({0.0, 0.0}, 100).size(), 4u);
+  EXPECT_TRUE(peer.NearestItems({0.0, 0.0}, 0).empty());
+}
+
+TEST(PeerTest, EmptyPeer) {
+  const Peer peer(0);
+  EXPECT_TRUE(peer.RangeSearch({1.0}, 5.0).empty());
+  EXPECT_TRUE(peer.NearestItems({1.0}, 3).empty());
+}
+
+}  // namespace
+}  // namespace hyperm::core

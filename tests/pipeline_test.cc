@@ -1,0 +1,145 @@
+// Cross-cutting integration properties of the full Fig. 2 / Fig. 3 pipeline
+// that no single-module test covers: determinism, accounting consistency,
+// and configuration orthogonality.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "data/histogram_generator.h"
+#include "data/peer_assignment.h"
+#include "hyperm/eval.h"
+#include "hyperm/flat_index.h"
+#include "hyperm/network.h"
+
+namespace hyperm::core {
+namespace {
+
+struct Pipeline {
+  data::Dataset dataset;
+  data::PeerAssignment assignment;
+  std::unique_ptr<HyperMNetwork> network;
+};
+
+Pipeline BuildPipeline(const HyperMOptions& options, uint64_t seed) {
+  Rng rng(seed);
+  data::HistogramOptions gen;
+  gen.num_objects = 60;
+  gen.views_per_object = 8;
+  gen.dim = 64;
+  Pipeline p;
+  p.dataset = data::GenerateHistograms(gen, rng).value();
+  data::AssignmentOptions assign;
+  assign.num_peers = 10;
+  assign.num_interest_classes = 8;
+  assign.min_peers_per_class = 3;
+  assign.max_peers_per_class = 5;
+  p.assignment = data::AssignByInterest(p.dataset, assign, rng).value();
+  Result<std::unique_ptr<HyperMNetwork>> net =
+      HyperMNetwork::Build(p.dataset, p.assignment, options, rng);
+  EXPECT_TRUE(net.ok()) << net.status().ToString();
+  p.network = std::move(net).value();
+  return p;
+}
+
+TEST(PipelineTest, FullyDeterministicGivenSeed) {
+  Pipeline a = BuildPipeline({}, 404);
+  Pipeline b = BuildPipeline({}, 404);
+  // Identical data, identical traffic, identical query answers.
+  EXPECT_EQ(a.dataset.items, b.dataset.items);
+  EXPECT_EQ(a.network->stats().total_hops(), b.network->stats().total_hops());
+  EXPECT_EQ(a.network->stats().total_bytes(), b.network->stats().total_bytes());
+  for (int q = 0; q < 5; ++q) {
+    const Vector& query = a.dataset.items[static_cast<size_t>(q * 41)];
+    Result<std::vector<ItemId>> ra = a.network->RangeQuery(query, 0.2, 0, -1);
+    Result<std::vector<ItemId>> rb = b.network->RangeQuery(query, 0.2, 0, -1);
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    EXPECT_EQ(*ra, *rb);
+    KnnOptions knn;
+    Result<std::vector<ItemId>> ka = a.network->KnnQuery(query, 8, knn, 0);
+    Result<std::vector<ItemId>> kb = b.network->KnnQuery(query, 8, knn, 0);
+    ASSERT_TRUE(ka.ok() && kb.ok());
+    EXPECT_EQ(*ka, *kb);
+  }
+}
+
+TEST(PipelineTest, DifferentSeedsProduceDifferentDeployments) {
+  Pipeline a = BuildPipeline({}, 1);
+  Pipeline b = BuildPipeline({}, 2);
+  EXPECT_NE(a.dataset.items, b.dataset.items);
+}
+
+TEST(PipelineTest, PublicationHopsSumMatchesGlobalCounters) {
+  Pipeline p = BuildPipeline({}, 7);
+  uint64_t per_peer_total = 0;
+  for (int peer = 0; peer < p.network->num_peers(); ++peer) {
+    per_peer_total += p.network->publication_hops(peer);
+  }
+  const uint64_t global =
+      p.network->stats().hops(sim::TrafficClass::kInsert) +
+      p.network->stats().hops(sim::TrafficClass::kReplicate);
+  EXPECT_EQ(per_peer_total, global);
+}
+
+TEST(PipelineTest, QueriesOnlyAddQueryAndRetrieveTraffic) {
+  Pipeline p = BuildPipeline({}, 8);
+  const uint64_t join_before = p.network->stats().hops(sim::TrafficClass::kJoin);
+  const uint64_t insert_before = p.network->stats().hops(sim::TrafficClass::kInsert);
+  const Vector& query = p.dataset.items[3];
+  ASSERT_TRUE(p.network->RangeQuery(query, 0.3, 0, -1).ok());
+  KnnOptions knn;
+  ASSERT_TRUE(p.network->KnnQuery(query, 5, knn, 0).ok());
+  EXPECT_EQ(p.network->stats().hops(sim::TrafficClass::kJoin), join_before);
+  EXPECT_EQ(p.network->stats().hops(sim::TrafficClass::kInsert), insert_before);
+  EXPECT_GT(p.network->stats().hops(sim::TrafficClass::kQuery), 0u);
+  EXPECT_GT(p.network->stats().hops(sim::TrafficClass::kRetrieve), 0u);
+}
+
+TEST(PipelineTest, EveryQueryingPeerGetsTheSameRangeAnswer) {
+  // The entry point must not change what a full-contact range query returns
+  // (routing differs; the answer set must not).
+  Pipeline p = BuildPipeline({}, 9);
+  const FlatIndex oracle(p.dataset);
+  const Vector& query = p.dataset.items[25];
+  const double eps = oracle.KnnRadius(query, 10);
+  Result<std::vector<ItemId>> reference = p.network->RangeQuery(query, eps, 0, -1);
+  ASSERT_TRUE(reference.ok());
+  for (int peer = 1; peer < p.network->num_peers(); ++peer) {
+    Result<std::vector<ItemId>> result = p.network->RangeQuery(query, eps, peer, -1);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result, *reference) << "querying peer " << peer;
+  }
+}
+
+TEST(PipelineTest, TruncateToKCapsTheResult) {
+  Pipeline p = BuildPipeline({}, 10);
+  const Vector& query = p.dataset.items[12];
+  KnnOptions knn;
+  knn.c = 2.0;
+  knn.truncate_to_k = true;
+  Result<std::vector<ItemId>> result = p.network->KnnQuery(query, 7, knn, 0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->size(), 7u);
+  // And truncation never reorders: prefix of the untruncated answer.
+  knn.truncate_to_k = false;
+  Result<std::vector<ItemId>> full = p.network->KnnQuery(query, 7, knn, 0);
+  ASSERT_TRUE(full.ok());
+  ASSERT_LE(result->size(), full->size());
+  for (size_t i = 0; i < result->size(); ++i) EXPECT_EQ((*result)[i], (*full)[i]);
+}
+
+TEST(PipelineTest, HigherLayerCountsCostMoreInsertTraffic) {
+  uint64_t previous = 0;
+  for (int layers : {1, 3, 5}) {
+    HyperMOptions options;
+    options.num_layers = layers;
+    Pipeline p = BuildPipeline(options, 11);
+    const uint64_t hops = p.network->stats().hops(sim::TrafficClass::kInsert) +
+                          p.network->stats().hops(sim::TrafficClass::kReplicate);
+    EXPECT_GT(hops, previous) << layers << " layers";
+    previous = hops;
+  }
+}
+
+}  // namespace
+}  // namespace hyperm::core

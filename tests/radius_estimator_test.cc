@@ -1,0 +1,103 @@
+#include "geom/radius_estimator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hyperm::geom {
+namespace {
+
+TEST(ExpectedItemsTest, ZeroRadiusGivesZeroForProperClusters) {
+  std::vector<ClusterView> clusters{{1.0, 2.0, 50}};
+  EXPECT_EQ(ExpectedItems(4, clusters, 0.0), 0.0);
+}
+
+TEST(ExpectedItemsTest, FullCoverage) {
+  std::vector<ClusterView> clusters{{1.0, 2.0, 50}, {0.5, 1.0, 30}};
+  // eps larger than every b + r.
+  EXPECT_NEAR(ExpectedItems(4, clusters, 10.0), 80.0, 1e-9);
+}
+
+TEST(ExpectedItemsTest, PointClustersStep) {
+  std::vector<ClusterView> clusters{{0.0, 1.0, 10}};
+  EXPECT_EQ(ExpectedItems(3, clusters, 0.5), 0.0);
+  EXPECT_EQ(ExpectedItems(3, clusters, 1.0), 10.0);
+  EXPECT_EQ(ExpectedItems(3, clusters, 2.0), 10.0);
+}
+
+TEST(ExpectedItemsTest, MonotoneInEps) {
+  std::vector<ClusterView> clusters{{1.0, 1.5, 40}, {2.0, 4.0, 25}, {0.0, 2.5, 5}};
+  double prev = -1.0;
+  for (double eps = 0.0; eps <= 8.0; eps += 0.1) {
+    const double e = ExpectedItems(6, clusters, eps);
+    EXPECT_GE(e, prev - 1e-9);
+    prev = e;
+  }
+}
+
+TEST(SolveRadiusTest, RejectsBadInput) {
+  EXPECT_FALSE(SolveRadiusForCount(3, {}, 5.0).ok());
+  std::vector<ClusterView> clusters{{1.0, 2.0, 10}};
+  EXPECT_FALSE(SolveRadiusForCount(3, clusters, 0.0).ok());
+  EXPECT_FALSE(SolveRadiusForCount(3, clusters, -1.0).ok());
+}
+
+TEST(SolveRadiusTest, RejectsKBeyondTotal) {
+  std::vector<ClusterView> clusters{{1.0, 2.0, 10}};
+  Result<double> r = SolveRadiusForCount(3, clusters, 11.0);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SolveRadiusTest, RoundTripsForwardModel) {
+  std::vector<ClusterView> clusters{{1.0, 1.5, 40}, {2.0, 4.0, 25}, {0.5, 2.5, 15}};
+  for (double k : {1.0, 5.0, 20.0, 50.0, 79.0}) {
+    Result<double> eps = SolveRadiusForCount(5, clusters, k);
+    ASSERT_TRUE(eps.ok()) << "k=" << k << ": " << eps.status().ToString();
+    EXPECT_NEAR(ExpectedItems(5, clusters, eps.value()), k, 0.01) << "k=" << k;
+  }
+}
+
+TEST(SolveRadiusTest, ExactTotalIsSolvable) {
+  std::vector<ClusterView> clusters{{1.0, 1.0, 10}, {1.0, 3.0, 10}};
+  Result<double> eps = SolveRadiusForCount(2, clusters, 20.0);
+  ASSERT_TRUE(eps.ok());
+  EXPECT_NEAR(ExpectedItems(2, clusters, eps.value()), 20.0, 0.05);
+}
+
+TEST(SolveRadiusTest, SingleClusterHalfCoverage) {
+  // One cluster centered at the query: E(eps) = (eps/r)^d * items while
+  // eps <= r, so E = items/2 at eps = r * (1/2)^(1/d).
+  std::vector<ClusterView> clusters{{2.0, 0.0, 64}};
+  Result<double> eps = SolveRadiusForCount(3, clusters, 32.0);
+  ASSERT_TRUE(eps.ok());
+  EXPECT_NEAR(eps.value(), 2.0 * std::pow(0.5, 1.0 / 3.0), 1e-2);
+}
+
+TEST(SolveRadiusTest, ManyRandomInstancesRoundTrip) {
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int d = static_cast<int>(rng.UniformInt(1, 16));
+    std::vector<ClusterView> clusters;
+    double total = 0.0;
+    const int n = static_cast<int>(rng.UniformInt(1, 12));
+    for (int i = 0; i < n; ++i) {
+      ClusterView c;
+      c.radius = rng.Uniform(0.0, 2.0);
+      c.center_distance = rng.Uniform(0.0, 5.0);
+      c.items = static_cast<int>(rng.UniformInt(1, 100));
+      total += c.items;
+      clusters.push_back(c);
+    }
+    const double k = rng.Uniform(0.5, total);
+    Result<double> eps = SolveRadiusForCount(d, clusters, k);
+    ASSERT_TRUE(eps.ok()) << "trial " << trial;
+    // Point clusters make E a step function, so allow a unit of slack.
+    EXPECT_NEAR(ExpectedItems(d, clusters, eps.value()), k, 1.0) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace hyperm::geom

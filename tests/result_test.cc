@@ -1,0 +1,73 @@
+#include "common/result.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hyperm {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NotFoundError("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyFriendly) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  ASSERT_TRUE(r.ok());
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(ResultTest, ArrowAndDereference) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+  EXPECT_EQ(*r, "abc");
+}
+
+TEST(ResultTest, MutableValue) {
+  Result<std::string> r = std::string("abc");
+  r.value() += "d";
+  EXPECT_EQ(*r, "abcd");
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return InvalidArgumentError("not positive");
+  return x;
+}
+
+Result<int> Doubled(int x) {
+  HM_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return 2 * v;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  Result<int> ok = Doubled(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+
+  Result<int> err = Doubled(-1);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  Result<int> r = InternalError("boom");
+  EXPECT_DEATH({ (void)r.value(); }, "Result::value");
+}
+
+TEST(ResultDeathTest, OkStatusConstructionAborts) {
+  EXPECT_DEATH({ Result<int> r{OkStatus()}; (void)r; }, "OK status");
+}
+
+}  // namespace
+}  // namespace hyperm

@@ -1,0 +1,130 @@
+#include "overlay/ring_overlay.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hyperm::overlay {
+namespace {
+
+std::unique_ptr<RingOverlay> MakeRing(int nodes, sim::NetworkStats* stats,
+                                      uint64_t seed = 11) {
+  Rng rng(seed);
+  Result<std::unique_ptr<RingOverlay>> result = RingOverlay::Build(nodes, stats, rng);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+TEST(RingBuildTest, RejectsBadArguments) {
+  sim::NetworkStats stats;
+  Rng rng(1);
+  EXPECT_FALSE(RingOverlay::Build(0, &stats, rng).ok());
+}
+
+TEST(RingBuildTest, ArcsPartitionTheInterval) {
+  sim::NetworkStats stats;
+  auto ring = MakeRing(32, &stats);
+  EXPECT_EQ(ring->num_nodes(), 32);
+  EXPECT_EQ(ring->arc_start(0), 0.0);
+  // Every key has exactly one owner and ownership is monotone in the key.
+  Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double x = rng.NextDouble();
+    const NodeId owner = ring->OwnerOf(x);
+    EXPECT_GE(owner, 0);
+    EXPECT_LT(owner, ring->num_nodes());
+    EXPECT_LE(ring->arc_start(owner), x);
+  }
+}
+
+TEST(RingInsertTest, StoredAtOwnerAndReplicatedOverInterval) {
+  sim::NetworkStats stats;
+  auto ring = MakeRing(16, &stats);
+  PublishedCluster c;
+  c.sphere = geom::Sphere{{0.5}, 0.2};
+  c.owner_peer = 3;
+  c.items = 5;
+  c.cluster_id = 1;
+  Result<InsertReceipt> receipt = ring->Insert(c, 0);
+  ASSERT_TRUE(receipt.ok());
+  // Every node owning part of [0.3, 0.7] holds the cluster.
+  int holders = 0;
+  for (const NodeStorage& s : ring->StorageDistribution()) {
+    if (s.clusters > 0) ++holders;
+  }
+  EXPECT_EQ(holders, 1 + receipt->replicas);
+  EXPECT_GT(holders, 1);
+}
+
+TEST(RingInsertTest, RejectsWrongDimension) {
+  sim::NetworkStats stats;
+  auto ring = MakeRing(4, &stats);
+  PublishedCluster c;
+  c.sphere = geom::Sphere{{0.5, 0.5}, 0.1};
+  EXPECT_FALSE(ring->Insert(c, 0).ok());
+}
+
+TEST(RingQueryTest, FindsAllIntersectingClusters) {
+  sim::NetworkStats stats;
+  auto ring = MakeRing(16, &stats);
+  Rng rng(3);
+  std::vector<PublishedCluster> all;
+  for (uint64_t id = 1; id <= 30; ++id) {
+    PublishedCluster c;
+    c.sphere = geom::Sphere{{rng.NextDouble()}, rng.Uniform(0.0, 0.1)};
+    c.owner_peer = static_cast<int>(id % 7);
+    c.items = 2;
+    c.cluster_id = id;
+    ASSERT_TRUE(ring->Insert(c, 0).ok());
+    all.push_back(c);
+  }
+  for (int trial = 0; trial < 40; ++trial) {
+    geom::Sphere query{{rng.NextDouble()}, rng.Uniform(0.0, 0.25)};
+    Result<RangeQueryResult> result = ring->RangeQuery(query, 0);
+    ASSERT_TRUE(result.ok());
+    std::set<uint64_t> found;
+    for (const PublishedCluster& c : result->matches) found.insert(c.cluster_id);
+    for (const PublishedCluster& c : all) {
+      EXPECT_EQ(found.count(c.cluster_id), c.sphere.Intersects(query) ? 1u : 0u)
+          << "trial " << trial << " cluster " << c.cluster_id;
+    }
+  }
+}
+
+TEST(RingRoutingTest, LogarithmicHopsOnAverage) {
+  sim::NetworkStats stats;
+  auto ring = MakeRing(128, &stats, 17);
+  stats.Reset();
+  Rng rng(5);
+  PublishedCluster c;
+  c.items = 1;
+  int total_hops = 0;
+  const int inserts = 100;
+  for (int i = 0; i < inserts; ++i) {
+    c.sphere = geom::Sphere{{rng.NextDouble()}, 0.0};
+    c.cluster_id = static_cast<uint64_t>(i + 1);
+    Result<InsertReceipt> receipt =
+        ring->Insert(c, static_cast<NodeId>(rng.NextIndex(128)));
+    ASSERT_TRUE(receipt.ok());
+    total_hops += receipt->routing_hops;
+  }
+  // Finger routing should average far below the linear N/4 = 32 bound.
+  EXPECT_LT(static_cast<double>(total_hops) / inserts, 12.0);
+}
+
+TEST(RingStorageTest, ClearStorage) {
+  sim::NetworkStats stats;
+  auto ring = MakeRing(8, &stats);
+  PublishedCluster c;
+  c.sphere = geom::Sphere{{0.4}, 0.05};
+  c.cluster_id = 9;
+  c.items = 1;
+  ASSERT_TRUE(ring->Insert(c, 0).ok());
+  ring->ClearStorage();
+  for (const NodeStorage& s : ring->StorageDistribution()) EXPECT_EQ(s.clusters, 0);
+}
+
+}  // namespace
+}  // namespace hyperm::overlay

@@ -1,0 +1,133 @@
+#include "hyperm/score.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hyperm::core {
+namespace {
+
+overlay::PublishedCluster MakeCluster(Vector center, double radius, int peer,
+                                      int items, uint64_t id = 1) {
+  overlay::PublishedCluster c;
+  c.sphere = geom::Sphere{std::move(center), radius};
+  c.owner_peer = peer;
+  c.items = items;
+  c.cluster_id = id;
+  return c;
+}
+
+TEST(CoverageFractionTest, FullContainmentIsOne) {
+  const auto c = MakeCluster({0.5, 0.5}, 0.1, 0, 10);
+  const geom::Sphere query{{0.5, 0.5}, 1.0};
+  EXPECT_EQ(ClusterCoverageFraction(2, c, query), 1.0);
+}
+
+TEST(CoverageFractionTest, DisjointIsZero) {
+  const auto c = MakeCluster({0.0, 0.0}, 0.1, 0, 10);
+  const geom::Sphere query{{1.0, 0.0}, 0.2};
+  EXPECT_EQ(ClusterCoverageFraction(2, c, query), 0.0);
+}
+
+TEST(CoverageFractionTest, PointClusterStepFunction) {
+  const auto c = MakeCluster({0.3}, 0.0, 0, 5);
+  EXPECT_EQ(ClusterCoverageFraction(1, c, geom::Sphere{{0.35}, 0.1}), 1.0);
+  EXPECT_EQ(ClusterCoverageFraction(1, c, geom::Sphere{{0.5}, 0.1}), 0.0);
+}
+
+TEST(CoverageFractionTest, PointQueryDegradesToContainment) {
+  // A zero-radius query has zero intersection volume, but clusters that
+  // contain the point must stay candidates (point-query support).
+  const auto c = MakeCluster({0.0, 0.0}, 0.5, 0, 10);
+  EXPECT_EQ(ClusterCoverageFraction(2, c, geom::Sphere{{0.3, 0.0}, 0.0}), 1.0);
+  EXPECT_EQ(ClusterCoverageFraction(2, c, geom::Sphere{{0.6, 0.0}, 0.0}), 0.0);
+  // Boundary point counts as covered.
+  EXPECT_EQ(ClusterCoverageFraction(2, c, geom::Sphere{{0.5, 0.0}, 0.0}), 1.0);
+}
+
+TEST(LevelScoresTest, SumsFractionTimesItems) {
+  std::vector<overlay::PublishedCluster> matches{
+      MakeCluster({0.0}, 0.0, 7, 20, 1),   // fully inside -> +20
+      MakeCluster({0.05}, 0.0, 7, 10, 2),  // fully inside -> +10
+      MakeCluster({5.0}, 0.0, 8, 99, 3),   // outside -> no entry
+  };
+  const geom::Sphere query{{0.0}, 0.1};
+  auto scores = ComputeLevelScores(1, matches, query);
+  ASSERT_EQ(scores.size(), 1u);
+  EXPECT_NEAR(scores[7], 30.0, 1e-12);
+}
+
+TEST(LevelScoresTest, PartialOverlapScoresFraction) {
+  // 1-D cluster [0,2] (center 1, r 1), query [1.5, 2.5]: overlap [1.5,2] is a
+  // quarter of the cluster's extent.
+  std::vector<overlay::PublishedCluster> matches{MakeCluster({1.0}, 1.0, 4, 100)};
+  const geom::Sphere query{{2.0}, 0.5};
+  auto scores = ComputeLevelScores(1, matches, query);
+  EXPECT_NEAR(scores[4], 25.0, 1e-9);
+}
+
+TEST(AggregateTest, MinTakesWorstLevel) {
+  std::vector<std::unordered_map<int, double>> levels{
+      {{1, 10.0}, {2, 5.0}},
+      {{1, 4.0}, {2, 8.0}},
+  };
+  const auto scores = AggregateScores(levels, ScorePolicy::kMin);
+  ASSERT_EQ(scores.size(), 2u);
+  EXPECT_EQ(scores[0].peer, 2);
+  EXPECT_DOUBLE_EQ(scores[0].score, 5.0);
+  EXPECT_EQ(scores[1].peer, 1);
+  EXPECT_DOUBLE_EQ(scores[1].score, 4.0);
+}
+
+TEST(AggregateTest, MinPrunesPeersMissingFromAnyLevel) {
+  std::vector<std::unordered_map<int, double>> levels{
+      {{1, 10.0}, {2, 5.0}},
+      {{1, 4.0}},  // peer 2 absent here
+  };
+  const auto scores = AggregateScores(levels, ScorePolicy::kMin);
+  ASSERT_EQ(scores.size(), 1u);
+  EXPECT_EQ(scores[0].peer, 1);
+}
+
+TEST(AggregateTest, SumKeepsPartialPeers) {
+  std::vector<std::unordered_map<int, double>> levels{
+      {{1, 10.0}, {2, 5.0}},
+      {{1, 4.0}},
+  };
+  const auto scores = AggregateScores(levels, ScorePolicy::kSum);
+  ASSERT_EQ(scores.size(), 2u);
+  EXPECT_EQ(scores[0].peer, 1);
+  EXPECT_DOUBLE_EQ(scores[0].score, 14.0);
+  EXPECT_EQ(scores[1].peer, 2);
+  EXPECT_DOUBLE_EQ(scores[1].score, 5.0);
+}
+
+TEST(AggregateTest, ProductMultiplies) {
+  std::vector<std::unordered_map<int, double>> levels{
+      {{1, 2.0}},
+      {{1, 3.0}},
+  };
+  const auto scores = AggregateScores(levels, ScorePolicy::kProduct);
+  ASSERT_EQ(scores.size(), 1u);
+  EXPECT_DOUBLE_EQ(scores[0].score, 6.0);
+}
+
+TEST(AggregateTest, SortedDescendingWithDeterministicTies) {
+  std::vector<std::unordered_map<int, double>> levels{
+      {{3, 5.0}, {1, 5.0}, {2, 9.0}},
+  };
+  const auto scores = AggregateScores(levels, ScorePolicy::kMin);
+  ASSERT_EQ(scores.size(), 3u);
+  EXPECT_EQ(scores[0].peer, 2);
+  EXPECT_EQ(scores[1].peer, 1);  // tie broken by id
+  EXPECT_EQ(scores[2].peer, 3);
+}
+
+TEST(AggregateTest, EmptyLevelsYieldNothing) {
+  EXPECT_TRUE(AggregateScores({}, ScorePolicy::kMin).empty());
+  std::vector<std::unordered_map<int, double>> levels{{}, {}};
+  EXPECT_TRUE(AggregateScores(levels, ScorePolicy::kMin).empty());
+}
+
+}  // namespace
+}  // namespace hyperm::core

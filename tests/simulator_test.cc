@@ -1,0 +1,98 @@
+#include "sim/simulator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hyperm::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.executed(), 0u);
+}
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAfter(3.0, [&] { order.push_back(3); });
+  sim.ScheduleAfter(1.0, [&] { order.push_back(1); });
+  sim.ScheduleAfter(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.Run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 3.0);
+}
+
+TEST(SimulatorTest, FifoTieBreakAtEqualTimes) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.ScheduleAfter(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAfter(1.0, [&] {
+    ++fired;
+    sim.ScheduleAfter(1.0, [&] { ++fired; });
+  });
+  EXPECT_EQ(sim.Run(), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 2.0);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAfter(1.0, [&] { ++fired; });
+  sim.ScheduleAfter(5.0, [&] { ++fired; });
+  EXPECT_EQ(sim.RunUntil(2.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 2.0);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, RunUntilInclusiveOfBoundaryEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAfter(2.0, [&] { ++fired; });
+  sim.RunUntil(2.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, MaxEventsGuard) {
+  Simulator sim;
+  // Self-perpetuating event chain.
+  std::function<void()> loop = [&] { sim.ScheduleAfter(1.0, loop); };
+  sim.ScheduleAfter(1.0, loop);
+  EXPECT_EQ(sim.Run(10), 10u);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(SimulatorTest, ZeroDelayRunsAtCurrentTime) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.ScheduleAfter(4.0, [&] {
+    sim.ScheduleAfter(0.0, [&] { seen = sim.now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(seen, 4.0);
+}
+
+TEST(SimulatorTest, ExecutedAccumulates) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.ScheduleAfter(i, [] {});
+  sim.Run();
+  EXPECT_EQ(sim.executed(), 7u);
+}
+
+}  // namespace
+}  // namespace hyperm::sim

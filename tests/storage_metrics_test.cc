@@ -1,0 +1,73 @@
+#include "overlay/storage_metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperm::overlay {
+namespace {
+
+std::vector<NodeStorage> MakeStorage(const std::vector<int>& items) {
+  std::vector<NodeStorage> storage;
+  for (size_t i = 0; i < items.size(); ++i) {
+    NodeStorage s;
+    s.node = static_cast<NodeId>(i);
+    s.items = items[i];
+    s.clusters = items[i] > 0 ? 1 : 0;
+    storage.push_back(s);
+  }
+  return storage;
+}
+
+TEST(GiniTest, EdgeCases) {
+  EXPECT_EQ(GiniCoefficient({}), 0.0);
+  EXPECT_EQ(GiniCoefficient({0.0, 0.0}), 0.0);
+  EXPECT_EQ(GiniCoefficient({5.0}), 0.0);
+}
+
+TEST(GiniTest, PerfectEqualityIsZero) {
+  EXPECT_NEAR(GiniCoefficient({3.0, 3.0, 3.0, 3.0}), 0.0, 1e-12);
+}
+
+TEST(GiniTest, TotalConcentrationApproachesOne) {
+  // One of n nodes holds everything: gini = (n-1)/n.
+  EXPECT_NEAR(GiniCoefficient({0.0, 0.0, 0.0, 12.0}), 0.75, 1e-12);
+  std::vector<double> big(100, 0.0);
+  big.back() = 1.0;
+  EXPECT_NEAR(GiniCoefficient(big), 0.99, 1e-12);
+}
+
+TEST(GiniTest, ScaleInvariant) {
+  const std::vector<double> base{1.0, 2.0, 3.0, 10.0};
+  std::vector<double> scaled;
+  for (double v : base) scaled.push_back(100.0 * v);
+  EXPECT_NEAR(GiniCoefficient(base), GiniCoefficient(scaled), 1e-12);
+}
+
+TEST(GiniTest, OrderIndependent) {
+  EXPECT_NEAR(GiniCoefficient({5.0, 1.0, 3.0}), GiniCoefficient({1.0, 3.0, 5.0}),
+              1e-12);
+}
+
+TEST(LoadSummaryTest, CountsHoldersAndExtremes) {
+  const LoadSummary s = SummarizeLoad(MakeStorage({0, 4, 0, 8, 12}));
+  EXPECT_EQ(s.nodes, 5);
+  EXPECT_EQ(s.holders, 3);
+  EXPECT_EQ(s.max_items, 12);
+  EXPECT_DOUBLE_EQ(s.mean_items_on_holders, 8.0);
+  EXPECT_GT(s.gini, 0.0);
+}
+
+TEST(LoadSummaryTest, EmptySnapshot) {
+  const LoadSummary s = SummarizeLoad({});
+  EXPECT_EQ(s.nodes, 0);
+  EXPECT_EQ(s.holders, 0);
+  EXPECT_EQ(s.gini, 0.0);
+}
+
+TEST(LoadSummaryTest, BalancedBeatsSkewedOnGini) {
+  const LoadSummary balanced = SummarizeLoad(MakeStorage({5, 5, 5, 5}));
+  const LoadSummary skewed = SummarizeLoad(MakeStorage({20, 0, 0, 0}));
+  EXPECT_LT(balanced.gini, skewed.gini);
+}
+
+}  // namespace
+}  // namespace hyperm::overlay

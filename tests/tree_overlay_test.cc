@@ -1,0 +1,162 @@
+#include "overlay/tree_overlay.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hyperm::overlay {
+namespace {
+
+std::unique_ptr<TreeOverlay> MakeTree(size_t dim, int nodes, sim::NetworkStats* stats,
+                                      uint64_t seed = 21) {
+  Rng rng(seed);
+  auto result = TreeOverlay::Build(dim, nodes, stats, rng);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+TEST(TreeBuildTest, RejectsBadArguments) {
+  sim::NetworkStats stats;
+  Rng rng(1);
+  EXPECT_FALSE(TreeOverlay::Build(0, 4, &stats, rng).ok());
+  EXPECT_FALSE(TreeOverlay::Build(2, 0, &stats, rng).ok());
+}
+
+class TreePartition : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TreePartition, RegionsTileTheCube) {
+  const auto [dim, nodes] = GetParam();
+  sim::NetworkStats stats;
+  auto tree = MakeTree(static_cast<size_t>(dim), nodes, &stats);
+  EXPECT_EQ(tree->num_nodes(), nodes);
+  double volume = 0.0;
+  for (NodeId n = 0; n < tree->num_nodes(); ++n) volume += tree->region(n).Volume();
+  EXPECT_NEAR(volume, 1.0, 1e-9);
+
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    Vector key(static_cast<size_t>(dim));
+    for (double& x : key) x = rng.NextDouble();
+    const NodeId owner = tree->OwnerOf(key);
+    ASSERT_NE(owner, kInvalidNode);
+    EXPECT_TRUE(tree->region(owner).ContainsHalfOpen(key));
+  }
+}
+
+TEST_P(TreePartition, BalancedDepth) {
+  const auto [dim, nodes] = GetParam();
+  sim::NetworkStats stats;
+  auto tree = MakeTree(static_cast<size_t>(dim), nodes, &stats);
+  // Splitting the shallowest leaf keeps depths within one of ceil(log2 N).
+  const int expected = static_cast<int>(std::ceil(std::log2(std::max(2, nodes))));
+  for (NodeId n = 0; n < tree->num_nodes(); ++n) {
+    EXPECT_LE(tree->depth(n), expected + 1);
+    if (nodes > 1) EXPECT_GE(tree->depth(n), 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndSizes, TreePartition,
+    ::testing::Combine(::testing::Values(1, 2, 4), ::testing::Values(1, 5, 32, 50)));
+
+TEST(TreeInsertTest, SphereReplicatedToOverlappingRegions) {
+  sim::NetworkStats stats;
+  auto tree = MakeTree(2, 32, &stats);
+  PublishedCluster c;
+  c.sphere = geom::Sphere{{0.5, 0.5}, 0.25};
+  c.owner_peer = 1;
+  c.items = 10;
+  c.cluster_id = 7;
+  Result<InsertReceipt> receipt = tree->Insert(c, 0);
+  ASSERT_TRUE(receipt.ok());
+  int holders = 0;
+  for (NodeId n = 0; n < tree->num_nodes(); ++n) {
+    const bool overlaps = tree->region(n).IntersectsSphere(c.sphere);
+    bool holds = false;
+    for (const NodeStorage& s : tree->StorageDistribution()) {
+      if (s.node == n && s.clusters > 0) holds = true;
+    }
+    EXPECT_EQ(overlaps, holds) << "node " << n;
+    if (holds) ++holders;
+  }
+  EXPECT_EQ(receipt->replicas, holders - 1);
+}
+
+TEST(TreeQueryTest, FindsEveryIntersectingClusterExactlyOnce) {
+  sim::NetworkStats stats;
+  auto tree = MakeTree(2, 24, &stats);
+  Rng rng(5);
+  std::vector<PublishedCluster> all;
+  for (uint64_t id = 1; id <= 40; ++id) {
+    PublishedCluster c;
+    c.sphere = geom::Sphere{{rng.NextDouble(), rng.NextDouble()},
+                            rng.Uniform(0.0, 0.15)};
+    c.owner_peer = static_cast<int>(id % 10);
+    c.items = 1;
+    c.cluster_id = id;
+    ASSERT_TRUE(tree->Insert(c, 0).ok());
+    all.push_back(c);
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    geom::Sphere query{{rng.NextDouble(), rng.NextDouble()}, rng.Uniform(0.0, 0.3)};
+    Result<RangeQueryResult> result = tree->RangeQuery(query, 0);
+    ASSERT_TRUE(result.ok());
+    std::set<uint64_t> found;
+    for (const PublishedCluster& c : result->matches) {
+      EXPECT_TRUE(found.insert(c.cluster_id).second);
+    }
+    for (const PublishedCluster& c : all) {
+      EXPECT_EQ(found.count(c.cluster_id), c.sphere.Intersects(query) ? 1u : 0u)
+          << "cluster " << c.cluster_id << " trial " << trial;
+    }
+  }
+}
+
+TEST(TreeRoutingTest, LogarithmicRoutingCost) {
+  sim::NetworkStats stats;
+  auto tree = MakeTree(2, 128, &stats);
+  stats.Reset();
+  Rng rng(6);
+  int total_hops = 0;
+  const int inserts = 100;
+  for (int i = 0; i < inserts; ++i) {
+    PublishedCluster c;
+    c.sphere = geom::Sphere{{rng.NextDouble(), rng.NextDouble()}, 0.0};
+    c.items = 1;
+    c.cluster_id = static_cast<uint64_t>(i + 1);
+    Result<InsertReceipt> receipt =
+        tree->Insert(c, static_cast<NodeId>(rng.NextIndex(128)));
+    ASSERT_TRUE(receipt.ok());
+    total_hops += receipt->routing_hops;
+  }
+  // Two leaves of a balanced 128-leaf tree are at most 2*7 edges apart.
+  EXPECT_LE(static_cast<double>(total_hops) / inserts, 14.0);
+  EXPECT_GT(total_hops, 0);
+}
+
+TEST(TreeQueryTest, QueryCenterOutsideCubeIsClamped) {
+  sim::NetworkStats stats;
+  auto tree = MakeTree(2, 8, &stats);
+  EXPECT_TRUE(tree->RangeQuery(geom::Sphere{{2.0, -1.0}, 0.2}, 0).ok());
+}
+
+TEST(TreeStorageTest, ReplicationToggleAndClear) {
+  sim::NetworkStats stats;
+  auto tree = MakeTree(2, 16, &stats);
+  tree->set_replicate_spheres(false);
+  PublishedCluster c;
+  c.sphere = geom::Sphere{{0.5, 0.5}, 0.3};
+  c.items = 4;
+  c.cluster_id = 1;
+  Result<InsertReceipt> receipt = tree->Insert(c, 0);
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_EQ(receipt->replicas, 0);
+  tree->ClearStorage();
+  for (const NodeStorage& s : tree->StorageDistribution()) EXPECT_EQ(s.clusters, 0);
+}
+
+}  // namespace
+}  // namespace hyperm::overlay
