@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_knn_knobs.dir/abl_knn_knobs.cc.o"
+  "CMakeFiles/abl_knn_knobs.dir/abl_knn_knobs.cc.o.d"
+  "abl_knn_knobs"
+  "abl_knn_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_knn_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

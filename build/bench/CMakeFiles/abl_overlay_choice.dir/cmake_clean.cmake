@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_overlay_choice.dir/abl_overlay_choice.cc.o"
+  "CMakeFiles/abl_overlay_choice.dir/abl_overlay_choice.cc.o.d"
+  "abl_overlay_choice"
+  "abl_overlay_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_overlay_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_replication_recall.dir/abl_replication_recall.cc.o"
+  "CMakeFiles/abl_replication_recall.dir/abl_replication_recall.cc.o.d"
+  "abl_replication_recall"
+  "abl_replication_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_replication_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_score_policy.dir/abl_score_policy.cc.o"
+  "CMakeFiles/abl_score_policy.dir/abl_score_policy.cc.o.d"
+  "abl_score_policy"
+  "abl_score_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_score_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_wavelet_choice.dir/abl_wavelet_choice.cc.o"
+  "CMakeFiles/abl_wavelet_choice.dir/abl_wavelet_choice.cc.o.d"
+  "abl_wavelet_choice"
+  "abl_wavelet_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_wavelet_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

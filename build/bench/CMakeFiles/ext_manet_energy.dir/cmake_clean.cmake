@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_manet_energy.dir/ext_manet_energy.cc.o"
+  "CMakeFiles/ext_manet_energy.dir/ext_manet_energy.cc.o.d"
+  "ext_manet_energy"
+  "ext_manet_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_manet_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

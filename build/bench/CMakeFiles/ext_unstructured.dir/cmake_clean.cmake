@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_unstructured.dir/ext_unstructured.cc.o"
+  "CMakeFiles/ext_unstructured.dir/ext_unstructured.cc.o.d"
+  "ext_unstructured"
+  "ext_unstructured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_unstructured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10a_range_recall.dir/fig10a_range_recall.cc.o"
+  "CMakeFiles/fig10a_range_recall.dir/fig10a_range_recall.cc.o.d"
+  "fig10a_range_recall"
+  "fig10a_range_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10a_range_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

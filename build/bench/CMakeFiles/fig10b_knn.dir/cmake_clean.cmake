@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10b_knn.dir/fig10b_knn.cc.o"
+  "CMakeFiles/fig10b_knn.dir/fig10b_knn.cc.o.d"
+  "fig10b_knn"
+  "fig10b_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10b_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10c_post_insertion.dir/fig10c_post_insertion.cc.o"
+  "CMakeFiles/fig10c_post_insertion.dir/fig10c_post_insertion.cc.o.d"
+  "fig10c_post_insertion"
+  "fig10c_post_insertion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10c_post_insertion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_replication.dir/fig8a_replication.cc.o"
+  "CMakeFiles/fig8a_replication.dir/fig8a_replication.cc.o.d"
+  "fig8a_replication"
+  "fig8a_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

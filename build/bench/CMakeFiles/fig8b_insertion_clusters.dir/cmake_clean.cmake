@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_insertion_clusters.dir/fig8b_insertion_clusters.cc.o"
+  "CMakeFiles/fig8b_insertion_clusters.dir/fig8b_insertion_clusters.cc.o.d"
+  "fig8b_insertion_clusters"
+  "fig8b_insertion_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_insertion_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8b_insertion_clusters.
+# This may be replaced when dependencies are built.

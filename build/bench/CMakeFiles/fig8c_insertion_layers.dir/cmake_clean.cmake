@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8c_insertion_layers.dir/fig8c_insertion_layers.cc.o"
+  "CMakeFiles/fig8c_insertion_layers.dir/fig8c_insertion_layers.cc.o.d"
+  "fig8c_insertion_layers"
+  "fig8c_insertion_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8c_insertion_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_c_sweep.dir/tab_c_sweep.cc.o"
+  "CMakeFiles/tab_c_sweep.dir/tab_c_sweep.cc.o.d"
+  "tab_c_sweep"
+  "tab_c_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_c_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

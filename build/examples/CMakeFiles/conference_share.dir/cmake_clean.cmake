@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conference_share.dir/conference_share.cpp.o"
+  "CMakeFiles/conference_share.dir/conference_share.cpp.o.d"
+  "conference_share"
+  "conference_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conference_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transit_share.dir/transit_share.cpp.o"
+  "CMakeFiles/transit_share.dir/transit_share.cpp.o.d"
+  "transit_share"
+  "transit_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transit_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

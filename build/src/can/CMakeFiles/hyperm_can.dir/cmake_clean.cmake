@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperm_can.dir/can_overlay.cc.o"
+  "CMakeFiles/hyperm_can.dir/can_overlay.cc.o.d"
+  "libhyperm_can.a"
+  "libhyperm_can.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperm_can.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

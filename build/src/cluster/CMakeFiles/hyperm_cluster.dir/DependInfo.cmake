@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/kmeans.cc" "src/cluster/CMakeFiles/hyperm_cluster.dir/kmeans.cc.o" "gcc" "src/cluster/CMakeFiles/hyperm_cluster.dir/kmeans.cc.o.d"
+  "/root/repo/src/cluster/metrics.cc" "src/cluster/CMakeFiles/hyperm_cluster.dir/metrics.cc.o" "gcc" "src/cluster/CMakeFiles/hyperm_cluster.dir/metrics.cc.o.d"
+  "/root/repo/src/cluster/sphere_cluster.cc" "src/cluster/CMakeFiles/hyperm_cluster.dir/sphere_cluster.cc.o" "gcc" "src/cluster/CMakeFiles/hyperm_cluster.dir/sphere_cluster.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vec/CMakeFiles/hyperm_vec.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/hyperm_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hyperm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

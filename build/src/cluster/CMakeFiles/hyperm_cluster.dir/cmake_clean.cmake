@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperm_cluster.dir/kmeans.cc.o"
+  "CMakeFiles/hyperm_cluster.dir/kmeans.cc.o.d"
+  "CMakeFiles/hyperm_cluster.dir/metrics.cc.o"
+  "CMakeFiles/hyperm_cluster.dir/metrics.cc.o.d"
+  "CMakeFiles/hyperm_cluster.dir/sphere_cluster.cc.o"
+  "CMakeFiles/hyperm_cluster.dir/sphere_cluster.cc.o.d"
+  "libhyperm_cluster.a"
+  "libhyperm_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperm_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

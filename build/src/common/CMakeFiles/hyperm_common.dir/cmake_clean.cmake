@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperm_common.dir/math_util.cc.o"
+  "CMakeFiles/hyperm_common.dir/math_util.cc.o.d"
+  "CMakeFiles/hyperm_common.dir/rng.cc.o"
+  "CMakeFiles/hyperm_common.dir/rng.cc.o.d"
+  "CMakeFiles/hyperm_common.dir/status.cc.o"
+  "CMakeFiles/hyperm_common.dir/status.cc.o.d"
+  "libhyperm_common.a"
+  "libhyperm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset_io.cc" "src/data/CMakeFiles/hyperm_data.dir/dataset_io.cc.o" "gcc" "src/data/CMakeFiles/hyperm_data.dir/dataset_io.cc.o.d"
+  "/root/repo/src/data/histogram_generator.cc" "src/data/CMakeFiles/hyperm_data.dir/histogram_generator.cc.o" "gcc" "src/data/CMakeFiles/hyperm_data.dir/histogram_generator.cc.o.d"
+  "/root/repo/src/data/markov_generator.cc" "src/data/CMakeFiles/hyperm_data.dir/markov_generator.cc.o" "gcc" "src/data/CMakeFiles/hyperm_data.dir/markov_generator.cc.o.d"
+  "/root/repo/src/data/peer_assignment.cc" "src/data/CMakeFiles/hyperm_data.dir/peer_assignment.cc.o" "gcc" "src/data/CMakeFiles/hyperm_data.dir/peer_assignment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/hyperm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/vec/CMakeFiles/hyperm_vec.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hyperm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/hyperm_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

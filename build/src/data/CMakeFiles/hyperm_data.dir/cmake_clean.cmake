@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperm_data.dir/dataset_io.cc.o"
+  "CMakeFiles/hyperm_data.dir/dataset_io.cc.o.d"
+  "CMakeFiles/hyperm_data.dir/histogram_generator.cc.o"
+  "CMakeFiles/hyperm_data.dir/histogram_generator.cc.o.d"
+  "CMakeFiles/hyperm_data.dir/markov_generator.cc.o"
+  "CMakeFiles/hyperm_data.dir/markov_generator.cc.o.d"
+  "CMakeFiles/hyperm_data.dir/peer_assignment.cc.o"
+  "CMakeFiles/hyperm_data.dir/peer_assignment.cc.o.d"
+  "libhyperm_data.a"
+  "libhyperm_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperm_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

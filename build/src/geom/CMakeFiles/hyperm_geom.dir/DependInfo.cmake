@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/radius_estimator.cc" "src/geom/CMakeFiles/hyperm_geom.dir/radius_estimator.cc.o" "gcc" "src/geom/CMakeFiles/hyperm_geom.dir/radius_estimator.cc.o.d"
+  "/root/repo/src/geom/shapes.cc" "src/geom/CMakeFiles/hyperm_geom.dir/shapes.cc.o" "gcc" "src/geom/CMakeFiles/hyperm_geom.dir/shapes.cc.o.d"
+  "/root/repo/src/geom/sphere_volume.cc" "src/geom/CMakeFiles/hyperm_geom.dir/sphere_volume.cc.o" "gcc" "src/geom/CMakeFiles/hyperm_geom.dir/sphere_volume.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vec/CMakeFiles/hyperm_vec.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hyperm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperm_geom.dir/radius_estimator.cc.o"
+  "CMakeFiles/hyperm_geom.dir/radius_estimator.cc.o.d"
+  "CMakeFiles/hyperm_geom.dir/shapes.cc.o"
+  "CMakeFiles/hyperm_geom.dir/shapes.cc.o.d"
+  "CMakeFiles/hyperm_geom.dir/sphere_volume.cc.o"
+  "CMakeFiles/hyperm_geom.dir/sphere_volume.cc.o.d"
+  "libhyperm_geom.a"
+  "libhyperm_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperm_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperm_core.dir/baseline.cc.o"
+  "CMakeFiles/hyperm_core.dir/baseline.cc.o.d"
+  "CMakeFiles/hyperm_core.dir/eval.cc.o"
+  "CMakeFiles/hyperm_core.dir/eval.cc.o.d"
+  "CMakeFiles/hyperm_core.dir/flat_index.cc.o"
+  "CMakeFiles/hyperm_core.dir/flat_index.cc.o.d"
+  "CMakeFiles/hyperm_core.dir/key_mapper.cc.o"
+  "CMakeFiles/hyperm_core.dir/key_mapper.cc.o.d"
+  "CMakeFiles/hyperm_core.dir/network.cc.o"
+  "CMakeFiles/hyperm_core.dir/network.cc.o.d"
+  "CMakeFiles/hyperm_core.dir/peer.cc.o"
+  "CMakeFiles/hyperm_core.dir/peer.cc.o.d"
+  "CMakeFiles/hyperm_core.dir/score.cc.o"
+  "CMakeFiles/hyperm_core.dir/score.cc.o.d"
+  "libhyperm_core.a"
+  "libhyperm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperm_manet.dir/topology.cc.o"
+  "CMakeFiles/hyperm_manet.dir/topology.cc.o.d"
+  "libhyperm_manet.a"
+  "libhyperm_manet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperm_manet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlay/gossip_overlay.cc" "src/overlay/CMakeFiles/hyperm_overlay.dir/gossip_overlay.cc.o" "gcc" "src/overlay/CMakeFiles/hyperm_overlay.dir/gossip_overlay.cc.o.d"
+  "/root/repo/src/overlay/ring_overlay.cc" "src/overlay/CMakeFiles/hyperm_overlay.dir/ring_overlay.cc.o" "gcc" "src/overlay/CMakeFiles/hyperm_overlay.dir/ring_overlay.cc.o.d"
+  "/root/repo/src/overlay/storage_metrics.cc" "src/overlay/CMakeFiles/hyperm_overlay.dir/storage_metrics.cc.o" "gcc" "src/overlay/CMakeFiles/hyperm_overlay.dir/storage_metrics.cc.o.d"
+  "/root/repo/src/overlay/tree_overlay.cc" "src/overlay/CMakeFiles/hyperm_overlay.dir/tree_overlay.cc.o" "gcc" "src/overlay/CMakeFiles/hyperm_overlay.dir/tree_overlay.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/hyperm_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hyperm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vec/CMakeFiles/hyperm_vec.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hyperm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperm_overlay.dir/gossip_overlay.cc.o"
+  "CMakeFiles/hyperm_overlay.dir/gossip_overlay.cc.o.d"
+  "CMakeFiles/hyperm_overlay.dir/ring_overlay.cc.o"
+  "CMakeFiles/hyperm_overlay.dir/ring_overlay.cc.o.d"
+  "CMakeFiles/hyperm_overlay.dir/storage_metrics.cc.o"
+  "CMakeFiles/hyperm_overlay.dir/storage_metrics.cc.o.d"
+  "CMakeFiles/hyperm_overlay.dir/tree_overlay.cc.o"
+  "CMakeFiles/hyperm_overlay.dir/tree_overlay.cc.o.d"
+  "libhyperm_overlay.a"
+  "libhyperm_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperm_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperm_sim.dir/dissemination.cc.o"
+  "CMakeFiles/hyperm_sim.dir/dissemination.cc.o.d"
+  "CMakeFiles/hyperm_sim.dir/simulator.cc.o"
+  "CMakeFiles/hyperm_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/hyperm_sim.dir/stats.cc.o"
+  "CMakeFiles/hyperm_sim.dir/stats.cc.o.d"
+  "libhyperm_sim.a"
+  "libhyperm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

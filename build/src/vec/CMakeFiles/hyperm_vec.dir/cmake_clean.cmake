@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperm_vec.dir/vector.cc.o"
+  "CMakeFiles/hyperm_vec.dir/vector.cc.o.d"
+  "libhyperm_vec.a"
+  "libhyperm_vec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperm_vec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

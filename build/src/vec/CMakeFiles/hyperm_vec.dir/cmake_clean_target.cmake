@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhyperm_vec.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wavelet/haar.cc" "src/wavelet/CMakeFiles/hyperm_wavelet.dir/haar.cc.o" "gcc" "src/wavelet/CMakeFiles/hyperm_wavelet.dir/haar.cc.o.d"
+  "/root/repo/src/wavelet/level.cc" "src/wavelet/CMakeFiles/hyperm_wavelet.dir/level.cc.o" "gcc" "src/wavelet/CMakeFiles/hyperm_wavelet.dir/level.cc.o.d"
+  "/root/repo/src/wavelet/transform.cc" "src/wavelet/CMakeFiles/hyperm_wavelet.dir/transform.cc.o" "gcc" "src/wavelet/CMakeFiles/hyperm_wavelet.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vec/CMakeFiles/hyperm_vec.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hyperm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperm_wavelet.dir/haar.cc.o"
+  "CMakeFiles/hyperm_wavelet.dir/haar.cc.o.d"
+  "CMakeFiles/hyperm_wavelet.dir/level.cc.o"
+  "CMakeFiles/hyperm_wavelet.dir/level.cc.o.d"
+  "CMakeFiles/hyperm_wavelet.dir/transform.cc.o"
+  "CMakeFiles/hyperm_wavelet.dir/transform.cc.o.d"
+  "libhyperm_wavelet.a"
+  "libhyperm_wavelet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperm_wavelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

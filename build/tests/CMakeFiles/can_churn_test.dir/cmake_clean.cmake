@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/can_churn_test.dir/can_churn_test.cc.o"
+  "CMakeFiles/can_churn_test.dir/can_churn_test.cc.o.d"
+  "can_churn_test"
+  "can_churn_test.pdb"
+  "can_churn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/can_churn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

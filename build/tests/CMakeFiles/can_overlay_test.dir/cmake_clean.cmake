@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/can_overlay_test.dir/can_overlay_test.cc.o"
+  "CMakeFiles/can_overlay_test.dir/can_overlay_test.cc.o.d"
+  "can_overlay_test"
+  "can_overlay_test.pdb"
+  "can_overlay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/can_overlay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_overlay_test.dir/gossip_overlay_test.cc.o"
+  "CMakeFiles/gossip_overlay_test.dir/gossip_overlay_test.cc.o.d"
+  "gossip_overlay_test"
+  "gossip_overlay_test.pdb"
+  "gossip_overlay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_overlay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

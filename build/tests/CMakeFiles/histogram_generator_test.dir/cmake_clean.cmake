@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histogram_generator_test.dir/histogram_generator_test.cc.o"
+  "CMakeFiles/histogram_generator_test.dir/histogram_generator_test.cc.o.d"
+  "histogram_generator_test"
+  "histogram_generator_test.pdb"
+  "histogram_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histogram_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

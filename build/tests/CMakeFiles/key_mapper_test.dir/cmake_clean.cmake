@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_mapper_test.dir/key_mapper_test.cc.o"
+  "CMakeFiles/key_mapper_test.dir/key_mapper_test.cc.o.d"
+  "key_mapper_test"
+  "key_mapper_test.pdb"
+  "key_mapper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_mapper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manet_topology_test.dir/manet_topology_test.cc.o"
+  "CMakeFiles/manet_topology_test.dir/manet_topology_test.cc.o.d"
+  "manet_topology_test"
+  "manet_topology_test.pdb"
+  "manet_topology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manet_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

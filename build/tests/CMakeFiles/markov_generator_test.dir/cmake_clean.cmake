@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/markov_generator_test.dir/markov_generator_test.cc.o"
+  "CMakeFiles/markov_generator_test.dir/markov_generator_test.cc.o.d"
+  "markov_generator_test"
+  "markov_generator_test.pdb"
+  "markov_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/markov_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

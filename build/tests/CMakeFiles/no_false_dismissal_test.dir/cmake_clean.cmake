@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/no_false_dismissal_test.dir/no_false_dismissal_test.cc.o"
+  "CMakeFiles/no_false_dismissal_test.dir/no_false_dismissal_test.cc.o.d"
+  "no_false_dismissal_test"
+  "no_false_dismissal_test.pdb"
+  "no_false_dismissal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/no_false_dismissal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for no_false_dismissal_test.
+# This may be replaced when dependencies are built.

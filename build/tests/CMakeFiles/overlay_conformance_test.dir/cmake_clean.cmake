@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_conformance_test.dir/overlay_conformance_test.cc.o"
+  "CMakeFiles/overlay_conformance_test.dir/overlay_conformance_test.cc.o.d"
+  "overlay_conformance_test"
+  "overlay_conformance_test.pdb"
+  "overlay_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

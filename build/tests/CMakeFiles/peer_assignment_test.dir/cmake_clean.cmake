@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peer_assignment_test.dir/peer_assignment_test.cc.o"
+  "CMakeFiles/peer_assignment_test.dir/peer_assignment_test.cc.o.d"
+  "peer_assignment_test"
+  "peer_assignment_test.pdb"
+  "peer_assignment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peer_assignment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

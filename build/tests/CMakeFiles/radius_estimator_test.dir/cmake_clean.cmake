@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radius_estimator_test.dir/radius_estimator_test.cc.o"
+  "CMakeFiles/radius_estimator_test.dir/radius_estimator_test.cc.o.d"
+  "radius_estimator_test"
+  "radius_estimator_test.pdb"
+  "radius_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radius_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

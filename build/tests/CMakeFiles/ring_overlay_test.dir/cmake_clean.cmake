@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_overlay_test.dir/ring_overlay_test.cc.o"
+  "CMakeFiles/ring_overlay_test.dir/ring_overlay_test.cc.o.d"
+  "ring_overlay_test"
+  "ring_overlay_test.pdb"
+  "ring_overlay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_overlay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sphere_volume_test.dir/sphere_volume_test.cc.o"
+  "CMakeFiles/sphere_volume_test.dir/sphere_volume_test.cc.o.d"
+  "sphere_volume_test"
+  "sphere_volume_test.pdb"
+  "sphere_volume_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sphere_volume_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

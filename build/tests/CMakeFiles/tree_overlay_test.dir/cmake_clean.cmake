@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_overlay_test.dir/tree_overlay_test.cc.o"
+  "CMakeFiles/tree_overlay_test.dir/tree_overlay_test.cc.o.d"
+  "tree_overlay_test"
+  "tree_overlay_test.pdb"
+  "tree_overlay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_overlay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

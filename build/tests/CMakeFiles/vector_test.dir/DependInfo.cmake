@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vector_test.cc" "tests/CMakeFiles/vector_test.dir/vector_test.cc.o" "gcc" "tests/CMakeFiles/vector_test.dir/vector_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hyperm/CMakeFiles/hyperm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/manet/CMakeFiles/hyperm_manet.dir/DependInfo.cmake"
+  "/root/repo/build/src/can/CMakeFiles/hyperm_can.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/hyperm_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/wavelet/CMakeFiles/hyperm_wavelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hyperm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hyperm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/hyperm_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hyperm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vec/CMakeFiles/hyperm_vec.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hyperm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
