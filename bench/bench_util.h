@@ -18,6 +18,7 @@
 #include "data/histogram_generator.h"
 #include "data/peer_assignment.h"
 #include "hyperm/network.h"
+#include "obs/export.h"
 
 namespace hyperm::bench {
 
@@ -27,6 +28,34 @@ inline bool PaperScale(int argc, char** argv) {
     if (std::strcmp(argv[i], "--paper") == 0) return true;
   }
   return false;
+}
+
+/// Value of --json=<path> (machine-readable report destination), or "" when
+/// the flag was not passed.
+inline std::string JsonPath(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) return std::string(argv[i] + 7);
+  }
+  return std::string();
+}
+
+/// Writes the global metrics + span report to the --json=<path> destination
+/// (no-op without the flag). Call once at the end of main, after the run's
+/// instrumented work; exits nonzero on I/O failure so CI notices.
+inline void WriteBenchReport(int argc, char** argv, const std::string& bench_name,
+                             std::map<std::string, std::string> extra = {}) {
+  const std::string path = JsonPath(argc, argv);
+  if (path.empty()) return;
+  obs::RunMeta meta;
+  meta.bench = bench_name;
+  meta.scale = PaperScale(argc, argv) ? "paper" : "default";
+  meta.extra = std::move(extra);
+  const Status status = obs::WriteGlobalReport(path, meta);
+  if (!status.ok()) {
+    std::fprintf(stderr, "report: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("\nreport written to %s\n", path.c_str());
 }
 
 /// Prints the bench header with the resolved configuration.

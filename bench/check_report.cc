@@ -1,0 +1,123 @@
+// bench-smoke validator: checks that a bench --json report conforms to the
+// schema documented in obs/export.h (schema_version 1) and — when the
+// instrumentation is compiled in — that it carries a useful amount of data:
+// at least 10 named metrics and a nested span tree covering Build and one
+// query path. Exits 0 on success, 1 with a diagnostic otherwise.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/export.h"
+#include "obs/json.h"
+
+namespace hyperm {
+namespace {
+
+#define CHECK_REPORT(cond, what)                        \
+  do {                                                  \
+    if (!(cond)) {                                      \
+      std::fprintf(stderr, "check_report: %s\n", what); \
+      return 1;                                         \
+    }                                                   \
+  } while (0)
+
+const obs::Json* FindSpan(const obs::Json& spans, const std::string& name) {
+  for (const obs::Json& span : spans.items()) {
+    const obs::Json* n = span.Find("name");
+    if (n != nullptr && n->is_string() && n->as_string() == name) return &span;
+  }
+  return nullptr;
+}
+
+int Run(const std::string& path) {
+  std::ifstream in(path);
+  CHECK_REPORT(in.good(), "cannot open report file");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Result<obs::Json> parsed = obs::Json::Parse(buffer.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "check_report: %s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  const obs::Json& report = parsed.value();
+  CHECK_REPORT(report.is_object(), "report root must be an object");
+
+  const obs::Json* version = report.Find("schema_version");
+  CHECK_REPORT(version != nullptr && version->is_number() &&
+                   static_cast<int>(version->as_number()) ==
+                       obs::kReportSchemaVersion,
+               "schema_version must be 1");
+
+  const obs::Json* meta = report.Find("run_meta");
+  CHECK_REPORT(meta != nullptr && meta->is_object(), "run_meta must be an object");
+  const obs::Json* bench = meta->Find("bench");
+  CHECK_REPORT(bench != nullptr && bench->is_string() && !bench->as_string().empty(),
+               "run_meta.bench must be a non-empty string");
+
+  const obs::Json* metrics = report.Find("metrics");
+  CHECK_REPORT(metrics != nullptr && metrics->is_object(),
+               "metrics must be an object");
+  size_t named = 0;
+  for (const char* family : {"counters", "gauges", "histograms"}) {
+    const obs::Json* group = metrics->Find(family);
+    CHECK_REPORT(group != nullptr && group->is_object(),
+                 "metrics.{counters,gauges,histograms} must be objects");
+    named += group->members().size();
+  }
+  // Round-trip through the snapshot parser — the strictest structural check.
+  Result<obs::MetricsSnapshot> snapshot = obs::MetricsFromJson(report);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "check_report: %s\n",
+                 snapshot.status().ToString().c_str());
+    return 1;
+  }
+
+  const obs::Json* spans = report.Find("spans");
+  CHECK_REPORT(spans != nullptr && spans->is_array(), "spans must be an array");
+  const obs::Json* dropped = report.Find("dropped_spans");
+  CHECK_REPORT(dropped != nullptr && dropped->is_number(),
+               "dropped_spans must be a number");
+
+#ifndef HYPERM_OBS_DISABLED
+  CHECK_REPORT(named >= 10, "expected >= 10 named metrics");
+  const obs::Json* build = FindSpan(*spans, "build");
+  CHECK_REPORT(build != nullptr, "missing 'build' span");
+  const obs::Json* publish = FindSpan(*spans, "build/publish");
+  CHECK_REPORT(publish != nullptr, "missing 'build/publish' span");
+  const obs::Json* parent = publish->Find("parent");
+  const obs::Json* build_id = build->Find("id");
+  CHECK_REPORT(parent != nullptr && build_id != nullptr &&
+                   static_cast<int>(parent->as_number()) ==
+                       static_cast<int>(build_id->as_number()),
+               "'build/publish' must nest under 'build'");
+  // Build-only benches legitimately have no query spans; demand them exactly
+  // when the run's counters say queries were served.
+  const obs::Json* counters = metrics->Find("counters");
+  const bool ran_queries = counters->Find("query.range_count") != nullptr ||
+                           counters->Find("query.knn_count") != nullptr;
+  if (ran_queries) {
+    CHECK_REPORT(FindSpan(*spans, "query/range") != nullptr ||
+                     FindSpan(*spans, "query/knn") != nullptr,
+                 "missing a query span (query/range or query/knn)");
+    CHECK_REPORT(FindSpan(*spans, "query/layer0") != nullptr,
+                 "missing per-layer span query/layer0");
+  }
+#endif
+
+  std::printf("check_report: %s OK (%zu metrics, %zu spans)\n", path.c_str(),
+              named, spans->items().size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace hyperm
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: check_report <report.json>\n");
+    return 2;
+  }
+  return hyperm::Run(argv[1]);
+}

@@ -55,5 +55,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\nexpected shape: precision pinned at 1.0; recall climbs toward\n"
               "~0.95+ as the contact budget covers all candidate peers\n");
+  bench::WriteBenchReport(argc, argv, "fig10a_range_recall");
   return 0;
 }

@@ -62,5 +62,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\nexpected shape: quality jumps from 5 to 10 clusters, then nearly\n"
               "saturates at 20 (the paper's diminishing-returns observation)\n");
+  bench::WriteBenchReport(argc, argv, "fig10b_knn");
   return 0;
 }

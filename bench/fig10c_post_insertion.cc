@@ -135,5 +135,6 @@ int main(int argc, char** argv) {
               "items the loss stays bounded (paper: at most ~33%%). Full-contact\n"
               "recall isolates the staleness component; republication returns it\n"
               "to 1.0 (the Theorem 4.1 guarantee over the grown corpus).\n");
+  bench::WriteBenchReport(argc, argv, "fig10c_post_insertion");
   return 0;
 }

@@ -68,5 +68,8 @@ int main(int argc, char** argv) {
                 repl / pubs, (route + repl) / pubs, 100.0 * repl / route);
   }
   std::printf("\nexpected shape: replication overhead shrinks as clustering gets finer\n");
+  bench::WriteBenchReport(argc, argv, "fig8a_replication",
+                          {{"nodes", std::to_string(nodes)},
+                           {"items_per_node", std::to_string(items_per_node)}});
   return 0;
 }

@@ -96,5 +96,8 @@ int main(int argc, char** argv) {
   }
   std::printf("\nexpected shape: Hyper-M well below both baselines (paper: up to\n"
               "an order of magnitude), growing slowly with cluster count\n");
+  bench::WriteBenchReport(argc, argv, "fig8b_insertion_clusters",
+                          {{"nodes", std::to_string(nodes)},
+                           {"items_per_node", std::to_string(items_per_node)}});
   return 0;
 }

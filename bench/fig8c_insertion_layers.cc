@@ -82,5 +82,8 @@ int main(int argc, char** argv) {
   }
   std::printf("\nexpected shape (log scale in the paper): Hyper-M rises roughly\n"
               "linearly with layer count yet stays well under both CAN baselines\n");
+  bench::WriteBenchReport(argc, argv, "fig8c_insertion_layers",
+                          {{"nodes", std::to_string(nodes)},
+                           {"items_per_node", std::to_string(items_per_node)}});
   return 0;
 }

@@ -2,9 +2,16 @@
 // Hyper-M: the Haar pyramid, k-means, the sphere-intersection geometry of
 // Eqs. 5-8, and CAN greedy routing. These quantify the "could be done
 // offline / negligible" claims the paper makes about local computation.
+//
+// With --json=<path> the binary additionally runs one small instrumented
+// end-to-end sample (Build + range + k-NN query) and writes the global
+// metrics/span report — the bench-smoke ctest fixture validates that file.
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "bench/bench_util.h"
 #include "can/can_overlay.h"
 #include "cluster/kmeans.h"
 #include "common/rng.h"
@@ -131,7 +138,54 @@ void BM_CanRoute(benchmark::State& state) {
 }
 BENCHMARK(BM_CanRoute)->Args({2, 100})->Args({4, 100})->Args({512, 100});
 
+// One tiny instrumented pipeline pass (Build + range query + k-NN query) so
+// the exported report always carries the Build/query span tree and the full
+// metric set, independent of which BM_* cases ran.
+void RunInstrumentedSample() {
+  obs::MetricsRegistry::Global().Reset();
+  obs::Tracer::Global().Reset();
+  core::HyperMOptions options;
+  options.num_layers = 3;
+  options.clusters_per_peer = 4;
+  auto bed = bench::BuildEffectivenessBed(/*paper_scale=*/false, options,
+                                          /*seed=*/606, /*num_objects_override=*/40);
+  const Vector& query = bed->dataset.items.front();
+  Result<std::vector<core::ItemId>> range =
+      bed->network->RangeQuery(query, /*epsilon=*/0.25, /*querying_peer=*/0);
+  if (!range.ok()) {
+    std::fprintf(stderr, "sample range query: %s\n", range.status().ToString().c_str());
+    std::exit(1);
+  }
+  core::KnnOptions knn_options;
+  Result<std::vector<core::ItemId>> knn =
+      bed->network->KnnQuery(query, /*k=*/5, knn_options, /*querying_peer=*/1);
+  if (!knn.ok()) {
+    std::fprintf(stderr, "sample knn query: %s\n", knn.status().ToString().c_str());
+    std::exit(1);
+  }
+}
+
 }  // namespace
 }  // namespace hyperm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Split off the hyperm flags (--json=, --paper) before google-benchmark
+  // sees the command line; it rejects flags it does not recognize.
+  const std::string json_path = hyperm::bench::JsonPath(argc, argv);
+  std::vector<char*> bm_argv;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0 || arg == "--paper") continue;
+    bm_argv.push_back(argv[i]);
+  }
+  int bm_argc = static_cast<int>(bm_argv.size());
+  benchmark::Initialize(&bm_argc, bm_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bm_argc, bm_argv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!json_path.empty()) {
+    hyperm::RunInstrumentedSample();
+    hyperm::bench::WriteBenchReport(argc, argv, "micro_kernels");
+  }
+  return 0;
+}

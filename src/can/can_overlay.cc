@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace hyperm::can {
 
@@ -83,6 +84,7 @@ NodeId CanOverlay::SplitZone(NodeId owner, const Vector& point) {
     }
   }
   const double mid = 0.5 * (old_node.zone.lo[split_dim] + old_node.zone.hi[split_dim]);
+  HM_OBS_COUNTER_ADD("can.zone_splits", 1);
 
   Node fresh;
   fresh.zone = old_node.zone;
@@ -220,6 +222,8 @@ Result<RouteResult> CanOverlay::Route(const Vector& key, NodeId origin,
     stats_->RecordHop(cls, message_bytes);
   }
   result.destination = current;
+  HM_OBS_HISTOGRAM("can.route_hops", obs::Buckets::Exponential(1, 2.0, 12),
+                   result.hops);
   return result;
 }
 
@@ -261,6 +265,8 @@ Result<InsertReceipt> CanOverlay::Insert(const PublishedCluster& cluster, NodeId
       stats_->RecordHop(sim::TrafficClass::kReplicate, ClusterMessageBytes());
     }
   }
+  HM_OBS_HISTOGRAM("can.insert_replicas", obs::Buckets::Exponential(1, 2.0, 12),
+                   receipt.replicas);
   return receipt;
 }
 
@@ -301,6 +307,8 @@ Result<RangeQueryResult> CanOverlay::RangeQuery(const geom::Sphere& query,
       stats_->RecordHop(sim::TrafficClass::kQuery, KeyMessageBytes());
     }
   }
+  HM_OBS_HISTOGRAM("can.flood_nodes_visited", obs::Buckets::Exponential(1, 2.0, 12),
+                   result.nodes_visited);
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace hyperm::cluster {
 namespace {
@@ -58,6 +59,9 @@ Result<KMeansResult> KMeans(const std::vector<Vector>& points,
                             const KMeansOptions& options, Rng& rng) {
   if (points.empty()) return InvalidArgumentError("KMeans: no points");
   if (options.k < 1) return InvalidArgumentError("KMeans: k must be >= 1");
+  HM_OBS_TIMER("kmeans.wall_us", obs::Buckets::Exponential(1, 4.0, 14));
+  HM_OBS_COUNTER_ADD("kmeans.runs", 1);
+  HM_OBS_COUNTER_ADD("kmeans.points", points.size());
   const int k = std::min<int>(options.k, static_cast<int>(points.size()));
   const size_t dim = points.front().size();
   for (const Vector& p : points) {
@@ -173,6 +177,7 @@ Result<KMeansResult> KMeans(const std::vector<Vector>& points,
         vec::SquaredDistance(points[i], result.clusters[static_cast<size_t>(c)].centroid);
   }
   result.iterations = iterations;
+  HM_OBS_HISTOGRAM("kmeans.iterations", obs::Buckets::Linear(0, 64, 32), iterations);
   return result;
 }
 

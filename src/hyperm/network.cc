@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "common/math_util.h"
 #include "geom/radius_estimator.h"
+#include "obs/trace.h"
 #include "overlay/ring_overlay.h"
 #include "overlay/tree_overlay.h"
 #include "wavelet/haar.h"
@@ -22,6 +23,23 @@ constexpr uint64_t kRequestBytes = 64;
 
 uint64_t ResponseBytes(size_t items, size_t dim) {
   return 16 + items * (8 * dim + 8);
+}
+
+// Publishes one finished query's RangeQueryInfo view into the registry —
+// the single place per-query accounting becomes durable metrics, so the
+// info structs stay thin views that cannot drift from the registry.
+void RecordQueryInfoMetrics(const RangeQueryInfo& info) {
+  HM_OBS_HISTOGRAM("query.routing_hops", obs::Buckets::Exponential(1, 2.0, 12),
+                   info.overlay_routing_hops);
+  HM_OBS_HISTOGRAM("query.flood_hops", obs::Buckets::Exponential(1, 2.0, 12),
+                   info.overlay_flood_hops);
+  HM_OBS_HISTOGRAM("query.candidate_peers", obs::Buckets::Exponential(1, 2.0, 12),
+                   info.candidate_peers);
+  HM_OBS_HISTOGRAM("query.peers_contacted", obs::Buckets::Exponential(1, 2.0, 12),
+                   info.peers_contacted);
+#ifdef HYPERM_OBS_DISABLED
+  (void)info;
+#endif
 }
 
 }  // namespace
@@ -43,6 +61,7 @@ Result<std::unique_ptr<HyperMNetwork>> HyperMNetwork::Build(
     return InvalidArgumentError("Build: num_layers exceeds available wavelet levels");
   }
 
+  HM_OBS_SPAN("build");
   std::unique_ptr<HyperMNetwork> net(new HyperMNetwork());
   net->data_dim_ = dataset.dim();
   net->num_detail_levels_ = m;
@@ -65,61 +84,73 @@ Result<std::unique_ptr<HyperMNetwork>> HyperMNetwork::Build(
       std::vector<std::vector<Vector>>(num_layers));
   std::vector<Bounds> bounds(num_layers);
   std::vector<bool> bounds_init(num_layers, false);
-  for (int p = 0; p < num_peers; ++p) {
-    for (int index : assignment[static_cast<size_t>(p)]) {
-      if (index < 0 || static_cast<size_t>(index) >= dataset.items.size()) {
-        return InvalidArgumentError("Build: assignment index out of range");
-      }
-      const Vector& item = dataset.items[static_cast<size_t>(index)];
-      net->peers_[static_cast<size_t>(p)].AddItem(index, item);
-      HM_ASSIGN_OR_RETURN(wavelet::Pyramid pyramid,
-                          wavelet::DecomposeWith(options.wavelet_kind, item));
-      for (size_t layer = 0; layer < num_layers; ++layer) {
-        const Vector& projection = wavelet::Project(pyramid, net->levels_[layer]);
-        if (!bounds_init[layer]) {
-          bounds[layer].lo = projection;
-          bounds[layer].hi = projection;
-          bounds_init[layer] = true;
-        } else {
-          bounds[layer].Extend(projection);
+  {
+    HM_OBS_SPAN("build/decompose");
+    for (int p = 0; p < num_peers; ++p) {
+      for (int index : assignment[static_cast<size_t>(p)]) {
+        if (index < 0 || static_cast<size_t>(index) >= dataset.items.size()) {
+          return InvalidArgumentError("Build: assignment index out of range");
         }
-        level_points[static_cast<size_t>(p)][layer].push_back(projection);
+        const Vector& item = dataset.items[static_cast<size_t>(index)];
+        net->peers_[static_cast<size_t>(p)].AddItem(index, item);
+        HM_ASSIGN_OR_RETURN(wavelet::Pyramid pyramid,
+                            wavelet::DecomposeWith(options.wavelet_kind, item));
+        for (size_t layer = 0; layer < num_layers; ++layer) {
+          const Vector& projection = wavelet::Project(pyramid, net->levels_[layer]);
+          if (!bounds_init[layer]) {
+            bounds[layer].lo = projection;
+            bounds[layer].hi = projection;
+            bounds_init[layer] = true;
+          } else {
+            bounds[layer].Extend(projection);
+          }
+          level_points[static_cast<size_t>(p)][layer].push_back(projection);
+        }
       }
     }
   }
 
   // One overlay per layer (step i3 substrate).
-  for (size_t layer = 0; layer < num_layers; ++layer) {
-    if (!bounds_init[layer]) return InvalidArgumentError("Build: no items assigned");
-    net->mappers_.push_back(KeyMapper::FromBounds(bounds[layer], options.key_margin));
-    const size_t layer_dim = net->levels_[layer].dim();
-    if (options.overlay_kind == OverlayKind::kRingAndCan && layer_dim == 1) {
-      HM_ASSIGN_OR_RETURN(auto ring,
-                          overlay::RingOverlay::Build(num_peers, &net->stats_, rng));
-      net->overlays_.push_back(std::move(ring));
-    } else if (options.overlay_kind == OverlayKind::kTree) {
-      HM_ASSIGN_OR_RETURN(auto tree, overlay::TreeOverlay::Build(layer_dim, num_peers,
-                                                                 &net->stats_, rng));
-      net->overlays_.push_back(std::move(tree));
-    } else {
-      HM_ASSIGN_OR_RETURN(auto can, can::CanOverlay::Build(layer_dim, num_peers,
-                                                           &net->stats_, rng));
-      net->overlays_.push_back(std::move(can));
+  {
+    HM_OBS_SPAN("build/overlays");
+    for (size_t layer = 0; layer < num_layers; ++layer) {
+      if (!bounds_init[layer]) return InvalidArgumentError("Build: no items assigned");
+      net->mappers_.push_back(KeyMapper::FromBounds(bounds[layer], options.key_margin));
+      const size_t layer_dim = net->levels_[layer].dim();
+      if (options.overlay_kind == OverlayKind::kRingAndCan && layer_dim == 1) {
+        HM_ASSIGN_OR_RETURN(auto ring,
+                            overlay::RingOverlay::Build(num_peers, &net->stats_, rng));
+        net->overlays_.push_back(std::move(ring));
+      } else if (options.overlay_kind == OverlayKind::kTree) {
+        HM_ASSIGN_OR_RETURN(auto tree, overlay::TreeOverlay::Build(layer_dim, num_peers,
+                                                                   &net->stats_, rng));
+        net->overlays_.push_back(std::move(tree));
+      } else {
+        HM_ASSIGN_OR_RETURN(auto can, can::CanOverlay::Build(layer_dim, num_peers,
+                                                             &net->stats_, rng));
+        net->overlays_.push_back(std::move(can));
+      }
+      net->overlays_.back()->set_replicate_spheres(options.replicate_spheres);
     }
-    net->overlays_.back()->set_replicate_spheres(options.replicate_spheres);
   }
 
   // Cluster + publish every peer (steps i2-i3).
-  net->publication_hops_.assign(static_cast<size_t>(num_peers), 0);
-  for (int p = 0; p < num_peers; ++p) {
-    const uint64_t before = net->stats_.hops(sim::TrafficClass::kInsert) +
-                            net->stats_.hops(sim::TrafficClass::kReplicate);
-    HM_RETURN_IF_ERROR(
-        net->PublishPeer(p, level_points[static_cast<size_t>(p)], options, rng));
-    const uint64_t after = net->stats_.hops(sim::TrafficClass::kInsert) +
-                           net->stats_.hops(sim::TrafficClass::kReplicate);
-    net->publication_hops_[static_cast<size_t>(p)] = after - before;
+  {
+    HM_OBS_SPAN("build/publish");
+    net->publication_hops_.assign(static_cast<size_t>(num_peers), 0);
+    for (int p = 0; p < num_peers; ++p) {
+      const uint64_t before = net->stats_.hops(sim::TrafficClass::kInsert) +
+                              net->stats_.hops(sim::TrafficClass::kReplicate);
+      HM_RETURN_IF_ERROR(
+          net->PublishPeer(p, level_points[static_cast<size_t>(p)], options, rng));
+      const uint64_t after = net->stats_.hops(sim::TrafficClass::kInsert) +
+                             net->stats_.hops(sim::TrafficClass::kReplicate);
+      net->publication_hops_[static_cast<size_t>(p)] = after - before;
+    }
   }
+  HM_OBS_GAUGE_SET("build.num_peers", num_peers);
+  HM_OBS_GAUGE_SET("build.num_layers", num_layers);
+  HM_OBS_GAUGE_SET("build.total_items", net->total_items());
   return net;
 }
 
@@ -142,7 +173,14 @@ Status HyperMNetwork::PublishPeer(
       published.cluster_id = next_cluster_id_++;
       HM_ASSIGN_OR_RETURN(overlay::InsertReceipt receipt,
                           overlays_[layer]->Insert(published, peer_id));
+      HM_OBS_COUNTER_ADD("build.clusters_published", 1);
+      HM_OBS_HISTOGRAM("overlay.insert_routing_hops",
+                       obs::Buckets::Exponential(1, 2.0, 12), receipt.routing_hops);
+      HM_OBS_HISTOGRAM("overlay.insert_replicas",
+                       obs::Buckets::Exponential(1, 2.0, 12), receipt.replicas);
+#ifdef HYPERM_OBS_DISABLED
       (void)receipt;
+#endif
     }
   }
   return OkStatus();
@@ -166,6 +204,7 @@ double HyperMNetwork::LevelRadiusScale(int layer) const {
 Result<std::unordered_map<int, double>> HyperMNetwork::QueryLayer(
     int layer, const Vector& query, double epsilon, int querying_peer,
     RangeQueryInfo* info) {
+  HM_OBS_SPAN("query/layer" + std::to_string(layer));
   const Vector projection = ProjectToLevel(query, layer);
   const double level_epsilon = epsilon * LevelRadiusScale(layer);
   geom::Sphere key_sphere =
@@ -197,6 +236,7 @@ Result<std::vector<PeerScore>> HyperMNetwork::ScorePeers(const Vector& query,
   if (querying_peer < 0 || querying_peer >= num_peers()) {
     return InvalidArgumentError("ScorePeers: bad querying peer");
   }
+  HM_OBS_SPAN("query/score");
   std::vector<std::unordered_map<int, double>> level_scores;
   level_scores.reserve(levels_.size());
   for (int layer = 0; layer < num_layers(); ++layer) {
@@ -214,6 +254,13 @@ Result<std::vector<ItemId>> HyperMNetwork::RangeQuery(const Vector& query,
                                                       double epsilon, int querying_peer,
                                                       int max_peers_contacted,
                                                       RangeQueryInfo* info) {
+  HM_OBS_SPAN("query/range");
+  HM_OBS_COUNTER_ADD("query.range_count", 1);
+  // The registry is the system of record for per-query accounting; the info
+  // struct is a thin per-call view, so always accumulate into one and fold it
+  // into the metrics at the end even when the caller passed none.
+  RangeQueryInfo local_info;
+  if (info == nullptr) info = &local_info;
   HM_ASSIGN_OR_RETURN(std::vector<PeerScore> scores,
                       ScorePeers(query, epsilon, querying_peer, info));
   size_t contact = scores.size();
@@ -221,14 +268,20 @@ Result<std::vector<ItemId>> HyperMNetwork::RangeQuery(const Vector& query,
     contact = std::min<size_t>(contact, static_cast<size_t>(max_peers_contacted));
   }
   std::vector<ItemId> results;
-  for (size_t i = 0; i < contact; ++i) {
-    const Peer& target = peers_[static_cast<size_t>(scores[i].peer)];
-    std::vector<ItemId> local = target.RangeSearch(query, epsilon);
-    stats_.RecordHop(sim::TrafficClass::kRetrieve, kRequestBytes);
-    stats_.RecordHop(sim::TrafficClass::kRetrieve, ResponseBytes(local.size(), data_dim_));
-    results.insert(results.end(), local.begin(), local.end());
+  {
+    HM_OBS_SPAN("query/retrieve");
+    for (size_t i = 0; i < contact; ++i) {
+      const Peer& target = peers_[static_cast<size_t>(scores[i].peer)];
+      std::vector<ItemId> local = target.RangeSearch(query, epsilon);
+      stats_.RecordHop(sim::TrafficClass::kRetrieve, kRequestBytes);
+      stats_.RecordHop(sim::TrafficClass::kRetrieve,
+                       ResponseBytes(local.size(), data_dim_));
+      results.insert(results.end(), local.begin(), local.end());
+    }
   }
-  if (info != nullptr) info->peers_contacted = static_cast<int>(contact);
+  info->peers_contacted = static_cast<int>(contact);
+  RecordQueryInfoMetrics(*info);
+  stats_.RecordQueryServed();
   std::sort(results.begin(), results.end());
   results.erase(std::unique(results.begin(), results.end()), results.end());
   return results;
@@ -246,10 +299,17 @@ Result<std::vector<ItemId>> HyperMNetwork::KnnQuery(const Vector& query, int k,
   if (querying_peer < 0 || querying_peer >= num_peers()) {
     return InvalidArgumentError("KnnQuery: bad querying peer");
   }
+  HM_OBS_SPAN("query/knn");
+  HM_OBS_COUNTER_ADD("query.knn_count", 1);
 
-  RangeQueryInfo* range_info = info != nullptr ? &info->range : nullptr;
+  // Same thin-view contract as RangeQuery: accumulate locally when the caller
+  // passed no info struct so the registry always sees the query's accounting.
+  KnnQueryInfo local_info;
+  if (info == nullptr) info = &local_info;
+  RangeQueryInfo* range_info = &info->range;
   std::vector<std::unordered_map<int, double>> level_scores;
   for (int layer = 0; layer < num_layers(); ++layer) {
+    HM_OBS_SPAN("query/layer" + std::to_string(layer));
     const size_t l = static_cast<size_t>(layer);
     const int layer_dim = static_cast<int>(levels_[l].dim());
     const Vector key_center = mappers_[l].ToKey(ProjectToLevel(query, layer));
@@ -263,10 +323,8 @@ Result<std::vector<ItemId>> HyperMNetwork::KnnQuery(const Vector& query, int k,
     while (true) {
       geom::Sphere probe_sphere{key_center, probe_radius};
       HM_ASSIGN_OR_RETURN(probe, overlays_[l]->RangeQuery(probe_sphere, querying_peer));
-      if (range_info != nullptr) {
-        range_info->overlay_routing_hops += probe.routing_hops;
-        range_info->overlay_flood_hops += probe.flood_hops;
-      }
+      range_info->overlay_routing_hops += probe.routing_hops;
+      range_info->overlay_flood_hops += probe.flood_hops;
       if (probe_radius >= max_radius) break;
       std::vector<geom::ClusterView> views;
       views.reserve(probe.matches.size());
@@ -294,7 +352,9 @@ Result<std::vector<ItemId>> HyperMNetwork::KnnQuery(const Vector& query, int k,
           geom::SolveRadiusForCount(layer_dim, views, static_cast<double>(k));
       if (solved.ok()) level_radius = std::min(solved.value(), probe_radius);
     }
-    if (info != nullptr) info->level_radii.push_back(level_radius);
+    info->level_radii.push_back(level_radius);
+    HM_OBS_HISTOGRAM("knn.level_radius", obs::Buckets::Linear(0.0, 4.0, 32),
+                     level_radius);
 
     // Score this level against the estimated radius. The probe's matches
     // are a superset of the refined query's (level_radius <= probe_radius),
@@ -311,8 +371,12 @@ Result<std::vector<ItemId>> HyperMNetwork::KnnQuery(const Vector& query, int k,
     // to the optimistic sum aggregation.
     merged = AggregateScores(level_scores, ScorePolicy::kSum);
   }
-  if (range_info != nullptr) range_info->candidate_peers = static_cast<int>(merged.size());
-  if (merged.empty()) return std::vector<ItemId>{};
+  range_info->candidate_peers = static_cast<int>(merged.size());
+  if (merged.empty()) {
+    RecordQueryInfoMetrics(*range_info);
+    stats_.RecordQueryServed();
+    return std::vector<ItemId>{};
+  }
 
   // Step 4-6: P = the smallest score prefix expected to cover k items,
   // floored at min_peers (scores are expected values; hedging across a few
@@ -334,20 +398,26 @@ Result<std::vector<ItemId>> HyperMNetwork::KnnQuery(const Vector& query, int k,
   // Peers return (id, exact distance) pairs so the querier can merge without
   // shipping the vectors themselves.
   std::vector<ScoredItem> fetched;
-  for (size_t i = 0; i < num_contacted; ++i) {
-    const PeerScore& ps = merged[i];
-    const int request = std::max(
-        1, static_cast<int>(std::ceil(options.c * k * ps.score / sum)));
-    const Peer& target = peers_[static_cast<size_t>(ps.peer)];
-    std::vector<ScoredItem> local = target.NearestItemsScored(query, request);
-    stats_.RecordHop(sim::TrafficClass::kRetrieve, kRequestBytes);
-    stats_.RecordHop(sim::TrafficClass::kRetrieve, ResponseBytes(local.size(), data_dim_));
-    if (info != nullptr) info->items_requested += request;
-    fetched.insert(fetched.end(), local.begin(), local.end());
+  {
+    HM_OBS_SPAN("query/retrieve");
+    for (size_t i = 0; i < num_contacted; ++i) {
+      const PeerScore& ps = merged[i];
+      const int request = std::max(
+          1, static_cast<int>(std::ceil(options.c * k * ps.score / sum)));
+      const Peer& target = peers_[static_cast<size_t>(ps.peer)];
+      std::vector<ScoredItem> local = target.NearestItemsScored(query, request);
+      stats_.RecordHop(sim::TrafficClass::kRetrieve, kRequestBytes);
+      stats_.RecordHop(sim::TrafficClass::kRetrieve,
+                       ResponseBytes(local.size(), data_dim_));
+      info->items_requested += request;
+      fetched.insert(fetched.end(), local.begin(), local.end());
+    }
   }
-  if (range_info != nullptr) {
-    range_info->peers_contacted = static_cast<int>(num_contacted);
-  }
+  range_info->peers_contacted = static_cast<int>(num_contacted);
+  HM_OBS_HISTOGRAM("knn.items_requested", obs::Buckets::Exponential(1, 2.0, 14),
+                   info->items_requested);
+  RecordQueryInfoMetrics(*range_info);
+  stats_.RecordQueryServed();
 
   // Step 10: global merge sorted by exact distance (ids are globally unique,
   // so deduplication is by id).
@@ -385,6 +455,8 @@ Status HyperMNetwork::RepublishPeer(int peer, Rng& rng) {
   }
   const Peer& target = peers_[static_cast<size_t>(peer)];
   if (target.num_items() == 0) return OkStatus();
+  HM_OBS_SPAN("republish");
+  HM_OBS_COUNTER_ADD("republish.count", 1);
 
   // Unpublish: every replica holder processes one removal message.
   for (auto& overlay : overlays_) {

@@ -1,0 +1,70 @@
+// JSON / CSV exporters for metrics snapshots and span traces.
+//
+// Every bench binary writes one machine-readable report next to its text
+// table so perf trajectories can be tracked across commits (the BENCH_*.json
+// series). Report schema (schema_version 1, documented in DESIGN.md):
+//
+//   {
+//     "schema_version": 1,
+//     "run_meta":  { "bench": "...", "scale": "...", ...free-form strings },
+//     "metrics": {
+//       "counters":   { name: integer, ... },
+//       "gauges":     { name: number, ... },
+//       "histograms": { name: { "edges": [...], "counts": [...],
+//                               "underflow": n, "overflow": n, "count": n,
+//                               "sum": x, "min": x, "max": x }, ... }
+//     },
+//     "spans": [ { "id": n, "parent": n, "depth": n, "name": "...",
+//                  "start_us": x, "dur_us": x }, ... ],
+//     "dropped_spans": n
+//   }
+
+#ifndef HYPERM_OBS_EXPORT_H_
+#define HYPERM_OBS_EXPORT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace hyperm::obs {
+
+/// Identifies one bench/experiment run in its exported report.
+struct RunMeta {
+  std::string bench;             ///< binary / experiment name
+  std::string scale = "default"; ///< "default" or "paper"
+  std::map<std::string, std::string> extra;  ///< free-form key/values
+};
+
+inline constexpr int kReportSchemaVersion = 1;
+
+/// Builds the full report document.
+Json ReportToJson(const RunMeta& meta, const MetricsSnapshot& metrics,
+                  const std::vector<SpanRecord>& spans, uint64_t dropped_spans = 0);
+
+/// Inverse of the metrics part of ReportToJson; accepts either a full report
+/// document or just its "metrics" object. Used by merge tooling and the
+/// round-trip tests.
+Result<MetricsSnapshot> MetricsFromJson(const Json& json);
+
+/// Flat CSV views (header line included): `kind,name,value` for scalars with
+/// histograms flattened to count/sum/mean/min/max rows, and one row per span.
+std::string MetricsToCsv(const MetricsSnapshot& metrics);
+std::string SpansToCsv(const std::vector<SpanRecord>& spans);
+
+/// Serializes and writes the report (pretty-printed JSON) to `path`.
+Status WriteReportFile(const std::string& path, const RunMeta& meta,
+                       const MetricsSnapshot& metrics,
+                       const std::vector<SpanRecord>& spans,
+                       uint64_t dropped_spans = 0);
+
+/// Convenience: snapshot the global registry + tracer and write the report.
+Status WriteGlobalReport(const std::string& path, const RunMeta& meta);
+
+}  // namespace hyperm::obs
+
+#endif  // HYPERM_OBS_EXPORT_H_

@@ -1,0 +1,90 @@
+// Minimal JSON document model: build, serialize, parse.
+//
+// Just enough JSON for the observability exports — objects keep their keys
+// sorted (std::map) so every report serializes deterministically, numbers
+// are doubles (with integral values printed without a fraction), and the
+// parser is a small recursive-descent reader for the exporter's own output
+// plus the bench-smoke schema checker. Not a general-purpose library: no
+// streaming, no \u surrogate pairs beyond the BMP, no configurable limits.
+
+#ifndef HYPERM_OBS_JSON_H_
+#define HYPERM_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hyperm::obs {
+
+/// One JSON value (null / bool / number / string / array / object).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;  // null
+  Json(bool value) : type_(Type::kBool), bool_(value) {}
+  Json(double value) : type_(Type::kNumber), number_(value) {}
+  Json(int value) : type_(Type::kNumber), number_(value) {}
+  Json(int64_t value) : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+  Json(uint64_t value) : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+  Json(const char* value) : type_(Type::kString), string_(value) {}
+  Json(std::string value) : type_(Type::kString), string_(std::move(value)) {}
+
+  static Json Array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<Json>& items() const { return array_; }
+  const std::map<std::string, Json>& members() const { return object_; }
+
+  /// Array append (value must be an array).
+  void Append(Json value);
+
+  /// Object member set (value must be an object).
+  void Set(const std::string& key, Json value);
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* Find(const std::string& key) const;
+
+  /// Serializes the value. indent < 0: compact one-line output; otherwise
+  /// pretty-printed with `indent` spaces per nesting level.
+  std::string Dump(int indent = -1) const;
+
+  /// Parses a complete JSON document (rejects trailing garbage).
+  static Result<Json> Parse(const std::string& text);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::map<std::string, Json> object_;
+};
+
+}  // namespace hyperm::obs
+
+#endif  // HYPERM_OBS_JSON_H_

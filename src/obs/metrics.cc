@@ -1,0 +1,145 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hyperm::obs {
+
+Buckets Buckets::Linear(double lo, double hi, int n) {
+  HM_CHECK_GT(n, 0);
+  HM_CHECK_LT(lo, hi);
+  Buckets b;
+  b.edges.reserve(static_cast<size_t>(n) + 1);
+  const double width = (hi - lo) / n;
+  for (int i = 0; i <= n; ++i) b.edges.push_back(lo + width * i);
+  return b;
+}
+
+Buckets Buckets::Exponential(double lo, double factor, int n) {
+  HM_CHECK_GT(n, 0);
+  HM_CHECK_GT(lo, 0.0);
+  HM_CHECK_GT(factor, 1.0);
+  Buckets b;
+  b.edges.reserve(static_cast<size_t>(n) + 1);
+  double edge = lo;
+  for (int i = 0; i <= n; ++i) {
+    b.edges.push_back(edge);
+    edge *= factor;
+  }
+  return b;
+}
+
+Buckets Buckets::Explicit(std::vector<double> edges) {
+  HM_CHECK_GE(edges.size(), 2u);
+  for (size_t i = 1; i < edges.size(); ++i) HM_CHECK_LT(edges[i - 1], edges[i]);
+  Buckets b;
+  b.edges = std::move(edges);
+  return b;
+}
+
+Histogram::Histogram(const Buckets& buckets) {
+  HM_CHECK_GE(buckets.edges.size(), 2u);
+  snap_.edges = buckets.edges;
+  snap_.counts.assign(snap_.edges.size() - 1, 0);
+}
+
+void Histogram::Observe(double value) {
+  if (value < snap_.edges.front()) {
+    ++snap_.underflow;
+  } else if (value >= snap_.edges.back()) {
+    ++snap_.overflow;
+  } else {
+    // First edge strictly greater than value; the bucket is the one before.
+    const auto it = std::upper_bound(snap_.edges.begin(), snap_.edges.end(), value);
+    ++snap_.counts[static_cast<size_t>(it - snap_.edges.begin()) - 1];
+  }
+  ++snap_.count;
+  snap_.sum += value;
+  snap_.min = std::min(snap_.min, value);
+  snap_.max = std::max(snap_.max, value);
+}
+
+HistogramSnapshot Histogram::Snapshot() const { return snap_; }
+
+void Histogram::Reset() {
+  std::fill(snap_.counts.begin(), snap_.counts.end(), uint64_t{0});
+  snap_.underflow = 0;
+  snap_.overflow = 0;
+  snap_.count = 0;
+  snap_.sum = 0.0;
+  snap_.min = std::numeric_limits<double>::infinity();
+  snap_.max = -std::numeric_limits<double>::infinity();
+}
+
+bool MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  bool ok = true;
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) gauges[name] = value;
+  for (const auto& [name, theirs] : other.histograms) {
+    auto it = histograms.find(name);
+    if (it == histograms.end()) {
+      histograms.emplace(name, theirs);
+      continue;
+    }
+    HistogramSnapshot& mine = it->second;
+    if (mine.edges != theirs.edges) {
+      ok = false;  // incompatible layouts: keep ours, flag the conflict
+      continue;
+    }
+    for (size_t i = 0; i < mine.counts.size(); ++i) mine.counts[i] += theirs.counts[i];
+    mine.underflow += theirs.underflow;
+    mine.overflow += theirs.overflow;
+    mine.count += theirs.count;
+    mine.sum += theirs.sum;
+    mine.min = std::min(mine.min, theirs.min);
+    mine.max = std::max(mine.max, theirs.max);
+  }
+  return ok;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name, const Buckets& buckets) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(buckets);
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) snap.counters[name] = counter->value();
+  for (const auto& [name, gauge] : gauges_) snap.gauges[name] = gauge->value();
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms[name] = histogram->Snapshot();
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace hyperm::obs

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace hyperm::overlay {
 namespace {
@@ -122,6 +123,8 @@ Result<InsertReceipt> RingOverlay::Insert(const PublishedCluster& cluster,
   const double center = cluster.sphere.center[0];
   const NodeId owner = RouteTo(center, origin, sim::TrafficClass::kInsert,
                                kClusterBytes, &receipt.routing_hops);
+  HM_OBS_HISTOGRAM("ring.route_hops", obs::Buckets::Exponential(1, 2.0, 12),
+                   receipt.routing_hops);
   stored_[static_cast<size_t>(owner)].push_back(cluster);
   if (!replicate_spheres_) return receipt;
   // Replicate along successor/predecessor links over the covered interval
@@ -168,6 +171,8 @@ Result<RangeQueryResult> RingOverlay::RangeQuery(const geom::Sphere& query,
       result.matches.push_back(cluster);
     }
   }
+  HM_OBS_HISTOGRAM("ring.query_nodes_visited", obs::Buckets::Exponential(1, 2.0, 12),
+                   result.nodes_visited);
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace hyperm::overlay {
 
@@ -187,6 +188,8 @@ Result<InsertReceipt> TreeOverlay::Insert(const PublishedCluster& cluster,
   const int target_leaf = LeafIndexOf(cluster.sphere.center);
   receipt.routing_hops = TreeDistance(origin_leaf, target_leaf);
   Charge(sim::TrafficClass::kInsert, receipt.routing_hops, ClusterMessageBytes());
+  HM_OBS_HISTOGRAM("tree.route_hops", obs::Buckets::Exponential(1, 2.0, 12),
+                   receipt.routing_hops);
 
   const NodeId target = tree_[static_cast<size_t>(target_leaf)].owner;
   stored_[static_cast<size_t>(target)].push_back(cluster);
@@ -226,6 +229,8 @@ Result<RangeQueryResult> TreeOverlay::RangeQuery(const geom::Sphere& query,
   const std::vector<int> leaves = CollectOverlappingLeaves(query, entry_leaf, &edges);
   result.flood_hops = edges;
   Charge(sim::TrafficClass::kQuery, edges, KeyMessageBytes());
+  HM_OBS_HISTOGRAM("tree.query_flood_edges", obs::Buckets::Exponential(1, 2.0, 12),
+                   edges);
 
   std::unordered_set<uint64_t> seen;
   for (int leaf : leaves) {

@@ -3,12 +3,18 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace hyperm::sim {
 
 double ParallelMakespanMs(const std::vector<uint64_t>& per_peer_hops,
                           double avg_bytes_per_hop, const LinkModel& link) {
   HM_CHECK_GE(avg_bytes_per_hop, 0.0);
+  HM_OBS_SPAN("dissemination/makespan");
+  for (uint64_t hops : per_peer_hops) {
+    HM_OBS_HISTOGRAM("dissemination.peer_publication_hops",
+                     obs::Buckets::Exponential(1, 2.0, 16), hops);
+  }
   const double hop_ms = link.HopMs(avg_bytes_per_hop);
   Simulator simulator;
   double makespan = 0.0;
@@ -19,6 +25,7 @@ double ParallelMakespanMs(const std::vector<uint64_t>& per_peer_hops,
                             });
   }
   simulator.Run();
+  HM_OBS_GAUGE_SET("dissemination.makespan_ms", makespan);
   return makespan;
 }
 

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace hyperm::sim {
 namespace {
@@ -38,6 +39,9 @@ void NetworkStats::RecordHop(TrafficClass cls, uint64_t bytes) {
   hops_[i] += 1;
   bytes_[i] += bytes;
   energy_nj_[i] += model_.HopEnergyNanojoules(bytes);
+  HM_OBS_COUNTER_ADD("net.hops", 1);
+  HM_OBS_HISTOGRAM("net.bytes_per_message", obs::Buckets::Exponential(16, 2.0, 16),
+                   bytes);
 }
 
 uint64_t NetworkStats::hops(TrafficClass cls) const { return hops_[Index(cls)]; }
@@ -70,15 +74,27 @@ void NetworkStats::Reset() {
   hops_.fill(0);
   bytes_.fill(0);
   energy_nj_.fill(0.0);
+  queries_served_ = 0;
+}
+
+void NetworkStats::Merge(const NetworkStats& other) {
+  for (size_t i = 0; i < kNumClasses; ++i) {
+    hops_[i] += other.hops_[i];
+    bytes_[i] += other.bytes_[i];
+    energy_nj_[i] += other.energy_nj_[i];
+  }
+  queries_served_ += other.queries_served_;
 }
 
 std::string NetworkStats::Summary() const {
   std::ostringstream os;
   os << "hops=" << total_hops() << " bytes=" << total_bytes()
-     << " energy_mJ=" << total_energy_millijoules();
+     << " energy_mJ=" << total_energy_millijoules()
+     << " served=" << queries_served_;
   for (size_t i = 0; i < kNumClasses; ++i) {
     if (hops_[i] == 0) continue;
-    os << " " << TrafficClassName(static_cast<TrafficClass>(i)) << "=" << hops_[i];
+    os << " " << TrafficClassName(static_cast<TrafficClass>(i)) << "=" << hops_[i]
+       << "/" << bytes_[i] << "B";
   }
   return os.str();
 }

@@ -51,6 +51,10 @@ class NetworkStats {
   /// Records one hop (one physical transmission) of `bytes` payload.
   void RecordHop(TrafficClass cls, uint64_t bytes);
 
+  /// Bumps the served-query counter (range/k-NN/point queries answered).
+  void RecordQueryServed() { ++queries_served_; }
+  uint64_t queries_served() const { return queries_served_; }
+
   /// Hops recorded for one class / all classes.
   uint64_t hops(TrafficClass cls) const;
   uint64_t total_hops() const;
@@ -63,10 +67,16 @@ class NetworkStats {
   double energy_millijoules(TrafficClass cls) const;
   double total_energy_millijoules() const;
 
-  /// Zeroes every counter.
+  /// Zeroes every counter (per-class traffic and queries_served alike).
   void Reset();
 
-  /// One-line summary for experiment logs.
+  /// Accumulates another run's counters into this one (per-class hops,
+  /// bytes, energy, queries_served). The multi-run benches aggregate their
+  /// per-deployment stats through this.
+  void Merge(const NetworkStats& other);
+
+  /// One-line summary for experiment logs: totals, served queries, then
+  /// per-class `name=hops/bytesB` for every class with traffic.
   std::string Summary() const;
 
  private:
@@ -75,6 +85,7 @@ class NetworkStats {
   std::array<uint64_t, kNumClasses> hops_{};
   std::array<uint64_t, kNumClasses> bytes_{};
   std::array<double, kNumClasses> energy_nj_{};
+  uint64_t queries_served_ = 0;
 };
 
 }  // namespace hyperm::sim

@@ -11,6 +11,7 @@
 #include "hyperm/baseline.h"
 #include "hyperm/flat_index.h"
 #include "hyperm/eval.h"
+#include "obs/trace.h"
 
 namespace hyperm::core {
 namespace {
@@ -411,6 +412,84 @@ TEST(NetworkConfigTest, SingleLayerNetworkWorks) {
   ASSERT_TRUE(result.ok());
   EXPECT_DOUBLE_EQ(Evaluate(*result, oracle.RangeSearch(query, eps)).recall, 1.0);
 }
+
+#ifndef HYPERM_OBS_DISABLED
+// Finds the first recorded span with the given name, or nullptr.
+const obs::SpanRecord* FindSpan(const std::vector<obs::SpanRecord>& spans,
+                                const std::string& name) {
+  for (const obs::SpanRecord& s : spans) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+TEST(NetworkObsTest, BuildAndQueriesEmitNestedSpans) {
+  obs::Tracer::Global().Reset();
+  obs::MetricsRegistry::Global().Reset();
+  TestBed bed = MakeTestBed();
+  const Vector& query = bed.dataset.items[10];
+  ASSERT_TRUE(bed.network->RangeQuery(query, 0.5, 0, -1).ok());
+  KnnOptions knn_options;
+  ASSERT_TRUE(bed.network->KnnQuery(query, 5, knn_options, 1).ok());
+
+  const std::vector<obs::SpanRecord>& spans = obs::Tracer::Global().spans();
+  const obs::SpanRecord* build = FindSpan(spans, "build");
+  ASSERT_NE(build, nullptr);
+  EXPECT_EQ(build->parent, -1);
+  for (const char* phase : {"build/decompose", "build/overlays", "build/publish"}) {
+    const obs::SpanRecord* child = FindSpan(spans, phase);
+    ASSERT_NE(child, nullptr) << phase;
+    EXPECT_EQ(child->parent, build->id) << phase;
+    EXPECT_GE(child->duration_us, 0.0) << phase;
+  }
+
+  // Range query: query/range > query/score > query/layer<N> for every layer,
+  // plus the retrieval phase.
+  const obs::SpanRecord* range = FindSpan(spans, "query/range");
+  ASSERT_NE(range, nullptr);
+  const obs::SpanRecord* score = FindSpan(spans, "query/score");
+  ASSERT_NE(score, nullptr);
+  EXPECT_EQ(score->parent, range->id);
+  for (int layer = 0; layer < bed.network->num_layers(); ++layer) {
+    const std::string name = "query/layer" + std::to_string(layer);
+    const obs::SpanRecord* layer_span = FindSpan(spans, name);
+    ASSERT_NE(layer_span, nullptr) << name;
+    EXPECT_EQ(layer_span->parent, score->id) << name;
+  }
+  const obs::SpanRecord* retrieve = FindSpan(spans, "query/retrieve");
+  ASSERT_NE(retrieve, nullptr);
+  EXPECT_EQ(retrieve->parent, range->id);
+
+  // k-NN query: per-layer probe spans nest directly under query/knn.
+  const obs::SpanRecord* knn = FindSpan(spans, "query/knn");
+  ASSERT_NE(knn, nullptr);
+  bool knn_layer_found = false;
+  for (const obs::SpanRecord& s : spans) {
+    if (s.parent == knn->id && s.name.rfind("query/layer", 0) == 0) {
+      knn_layer_found = true;
+    }
+  }
+  EXPECT_TRUE(knn_layer_found);
+  obs::Tracer::Global().Reset();
+}
+
+TEST(NetworkObsTest, QueryAccountingReachesRegistryAndStats) {
+  obs::Tracer::Global().Reset();
+  obs::MetricsRegistry::Global().Reset();
+  TestBed bed = MakeTestBed();
+  // No info struct passed: the network must still fold the per-query
+  // accounting into the registry (the structs are thin views).
+  ASSERT_TRUE(bed.network->RangeQuery(bed.dataset.items[3], 0.5, 0, -1).ok());
+  EXPECT_EQ(bed.network->stats().queries_served(), 1u);
+
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.counters.at("query.range_count"), 1u);
+  EXPECT_EQ(snap.histograms.at("query.candidate_peers").count, 1u);
+  EXPECT_EQ(snap.histograms.at("query.peers_contacted").count, 1u);
+  EXPECT_GT(snap.counters.at("build.clusters_published"), 0u);
+  obs::Tracer::Global().Reset();
+}
+#endif  // HYPERM_OBS_DISABLED
 
 }  // namespace
 }  // namespace hyperm::core

@@ -1,0 +1,155 @@
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace hyperm::obs {
+namespace {
+
+MetricsSnapshot SampleSnapshot() {
+  MetricsRegistry registry;
+  registry.GetCounter("net.hops").Add(12);
+  registry.GetGauge("build.num_peers").Set(50.0);
+  Histogram& h = registry.GetHistogram("can.route_hops", Buckets::Linear(0.0, 8.0, 4));
+  h.Observe(1.0);
+  h.Observe(3.0);
+  h.Observe(100.0);  // overflow
+  return registry.Snapshot();
+}
+
+std::vector<SpanRecord> SampleSpans() {
+  Tracer tracer;
+  const int build = tracer.Begin("build");
+  tracer.End(tracer.Begin("build/publish"));
+  tracer.End(build);
+  return tracer.spans();
+}
+
+TEST(JsonTest, ParseRoundTripsDump) {
+  Json obj = Json::Object();
+  obj.Set("name", Json("hello \"quoted\"\n"));
+  obj.Set("value", Json(42));
+  obj.Set("fraction", Json(0.5));
+  obj.Set("flag", Json(true));
+  Json arr = Json::Array();
+  arr.Append(Json());
+  arr.Append(Json(-3));
+  obj.Set("list", std::move(arr));
+
+  Result<Json> back = Json::Parse(obj.Dump());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->Dump(), obj.Dump());
+  EXPECT_EQ(back->Find("name")->as_string(), "hello \"quoted\"\n");
+  EXPECT_DOUBLE_EQ(back->Find("value")->as_number(), 42.0);
+  EXPECT_TRUE(back->Find("list")->items()[0].is_null());
+}
+
+TEST(JsonTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{} trailing").ok());
+}
+
+TEST(JsonTest, NonFiniteNumbersSerializeAsNull) {
+  Json obj = Json::Object();
+  obj.Set("a", Json(std::numeric_limits<double>::infinity()));
+  obj.Set("b", Json(std::nan("")));
+  const std::string text = obj.Dump();
+  EXPECT_EQ(text, "{\"a\":null,\"b\":null}");
+  Result<Json> back = Json::Parse(text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->Find("a")->is_null());
+}
+
+TEST(ExportTest, ReportCarriesSchemaAndMeta) {
+  RunMeta meta;
+  meta.bench = "unit_test";
+  meta.scale = "paper";
+  meta.extra["nodes"] = "100";
+  const Json report = ReportToJson(meta, SampleSnapshot(), SampleSpans(), 3);
+  EXPECT_EQ(static_cast<int>(report.Find("schema_version")->as_number()),
+            kReportSchemaVersion);
+  const Json* run_meta = report.Find("run_meta");
+  EXPECT_EQ(run_meta->Find("bench")->as_string(), "unit_test");
+  EXPECT_EQ(run_meta->Find("scale")->as_string(), "paper");
+  EXPECT_EQ(run_meta->Find("nodes")->as_string(), "100");
+  EXPECT_EQ(report.Find("spans")->items().size(), 2u);
+  EXPECT_DOUBLE_EQ(report.Find("dropped_spans")->as_number(), 3.0);
+}
+
+TEST(ExportTest, MetricsRoundTripThroughJson) {
+  const MetricsSnapshot original = SampleSnapshot();
+  const Json report = ReportToJson(RunMeta{}, original, {}, 0);
+  Result<Json> reparsed = Json::Parse(report.Dump(2));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  Result<MetricsSnapshot> restored = MetricsFromJson(*reparsed);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->counters, original.counters);
+  EXPECT_EQ(restored->gauges, original.gauges);
+  ASSERT_EQ(restored->histograms.size(), 1u);
+  const HistogramSnapshot& h = restored->histograms.at("can.route_hops");
+  const HistogramSnapshot& o = original.histograms.at("can.route_hops");
+  EXPECT_EQ(h.edges, o.edges);
+  EXPECT_EQ(h.counts, o.counts);
+  EXPECT_EQ(h.overflow, o.overflow);
+  EXPECT_EQ(h.count, o.count);
+  EXPECT_DOUBLE_EQ(h.sum, o.sum);
+  EXPECT_DOUBLE_EQ(h.min, o.min);
+  EXPECT_DOUBLE_EQ(h.max, o.max);
+}
+
+TEST(ExportTest, EmptyHistogramRoundTripsInfiniteMinMax) {
+  MetricsRegistry registry;
+  registry.GetHistogram("empty", Buckets::Linear(0.0, 1.0, 1));
+  const Json report = ReportToJson(RunMeta{}, registry.Snapshot(), {}, 0);
+  Result<MetricsSnapshot> restored = MetricsFromJson(report);
+  ASSERT_TRUE(restored.ok());
+  const HistogramSnapshot& h = restored->histograms.at("empty");
+  EXPECT_EQ(h.count, 0u);
+  EXPECT_TRUE(std::isinf(h.min) && h.min > 0);
+  EXPECT_TRUE(std::isinf(h.max) && h.max < 0);
+}
+
+TEST(ExportTest, MetricsFromJsonAcceptsBareMetricsObject) {
+  const Json report = ReportToJson(RunMeta{}, SampleSnapshot(), {}, 0);
+  Result<MetricsSnapshot> restored = MetricsFromJson(*report.Find("metrics"));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->counters.at("net.hops"), 12u);
+}
+
+TEST(ExportTest, CsvViews) {
+  const std::string metrics_csv = MetricsToCsv(SampleSnapshot());
+  EXPECT_NE(metrics_csv.find("kind,name,value"), std::string::npos);
+  EXPECT_NE(metrics_csv.find("counter,net.hops,12"), std::string::npos);
+  EXPECT_NE(metrics_csv.find("histogram_count,can.route_hops,3"), std::string::npos);
+
+  const std::string spans_csv = SpansToCsv(SampleSpans());
+  EXPECT_NE(spans_csv.find("id,parent,depth,name,start_us,dur_us"),
+            std::string::npos);
+  EXPECT_NE(spans_csv.find("build/publish"), std::string::npos);
+}
+
+TEST(ExportTest, WriteReportFileProducesParseableJson) {
+  const std::string path = ::testing::TempDir() + "/obs_export_test_report.json";
+  const Status status =
+      WriteReportFile(path, RunMeta{"file_test"}, SampleSnapshot(), SampleSpans());
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Result<Json> parsed = Json::Parse(buffer.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("run_meta")->Find("bench")->as_string(), "file_test");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hyperm::obs

@@ -1,0 +1,154 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace hyperm::obs {
+namespace {
+
+TEST(CounterTest, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge g;
+  g.Set(3.5);
+  g.Add(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 4.5);
+  g.Set(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), -1.0);
+}
+
+TEST(BucketsTest, LinearLayout) {
+  const Buckets b = Buckets::Linear(0.0, 10.0, 5);
+  ASSERT_EQ(b.edges.size(), 6u);
+  EXPECT_DOUBLE_EQ(b.edges.front(), 0.0);
+  EXPECT_DOUBLE_EQ(b.edges.back(), 10.0);
+  EXPECT_DOUBLE_EQ(b.edges[1], 2.0);
+}
+
+TEST(BucketsTest, ExponentialLayout) {
+  const Buckets b = Buckets::Exponential(1.0, 2.0, 4);
+  ASSERT_EQ(b.edges.size(), 5u);
+  EXPECT_DOUBLE_EQ(b.edges[0], 1.0);
+  EXPECT_DOUBLE_EQ(b.edges[4], 16.0);
+}
+
+TEST(HistogramTest, RoutesValuesToInnerBuckets) {
+  Histogram h(Buckets::Explicit({0.0, 1.0, 2.0, 4.0}));
+  h.Observe(0.0);   // [0,1)
+  h.Observe(0.99);  // [0,1)
+  h.Observe(1.0);   // [1,2) — lower edge is inclusive
+  h.Observe(3.9);   // [2,4)
+  const HistogramSnapshot s = h.Snapshot();
+  ASSERT_EQ(s.counts.size(), 3u);
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 1u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.underflow, 0u);
+  EXPECT_EQ(s.overflow, 0u);
+  EXPECT_EQ(s.count, 4u);
+}
+
+TEST(HistogramTest, UnderflowAndOverflowAreExplicit) {
+  Histogram h(Buckets::Explicit({0.0, 1.0}));
+  h.Observe(-0.001);  // below e0 -> underflow
+  h.Observe(1.0);     // at the last edge -> overflow (buckets are half-open)
+  h.Observe(100.0);
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.underflow, 1u);
+  EXPECT_EQ(s.overflow, 2u);
+  EXPECT_EQ(s.counts[0], 0u);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.min, -0.001);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+}
+
+TEST(HistogramTest, EmptySnapshot) {
+  Histogram h(Buckets::Linear(0.0, 1.0, 2));
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(s.max, -std::numeric_limits<double>::infinity());
+}
+
+TEST(HistogramTest, ResetKeepsLayout) {
+  Histogram h(Buckets::Linear(0.0, 1.0, 2));
+  h.Observe(0.25);
+  h.Reset();
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 0u);
+  ASSERT_EQ(s.edges.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.edges[1], 0.5);
+}
+
+TEST(RegistryTest, HandlesAreStableAcrossReset) {
+  MetricsRegistry registry;
+  Counter& c = registry.GetCounter("test.counter");
+  c.Add(7);
+  registry.Reset();
+  EXPECT_EQ(c.value(), 0u);
+  // Same name resolves to the same handle; value survives via the handle.
+  c.Add(3);
+  EXPECT_EQ(registry.GetCounter("test.counter").value(), 3u);
+}
+
+TEST(RegistryTest, HistogramLayoutFixedByFirstRegistration) {
+  MetricsRegistry registry;
+  Histogram& first = registry.GetHistogram("test.h", Buckets::Linear(0.0, 1.0, 2));
+  Histogram& again = registry.GetHistogram("test.h", Buckets::Linear(0.0, 100.0, 50));
+  EXPECT_EQ(&first, &again);
+  EXPECT_EQ(first.Snapshot().edges.size(), 3u);
+}
+
+TEST(RegistryTest, SnapshotCopiesAllKinds) {
+  MetricsRegistry registry;
+  registry.GetCounter("c").Add(1);
+  registry.GetGauge("g").Set(2.0);
+  registry.GetHistogram("h", Buckets::Linear(0.0, 1.0, 1)).Observe(0.5);
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap.counters.at("c"), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g"), 2.0);
+  EXPECT_EQ(snap.histograms.at("h").count, 1u);
+}
+
+TEST(SnapshotTest, MergeAccumulates) {
+  MetricsRegistry a, b;
+  a.GetCounter("c").Add(1);
+  b.GetCounter("c").Add(2);
+  b.GetCounter("only_b").Add(5);
+  a.GetGauge("g").Set(1.0);
+  b.GetGauge("g").Set(9.0);
+  a.GetHistogram("h", Buckets::Linear(0.0, 1.0, 1)).Observe(0.5);
+  b.GetHistogram("h", Buckets::Linear(0.0, 1.0, 1)).Observe(0.5);
+  MetricsSnapshot merged = a.Snapshot();
+  EXPECT_TRUE(merged.Merge(b.Snapshot()));
+  EXPECT_EQ(merged.counters.at("c"), 3u);
+  EXPECT_EQ(merged.counters.at("only_b"), 5u);
+  EXPECT_DOUBLE_EQ(merged.gauges.at("g"), 9.0);
+  EXPECT_EQ(merged.histograms.at("h").count, 2u);
+}
+
+TEST(SnapshotTest, MergeRejectsMismatchedEdges) {
+  MetricsRegistry a, b;
+  a.GetHistogram("h", Buckets::Linear(0.0, 1.0, 1)).Observe(0.5);
+  b.GetHistogram("h", Buckets::Linear(0.0, 2.0, 1)).Observe(0.5);
+  MetricsSnapshot merged = a.Snapshot();
+  EXPECT_FALSE(merged.Merge(b.Snapshot()));
+  // Mismatching entry keeps the original value.
+  EXPECT_EQ(merged.histograms.at("h").count, 1u);
+  EXPECT_DOUBLE_EQ(merged.histograms.at("h").edges.back(), 1.0);
+}
+
+}  // namespace
+}  // namespace hyperm::obs

@@ -48,10 +48,38 @@ TEST(StatsTest, EnergyAccumulates) {
 TEST(StatsTest, ResetClearsEverything) {
   NetworkStats stats;
   stats.RecordHop(TrafficClass::kJoin, 10);
+  stats.RecordQueryServed();
   stats.Reset();
   EXPECT_EQ(stats.total_hops(), 0u);
   EXPECT_EQ(stats.total_bytes(), 0u);
   EXPECT_EQ(stats.total_energy_millijoules(), 0.0);
+  EXPECT_EQ(stats.queries_served(), 0u);
+}
+
+TEST(StatsTest, CountsQueriesServed) {
+  NetworkStats stats;
+  EXPECT_EQ(stats.queries_served(), 0u);
+  stats.RecordQueryServed();
+  stats.RecordQueryServed();
+  EXPECT_EQ(stats.queries_served(), 2u);
+}
+
+TEST(StatsTest, MergeAccumulatesAllClassesAndQueries) {
+  NetworkStats a, b;
+  a.RecordHop(TrafficClass::kInsert, 100);
+  a.RecordQueryServed();
+  b.RecordHop(TrafficClass::kInsert, 50);
+  b.RecordHop(TrafficClass::kQuery, 10);
+  b.RecordQueryServed();
+  b.RecordQueryServed();
+  a.Merge(b);
+  EXPECT_EQ(a.hops(TrafficClass::kInsert), 2u);
+  EXPECT_EQ(a.bytes(TrafficClass::kInsert), 150u);
+  EXPECT_EQ(a.hops(TrafficClass::kQuery), 1u);
+  EXPECT_EQ(a.queries_served(), 3u);
+  EXPECT_GT(a.total_energy_millijoules(), 0.0);
+  // The merge source is untouched.
+  EXPECT_EQ(b.total_hops(), 2u);
 }
 
 TEST(StatsTest, ClassNames) {
@@ -66,6 +94,18 @@ TEST(StatsTest, SummaryMentionsActiveClasses) {
   const std::string summary = stats.Summary();
   EXPECT_NE(summary.find("query=1"), std::string::npos);
   EXPECT_EQ(summary.find("join="), std::string::npos);
+}
+
+TEST(StatsTest, SummaryReportsPerClassTotalsAndQueries) {
+  NetworkStats stats;
+  stats.RecordHop(TrafficClass::kInsert, 100);
+  stats.RecordHop(TrafficClass::kInsert, 50);
+  stats.RecordQueryServed();
+  const std::string summary = stats.Summary();
+  EXPECT_NE(summary.find("hops=2"), std::string::npos);
+  EXPECT_NE(summary.find("bytes=150"), std::string::npos);
+  EXPECT_NE(summary.find("served=1"), std::string::npos);
+  EXPECT_NE(summary.find("insert=2/150B"), std::string::npos);
 }
 
 }  // namespace
