@@ -15,6 +15,7 @@
 #include "can/can_overlay.h"
 #include "cluster/kmeans.h"
 #include "common/rng.h"
+#include "data/markov_generator.h"
 #include "geom/radius_estimator.h"
 #include "geom/sphere_volume.h"
 #include "wavelet/haar.h"
@@ -84,6 +85,56 @@ void BM_KMeans(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_KMeans)->Args({200, 4})->Args({1000, 4})->Args({1000, 64});
+
+// Reference full-scan kernel (options.pruned = false); the ratio against
+// BM_KMeans on the same Args is the Hamerly-pruning speedup.
+void BM_KMeansNaive(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const size_t dim = static_cast<size_t>(state.range(1));
+  Rng data_rng(3);
+  std::vector<Vector> points;
+  points.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) points.push_back(RandomVector(dim, data_rng));
+  cluster::KMeansOptions options;
+  options.k = 10;
+  options.pruned = false;
+  for (auto _ : state) {
+    Rng rng(4);
+    Result<cluster::KMeansResult> r = cluster::KMeans(points, options, rng);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KMeansNaive)->Args({200, 4})->Args({1000, 4})->Args({1000, 64});
+
+// End-to-end Build at a fixed dataset, swept over the pool size. On a
+// single-core host the >1-thread rows only measure coordination overhead;
+// the ratio is meaningful on multi-core hardware.
+void BM_BuildNetwork(benchmark::State& state) {
+  const int num_threads = static_cast<int>(state.range(0));
+  Rng setup_rng(8);
+  data::MarkovOptions data_options;
+  data_options.count = 400;
+  data_options.dim = 64;
+  data_options.num_families = 8;
+  auto dataset = data::GenerateMarkov(data_options, setup_rng).value();
+  data::AssignmentOptions assign_options;
+  assign_options.num_peers = 16;
+  assign_options.num_interest_classes = 8;
+  assign_options.min_peers_per_class = 4;
+  assign_options.max_peers_per_class = 6;
+  auto assignment = data::AssignByInterest(dataset, assign_options, setup_rng).value();
+  core::HyperMOptions options;
+  options.num_threads = num_threads;
+  for (auto _ : state) {
+    Rng rng(9);
+    Result<std::unique_ptr<core::HyperMNetwork>> net =
+        core::HyperMNetwork::Build(dataset, assignment, options, rng);
+    benchmark::DoNotOptimize(net);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BuildNetwork)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_CapVolumeFraction(benchmark::State& state) {
   const int d = static_cast<int>(state.range(0));

@@ -8,6 +8,22 @@
 #include "obs/trace.h"
 
 namespace hyperm::cluster {
+
+namespace internal {
+
+size_t PickWeightedIndex(const std::vector<double>& weights, double target) {
+  HM_CHECK(!weights.empty());
+  size_t fallback = weights.size() - 1;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] > 0.0) fallback = i;
+    target -= weights[i];
+    if (target <= 0.0) return i;
+  }
+  return fallback;
+}
+
+}  // namespace internal
+
 namespace {
 
 // k-means++ seeding: first centroid uniform, subsequent ones proportional to
@@ -28,16 +44,8 @@ std::vector<Vector> SeedPlusPlus(const std::vector<Vector>& points, int k, Rng& 
       centroids.push_back(points[rng.NextIndex(points.size())]);
       continue;
     }
-    double target = rng.NextDouble() * total;
-    size_t chosen = points.size() - 1;
-    for (size_t i = 0; i < points.size(); ++i) {
-      target -= dist_sq[i];
-      if (target <= 0.0) {
-        chosen = i;
-        break;
-      }
-    }
-    centroids.push_back(points[chosen]);
+    const double target = rng.NextDouble() * total;
+    centroids.push_back(points[internal::PickWeightedIndex(dist_sq, target)]);
   }
   return centroids;
 }
@@ -51,6 +59,179 @@ std::vector<Vector> SeedUniform(const std::vector<Vector>& points, int k, Rng& r
   centroids.reserve(static_cast<size_t>(k));
   for (int i = 0; i < k; ++i) centroids.push_back(points[indices[static_cast<size_t>(i)]]);
   return centroids;
+}
+
+// Same operation order as vec::SquaredDistance (ascending j, diff*diff into a
+// running sum) so row-major and Vector-based distances agree bit-for-bit.
+// The norm-expansion trick (|p|^2 + |c|^2 - 2 p.c) would be faster still but
+// rounds differently, so the speedup comes from pruning, not from changing
+// the distance arithmetic.
+double RowSquaredDistance(const double* a, const double* b, size_t dim) {
+  double sum = 0.0;
+  for (size_t j = 0; j < dim; ++j) {
+    const double diff = a[j] - b[j];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+// Working state shared by the naive and pruned kernels. Points and centroids
+// live in contiguous row-major arrays so the inner loops stream memory
+// instead of chasing one heap allocation per Vector.
+struct LloydState {
+  size_t n = 0;
+  size_t dim = 0;
+  int k = 0;
+  std::vector<double> points;     // n rows
+  std::vector<double> centroids;  // k rows
+  std::vector<int> assignment;    // per point, -1 before the first pass
+  std::vector<int> counts;        // per cluster, from the latest update step
+  std::vector<double> best_sq;    // per point: sq dist to its assigned centroid
+
+  const double* point(size_t i) const { return points.data() + i * dim; }
+  double* centroid(int c) { return centroids.data() + static_cast<size_t>(c) * dim; }
+  const double* centroid(int c) const {
+    return centroids.data() + static_cast<size_t>(c) * dim;
+  }
+};
+
+// Exact nearest centroid for point i: ascending scan with strict `<`, so the
+// lowest index wins ties. Also reports the runner-up distance (infinity when
+// k == 1) for the pruned kernel's lower bound.
+int NearestCentroid(const LloydState& s, size_t i, double* best_sq_out,
+                    double* second_sq_out) {
+  const double* p = s.point(i);
+  int best = 0;
+  double best_sq = RowSquaredDistance(p, s.centroid(0), s.dim);
+  double second_sq = std::numeric_limits<double>::infinity();
+  for (int c = 1; c < s.k; ++c) {
+    const double sq = RowSquaredDistance(p, s.centroid(c), s.dim);
+    if (sq < best_sq) {
+      second_sq = best_sq;
+      best_sq = sq;
+      best = c;
+    } else if (sq < second_sq) {
+      second_sq = sq;
+    }
+  }
+  *best_sq_out = best_sq;
+  *second_sq_out = second_sq;
+  return best;
+}
+
+// Full-scan assignment step: the reference kernel.
+bool AssignNaive(LloydState& s) {
+  bool changed = false;
+  for (size_t i = 0; i < s.n; ++i) {
+    double best_sq, second_sq;
+    const int best = NearestCentroid(s, i, &best_sq, &second_sq);
+    s.best_sq[i] = best_sq;
+    if (s.assignment[i] != best) {
+      s.assignment[i] = best;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+// Hamerly-style assignment step: u[i] is an upper bound on the distance to
+// the assigned centroid, l[i] a lower bound on the distance to every other
+// centroid. When u[i] < l[i] by a safety margin the assignment provably
+// cannot change and the k-way scan is skipped. The margin absorbs rounding
+// drift in the bound updates so any near-tie falls through to the exact scan,
+// whose result (including tie-breaks) is identical to the naive kernel's.
+bool AssignPruned(LloydState& s, std::vector<double>& u, std::vector<double>& l) {
+  bool changed = false;
+  for (size_t i = 0; i < s.n; ++i) {
+    if (u[i] + (1e-10 + 1e-12 * u[i]) < l[i]) continue;
+    double best_sq, second_sq;
+    const int best = NearestCentroid(s, i, &best_sq, &second_sq);
+    s.best_sq[i] = best_sq;
+    u[i] = std::sqrt(best_sq);
+    l[i] = std::sqrt(second_sq);
+    if (s.assignment[i] != best) {
+      s.assignment[i] = best;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+// Scatter-accumulates per-cluster coordinate sums and counts over i
+// ascending — the same accumulation order as summing member Vectors.
+void AccumulateSums(LloydState& s, std::vector<double>& sums) {
+  std::fill(sums.begin(), sums.end(), 0.0);
+  std::fill(s.counts.begin(), s.counts.end(), 0);
+  for (size_t i = 0; i < s.n; ++i) {
+    const double* p = s.point(i);
+    double* sum = sums.data() + static_cast<size_t>(s.assignment[i]) * s.dim;
+    for (size_t j = 0; j < s.dim; ++j) sum[j] += p[j];
+    ++s.counts[static_cast<size_t>(s.assignment[i])];
+  }
+}
+
+// Reseeds each empty cluster with the point currently farthest from its
+// (pre-update) centroid, among points whose donor cluster keeps at least one
+// member. Requires s.best_sq to hold exact distances to the assigned
+// centroids — O(n) per empty cluster instead of the O(n*k) recompute the
+// first version of this loop did. Returns whether anything was reseeded.
+bool ReseedEmptyClusters(LloydState& s, std::vector<double>& sums) {
+  bool reseeded = false;
+  for (int c = 0; c < s.k; ++c) {
+    if (s.counts[static_cast<size_t>(c)] > 0) continue;
+    size_t farthest = 0;
+    double farthest_sq = -1.0;
+    for (size_t i = 0; i < s.n; ++i) {
+      if (s.best_sq[i] > farthest_sq &&
+          s.counts[static_cast<size_t>(s.assignment[i])] > 1) {
+        farthest_sq = s.best_sq[i];
+        farthest = i;
+      }
+    }
+    if (farthest_sq < 0.0) continue;  // every cluster is a singleton
+    const double* p = s.point(farthest);
+    double* gain = sums.data() + static_cast<size_t>(c) * s.dim;
+    double* lose = sums.data() + static_cast<size_t>(s.assignment[farthest]) * s.dim;
+    for (size_t j = 0; j < s.dim; ++j) {
+      gain[j] += p[j];
+      lose[j] -= p[j];
+    }
+    --s.counts[static_cast<size_t>(s.assignment[farthest])];
+    s.assignment[farthest] = c;
+    s.counts[static_cast<size_t>(c)] = 1;
+    // Distance to the stale centroid of c, so a later empty cluster in this
+    // same pass sees the value an exact recompute would.
+    s.best_sq[farthest] = RowSquaredDistance(p, s.centroid(c), s.dim);
+    reseeded = true;
+  }
+  return reseeded;
+}
+
+// Moves each non-empty centroid to its members' mean. Returns the total
+// squared movement; when `drift` is non-null, fills it with each centroid's
+// movement distance (0 for empty clusters) for the bound updates.
+double UpdateCentroids(LloydState& s, const std::vector<double>& sums,
+                       std::vector<double>* drift) {
+  double movement_sq = 0.0;
+  for (int c = 0; c < s.k; ++c) {
+    if (s.counts[static_cast<size_t>(c)] == 0) {
+      if (drift != nullptr) (*drift)[static_cast<size_t>(c)] = 0.0;
+      continue;
+    }
+    const double inv = 1.0 / s.counts[static_cast<size_t>(c)];
+    const double* sum = sums.data() + static_cast<size_t>(c) * s.dim;
+    double* centroid = s.centroid(c);
+    double move_sq = 0.0;
+    for (size_t j = 0; j < s.dim; ++j) {
+      const double next = sum[j] * inv;
+      const double diff = next - centroid[j];
+      move_sq += diff * diff;
+      centroid[j] = next;
+    }
+    movement_sq += move_sq;
+    if (drift != nullptr) (*drift)[static_cast<size_t>(c)] = std::sqrt(move_sq);
+  }
+  return movement_sq;
 }
 
 }  // namespace
@@ -68,72 +249,81 @@ Result<KMeansResult> KMeans(const std::vector<Vector>& points,
     if (p.size() != dim) return InvalidArgumentError("KMeans: inconsistent dimensionality");
   }
 
-  std::vector<Vector> centroids = options.plus_plus_seeding
-                                      ? SeedPlusPlus(points, k, rng)
-                                      : SeedUniform(points, k, rng);
-  std::vector<int> assignment(points.size(), -1);
-  std::vector<int> counts(static_cast<size_t>(k), 0);
+  const std::vector<Vector> seeds = options.plus_plus_seeding
+                                        ? SeedPlusPlus(points, k, rng)
+                                        : SeedUniform(points, k, rng);
+
+  LloydState s;
+  s.n = points.size();
+  s.dim = dim;
+  s.k = k;
+  s.points.reserve(s.n * dim);
+  for (const Vector& p : points) s.points.insert(s.points.end(), p.begin(), p.end());
+  s.centroids.reserve(static_cast<size_t>(k) * dim);
+  for (const Vector& c : seeds) s.centroids.insert(s.centroids.end(), c.begin(), c.end());
+  s.assignment.assign(s.n, -1);
+  s.counts.assign(static_cast<size_t>(k), 0);
+  s.best_sq.assign(s.n, 0.0);
+
+  std::vector<double> sums(static_cast<size_t>(k) * dim);
+  const double kInf = std::numeric_limits<double>::infinity();
+  // Bound state for the pruned kernel; u = inf forces a full first scan.
+  std::vector<double> upper, lower, drift;
+  if (options.pruned) {
+    upper.assign(s.n, kInf);
+    lower.assign(s.n, 0.0);
+    drift.assign(static_cast<size_t>(k), 0.0);
+  }
+
   int iterations = 0;
-
   for (; iterations < options.max_iterations; ++iterations) {
-    // Assignment step.
-    bool changed = false;
-    for (size_t i = 0; i < points.size(); ++i) {
-      int best = 0;
-      double best_sq = vec::SquaredDistance(points[i], centroids[0]);
-      for (int c = 1; c < k; ++c) {
-        const double sq = vec::SquaredDistance(points[i], centroids[static_cast<size_t>(c)]);
-        if (sq < best_sq) {
-          best_sq = sq;
-          best = c;
+    bool changed = options.pruned ? AssignPruned(s, upper, lower) : AssignNaive(s);
+    AccumulateSums(s, sums);
+
+    bool any_empty = false;
+    for (int c = 0; c < k; ++c) any_empty = any_empty || s.counts[static_cast<size_t>(c)] == 0;
+    bool reseeded = false;
+    if (any_empty) {
+      if (options.pruned) {
+        // Pruned skips leave best_sq stale; the reseed needs exact values.
+        for (size_t i = 0; i < s.n; ++i) {
+          s.best_sq[i] = RowSquaredDistance(s.point(i), s.centroid(s.assignment[i]), dim);
         }
       }
-      if (assignment[i] != best) {
-        assignment[i] = best;
-        changed = true;
+      reseeded = ReseedEmptyClusters(s, sums);
+      changed = changed || reseeded;
+    }
+
+    const double movement_sq =
+        UpdateCentroids(s, sums, options.pruned ? &drift : nullptr);
+
+    if (options.pruned) {
+      if (reseeded) {
+        // Reseeding teleports a centroid; bounds are meaningless. Reset so
+        // the next iteration scans everything.
+        std::fill(upper.begin(), upper.end(), kInf);
+        std::fill(lower.begin(), lower.end(), 0.0);
+      } else {
+        double max_drift = 0.0, second_drift = 0.0;
+        int argmax = -1;
+        for (int c = 0; c < k; ++c) {
+          const double d = drift[static_cast<size_t>(c)];
+          if (d > max_drift) {
+            second_drift = max_drift;
+            max_drift = d;
+            argmax = c;
+          } else if (d > second_drift) {
+            second_drift = d;
+          }
+        }
+        for (size_t i = 0; i < s.n; ++i) {
+          upper[i] += drift[static_cast<size_t>(s.assignment[i])];
+          lower[i] -= s.assignment[i] == argmax ? second_drift : max_drift;
+          if (lower[i] < 0.0) lower[i] = 0.0;
+        }
       }
     }
 
-    // Update step.
-    std::vector<Vector> sums(static_cast<size_t>(k), Vector(dim, 0.0));
-    std::fill(counts.begin(), counts.end(), 0);
-    for (size_t i = 0; i < points.size(); ++i) {
-      vec::AddInPlace(sums[static_cast<size_t>(assignment[i])], points[i]);
-      ++counts[static_cast<size_t>(assignment[i])];
-    }
-    // Reseed empty clusters with the point farthest from its centroid so the
-    // final clustering always uses all k slots where possible.
-    for (int c = 0; c < k; ++c) {
-      if (counts[static_cast<size_t>(c)] > 0) continue;
-      size_t farthest = 0;
-      double farthest_sq = -1.0;
-      for (size_t i = 0; i < points.size(); ++i) {
-        const double sq =
-            vec::SquaredDistance(points[i], centroids[static_cast<size_t>(assignment[i])]);
-        if (sq > farthest_sq && counts[static_cast<size_t>(assignment[i])] > 1) {
-          farthest_sq = sq;
-          farthest = i;
-        }
-      }
-      if (farthest_sq < 0.0) continue;  // every cluster is a singleton
-      --counts[static_cast<size_t>(assignment[farthest])];
-      vec::AddInPlace(sums[static_cast<size_t>(c)], points[farthest]);
-      for (size_t j = 0; j < dim; ++j) {
-        sums[static_cast<size_t>(assignment[farthest])][j] -= points[farthest][j];
-      }
-      assignment[farthest] = c;
-      counts[static_cast<size_t>(c)] = 1;
-      changed = true;
-    }
-
-    double movement_sq = 0.0;
-    for (int c = 0; c < k; ++c) {
-      if (counts[static_cast<size_t>(c)] == 0) continue;
-      Vector next = vec::Scale(sums[static_cast<size_t>(c)],
-                               1.0 / counts[static_cast<size_t>(c)]);
-      movement_sq += vec::SquaredDistance(next, centroids[static_cast<size_t>(c)]);
-      centroids[static_cast<size_t>(c)] = std::move(next);
-    }
     if (!changed || movement_sq < options.tolerance) {
       ++iterations;
       break;
@@ -142,39 +332,42 @@ Result<KMeansResult> KMeans(const std::vector<Vector>& points,
 
   // Final tight assignment against the converged centroids (keeps the
   // invariant "every point belongs to its nearest returned centroid").
-  for (size_t i = 0; i < points.size(); ++i) {
-    int best = 0;
-    double best_sq = vec::SquaredDistance(points[i], centroids[0]);
-    for (int c = 1; c < k; ++c) {
-      const double sq = vec::SquaredDistance(points[i], centroids[static_cast<size_t>(c)]);
-      if (sq < best_sq) {
-        best_sq = sq;
-        best = c;
-      }
-    }
-    assignment[i] = best;
+  for (size_t i = 0; i < s.n; ++i) {
+    double best_sq, second_sq;
+    s.assignment[i] = NearestCentroid(s, i, &best_sq, &second_sq);
   }
 
-  // Build compacted output (drop empty clusters, remap assignments).
-  std::vector<std::vector<Vector>> members(static_cast<size_t>(k));
-  for (size_t i = 0; i < points.size(); ++i) {
-    members[static_cast<size_t>(assignment[i])].push_back(points[i]);
-  }
+  // Build compacted output (drop empty clusters, remap assignments). The
+  // summaries are computed straight from the final assignment — no deep copy
+  // of points into per-cluster member lists.
+  AccumulateSums(s, sums);
   KMeansResult result;
   std::vector<int> remap(static_cast<size_t>(k), -1);
   for (int c = 0; c < k; ++c) {
-    if (members[static_cast<size_t>(c)].empty()) continue;
+    if (s.counts[static_cast<size_t>(c)] == 0) continue;
     remap[static_cast<size_t>(c)] = static_cast<int>(result.clusters.size());
-    result.clusters.push_back(Summarize(members[static_cast<size_t>(c)]));
+    SphereCluster cluster;
+    cluster.count = s.counts[static_cast<size_t>(c)];
+    const double inv = 1.0 / s.counts[static_cast<size_t>(c)];
+    const double* sum = sums.data() + static_cast<size_t>(c) * dim;
+    cluster.centroid.resize(dim);
+    for (size_t j = 0; j < dim; ++j) cluster.centroid[j] = sum[j] * inv;
+    result.clusters.push_back(std::move(cluster));
   }
-  result.assignments.resize(points.size());
+  std::vector<double> max_sq(result.clusters.size(), 0.0);
+  result.assignments.resize(s.n);
   result.inertia = 0.0;
-  for (size_t i = 0; i < points.size(); ++i) {
-    const int c = remap[static_cast<size_t>(assignment[i])];
+  for (size_t i = 0; i < s.n; ++i) {
+    const int c = remap[static_cast<size_t>(s.assignment[i])];
     HM_CHECK_GE(c, 0);
     result.assignments[i] = c;
-    result.inertia +=
-        vec::SquaredDistance(points[i], result.clusters[static_cast<size_t>(c)].centroid);
+    const double sq = RowSquaredDistance(
+        s.point(i), result.clusters[static_cast<size_t>(c)].centroid.data(), dim);
+    max_sq[static_cast<size_t>(c)] = std::fmax(max_sq[static_cast<size_t>(c)], sq);
+    result.inertia += sq;
+  }
+  for (size_t c = 0; c < result.clusters.size(); ++c) {
+    result.clusters[c].radius = std::sqrt(max_sq[c]);
   }
   result.iterations = iterations;
   HM_OBS_HISTOGRAM("kmeans.iterations", obs::Buckets::Linear(0, 64, 32), iterations);

@@ -8,6 +8,7 @@
 #ifndef HYPERM_CLUSTER_KMEANS_H_
 #define HYPERM_CLUSTER_KMEANS_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "cluster/sphere_cluster.h"
@@ -23,6 +24,10 @@ struct KMeansOptions {
   int max_iterations = 50;   ///< Lloyd iteration budget
   double tolerance = 1e-6;   ///< stop when total centroid movement^2 drops below
   bool plus_plus_seeding = true;  ///< k-means++ (true) or uniform seeding
+  /// Hamerly-style bound-pruned inner loop (true) or the naive full-scan
+  /// reference kernel (false). Both produce bit-identical results; the naive
+  /// kernel exists as the correctness oracle and for benchmarking the pruning.
+  bool pruned = true;
 };
 
 /// Output of one k-means run.
@@ -41,6 +46,17 @@ struct KMeansResult {
 /// Returns InvalidArgument on empty input or k < 1.
 Result<KMeansResult> KMeans(const std::vector<Vector>& points,
                             const KMeansOptions& options, Rng& rng);
+
+namespace internal {
+
+/// Subtract-scan weighted pick used by k-means++ seeding: returns the first
+/// index i with weights[0..i] summing past `target`. When floating-point
+/// rounding lets `target` survive the whole scan, falls back to the last
+/// index with a strictly positive weight (never a zero-weight point, which
+/// would duplicate an already-chosen centroid). Exposed for unit testing.
+size_t PickWeightedIndex(const std::vector<double>& weights, double target);
+
+}  // namespace internal
 
 }  // namespace hyperm::cluster
 

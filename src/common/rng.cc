@@ -135,4 +135,17 @@ std::vector<double> Rng::Dirichlet(int dim, double concentration) {
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
+uint64_t MixSeed(uint64_t seed, uint64_t a, uint64_t b) {
+  // Three SplitMix64 rounds with the inputs folded in between; each fold
+  // perturbs the walking state so (seed, a, b), (seed, b, a) and
+  // (seed, a+1, b-1) land in unrelated streams.
+  uint64_t x = seed;
+  uint64_t out = SplitMix64(x);
+  x ^= a * 0x9e3779b97f4a7c15ULL;
+  out ^= SplitMix64(x);
+  x ^= b * 0xbf58476d1ce4e5b9ULL;
+  out ^= SplitMix64(x);
+  return out;
+}
+
 }  // namespace hyperm

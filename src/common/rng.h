@@ -78,6 +78,13 @@ class Rng {
   double cached_gaussian_ = 0.0;
 };
 
+/// Mixes `(seed, a, b)` into one well-distributed 64-bit stream seed
+/// (SplitMix64-based). This is how parallel fan-outs derive a private,
+/// reproducible `Rng` per task — e.g. `Rng(MixSeed(base, peer, layer))` —
+/// so results are bit-identical at any thread count: the stream depends
+/// only on the task's identity, never on scheduling order.
+uint64_t MixSeed(uint64_t seed, uint64_t a, uint64_t b = 0);
+
 }  // namespace hyperm
 
 #endif  // HYPERM_COMMON_RNG_H_

@@ -1,0 +1,76 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace hyperm {
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int t = 1; t < num_threads_; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int ThreadPool::DefaultNumThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    // Sequential path: index order, calling thread, no synchronization.
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    workers_working_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  cv_work_.notify_all();
+  RunTasks();  // the calling thread is a lane too
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return workers_working_ == 0; });
+  fn_ = nullptr;
+}
+
+void ThreadPool::RunTasks() {
+  for (size_t i = next_.fetch_add(1, std::memory_order_relaxed); i < n_;
+       i = next_.fetch_add(1, std::memory_order_relaxed)) {
+    (*fn_)(i);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    RunTasks();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --workers_working_;
+    }
+    // ParallelFor only returns once every worker has checked in, so fn_/n_
+    // stay valid for the whole generation.
+    cv_done_.notify_one();
+  }
+}
+
+}  // namespace hyperm

@@ -1,7 +1,9 @@
 #include "hyperm/network.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <optional>
 #include <unordered_set>
 #include <utility>
 
@@ -42,7 +44,41 @@ void RecordQueryInfoMetrics(const RangeQueryInfo& info) {
 #endif
 }
 
+double ElapsedUs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                   start)
+      .count();
+}
+
+// Slot filled by one per-layer query task. Workers write only their own slot
+// (plus atomic NetworkStats / obs counters); everything that must stay
+// ordered — spans, info accounting, score aggregation — happens on the
+// calling thread when the slots are drained in layer order.
+struct LayerQueryOutcome {
+  Status status = OkStatus();
+  std::unordered_map<int, double> scores;
+  double level_radius = 0.0;  // k-NN only
+  int routing_hops = 0;
+  int flood_hops = 0;
+  double wall_us = 0.0;
+};
+
 }  // namespace
+
+void HyperMNetwork::PoolRun(size_t n, const std::function<void(size_t)>& fn) {
+  {
+    HM_OBS_TIMER("pool.wall_us", obs::Buckets::Exponential(1, 4.0, 14));
+    pool_->ParallelFor(n, fn);
+  }
+  HM_OBS_COUNTER_ADD("pool.tasks", n);
+}
+
+cluster::KMeansOptions HyperMNetwork::MakeKMeansOptions() const {
+  cluster::KMeansOptions kmeans_options;
+  kmeans_options.k = options_.clusters_per_peer;
+  kmeans_options.max_iterations = options_.kmeans_max_iterations;
+  return kmeans_options;
+}
 
 Result<std::unique_ptr<HyperMNetwork>> HyperMNetwork::Build(
     const data::Dataset& dataset, const data::PeerAssignment& assignment,
@@ -67,6 +103,8 @@ Result<std::unique_ptr<HyperMNetwork>> HyperMNetwork::Build(
   net->num_detail_levels_ = m;
   net->options_ = options;
   net->levels_ = wavelet::DefaultLevels(m, options.num_layers);
+  net->pool_ = std::make_unique<ThreadPool>(
+      options.num_threads != 0 ? options.num_threads : ThreadPool::DefaultNumThreads());
 
   // Peers + local stores (step i1 input).
   const int num_peers = static_cast<int>(assignment.size());
@@ -77,35 +115,67 @@ Result<std::unique_ptr<HyperMNetwork>> HyperMNetwork::Build(
   // per-layer bounds for the key mappers. (In a live MANET the bounds come
   // from the data domain — Haar averages of [lo,hi]-bounded features stay in
   // [lo,hi] and details in ±(hi-lo)/2; the simulation takes the tight
-  // empirical equivalent.)
+  // empirical equivalent.) Decomposition is fanned out per peer: every task
+  // writes only peer p's store, projection rows and bounds slot, and the
+  // per-peer bounds are merged afterwards — min/max is order-independent, so
+  // the merged mappers are identical at any thread count.
   const size_t num_layers = net->levels_.size();
   std::vector<std::vector<std::vector<Vector>>> level_points(
       static_cast<size_t>(num_peers),
       std::vector<std::vector<Vector>>(num_layers));
-  std::vector<Bounds> bounds(num_layers);
-  std::vector<bool> bounds_init(num_layers, false);
+  std::vector<std::vector<Bounds>> peer_bounds(
+      static_cast<size_t>(num_peers), std::vector<Bounds>(num_layers));
+  // char, not bool: std::vector<bool> packs bits, and adjacent rows must not
+  // share bytes across tasks.
+  std::vector<std::vector<char>> peer_bounds_init(
+      static_cast<size_t>(num_peers), std::vector<char>(num_layers, 0));
+  std::vector<Status> peer_status(static_cast<size_t>(num_peers), OkStatus());
   {
     HM_OBS_SPAN("build/decompose");
-    for (int p = 0; p < num_peers; ++p) {
-      for (int index : assignment[static_cast<size_t>(p)]) {
+    net->PoolRun(static_cast<size_t>(num_peers), [&](size_t p) {
+      for (int index : assignment[p]) {
         if (index < 0 || static_cast<size_t>(index) >= dataset.items.size()) {
-          return InvalidArgumentError("Build: assignment index out of range");
+          peer_status[p] = InvalidArgumentError("Build: assignment index out of range");
+          return;
         }
         const Vector& item = dataset.items[static_cast<size_t>(index)];
-        net->peers_[static_cast<size_t>(p)].AddItem(index, item);
-        HM_ASSIGN_OR_RETURN(wavelet::Pyramid pyramid,
-                            wavelet::DecomposeWith(options.wavelet_kind, item));
-        for (size_t layer = 0; layer < num_layers; ++layer) {
-          const Vector& projection = wavelet::Project(pyramid, net->levels_[layer]);
-          if (!bounds_init[layer]) {
-            bounds[layer].lo = projection;
-            bounds[layer].hi = projection;
-            bounds_init[layer] = true;
-          } else {
-            bounds[layer].Extend(projection);
-          }
-          level_points[static_cast<size_t>(p)][layer].push_back(projection);
+        net->peers_[p].AddItem(index, item);
+        Result<wavelet::Pyramid> pyramid =
+            wavelet::DecomposeWith(options.wavelet_kind, item);
+        if (!pyramid.ok()) {
+          peer_status[p] = pyramid.status();
+          return;
         }
+        for (size_t layer = 0; layer < num_layers; ++layer) {
+          const Vector& projection =
+              wavelet::Project(pyramid.value(), net->levels_[layer]);
+          if (peer_bounds_init[p][layer] == 0) {
+            peer_bounds[p][layer].lo = projection;
+            peer_bounds[p][layer].hi = projection;
+            peer_bounds_init[p][layer] = 1;
+          } else {
+            peer_bounds[p][layer].Extend(projection);
+          }
+          level_points[p][layer].push_back(projection);
+        }
+      }
+    });
+    for (int p = 0; p < num_peers; ++p) {
+      HM_RETURN_IF_ERROR(peer_status[static_cast<size_t>(p)]);
+    }
+  }
+  std::vector<Bounds> bounds(num_layers);
+  std::vector<bool> bounds_init(num_layers, false);
+  for (int p = 0; p < num_peers; ++p) {
+    for (size_t layer = 0; layer < num_layers; ++layer) {
+      if (peer_bounds_init[static_cast<size_t>(p)][layer] == 0) continue;
+      const Bounds& pb = peer_bounds[static_cast<size_t>(p)][layer];
+      if (!bounds_init[layer]) {
+        bounds[layer] = pb;
+        bounds_init[layer] = true;
+      } else {
+        bounds[layer].Extend(pb.lo);
+        bounds[layer].Extend(pb.hi);
       }
     }
   }
@@ -134,15 +204,46 @@ Result<std::unique_ptr<HyperMNetwork>> HyperMNetwork::Build(
     }
   }
 
-  // Cluster + publish every peer (steps i2-i3).
+  // Cluster + publish every peer (steps i2-i3). One flat (peer, layer) task
+  // list keeps all lanes busy even when peers hold uneven collections; each
+  // task runs k-means on a private RNG stream derived from (base_seed, peer,
+  // layer), so the clustering is bit-identical at any thread count. The
+  // overlay inserts — which mutate shared state and consume cluster ids —
+  // are drained on this thread in peer-major task order.
   {
     HM_OBS_SPAN("build/publish");
     net->publication_hops_.assign(static_cast<size_t>(num_peers), 0);
+    const uint64_t base_seed = rng.NextUint64();
+    struct PublishTask {
+      int peer;
+      size_t layer;
+    };
+    std::vector<PublishTask> tasks;
+    for (int p = 0; p < num_peers; ++p) {
+      for (size_t layer = 0; layer < num_layers; ++layer) {
+        if (!level_points[static_cast<size_t>(p)][layer].empty()) {
+          tasks.push_back(PublishTask{p, layer});
+        }
+      }
+    }
+    // Result<T> is not default-constructible, hence optional slots.
+    std::vector<std::optional<Result<cluster::KMeansResult>>> slots(tasks.size());
+    const cluster::KMeansOptions kmeans_options = net->MakeKMeansOptions();
+    net->PoolRun(tasks.size(), [&](size_t t) {
+      const PublishTask& task = tasks[t];
+      Rng task_rng(MixSeed(base_seed, static_cast<uint64_t>(task.peer), task.layer));
+      slots[t].emplace(cluster::KMeans(
+          level_points[static_cast<size_t>(task.peer)][task.layer], kmeans_options,
+          task_rng));
+    });
+    size_t t = 0;
     for (int p = 0; p < num_peers; ++p) {
       const uint64_t before = net->stats_.hops(sim::TrafficClass::kInsert) +
                               net->stats_.hops(sim::TrafficClass::kReplicate);
-      HM_RETURN_IF_ERROR(
-          net->PublishPeer(p, level_points[static_cast<size_t>(p)], options, rng));
+      for (; t < tasks.size() && tasks[t].peer == p; ++t) {
+        if (!slots[t]->ok()) return slots[t]->status();
+        HM_RETURN_IF_ERROR(net->InsertClusters(p, tasks[t].layer, slots[t]->value()));
+      }
       const uint64_t after = net->stats_.hops(sim::TrafficClass::kInsert) +
                              net->stats_.hops(sim::TrafficClass::kReplicate);
       net->publication_hops_[static_cast<size_t>(p)] = after - before;
@@ -154,34 +255,45 @@ Result<std::unique_ptr<HyperMNetwork>> HyperMNetwork::Build(
   return net;
 }
 
-Status HyperMNetwork::PublishPeer(
-    int peer_id, const std::vector<std::vector<Vector>>& level_points,
-    const HyperMOptions& options, Rng& rng) {
-  for (size_t layer = 0; layer < levels_.size(); ++layer) {
-    const std::vector<Vector>& points = level_points[layer];
-    if (points.empty()) continue;  // peer holds no items
-    cluster::KMeansOptions kmeans_options;
-    kmeans_options.k = options.clusters_per_peer;
-    kmeans_options.max_iterations = options.kmeans_max_iterations;
-    HM_ASSIGN_OR_RETURN(cluster::KMeansResult result,
-                        cluster::KMeans(points, kmeans_options, rng));
-    for (const cluster::SphereCluster& c : result.clusters) {
-      overlay::PublishedCluster published;
-      published.sphere = mappers_[layer].ToKeySphere(c.centroid, c.radius);
-      published.owner_peer = peer_id;
-      published.items = c.count;
-      published.cluster_id = next_cluster_id_++;
-      HM_ASSIGN_OR_RETURN(overlay::InsertReceipt receipt,
-                          overlays_[layer]->Insert(published, peer_id));
-      HM_OBS_COUNTER_ADD("build.clusters_published", 1);
-      HM_OBS_HISTOGRAM("overlay.insert_routing_hops",
-                       obs::Buckets::Exponential(1, 2.0, 12), receipt.routing_hops);
-      HM_OBS_HISTOGRAM("overlay.insert_replicas",
-                       obs::Buckets::Exponential(1, 2.0, 12), receipt.replicas);
+Status HyperMNetwork::InsertClusters(int peer_id, size_t layer,
+                                     const cluster::KMeansResult& result) {
+  for (const cluster::SphereCluster& c : result.clusters) {
+    overlay::PublishedCluster published;
+    published.sphere = mappers_[layer].ToKeySphere(c.centroid, c.radius);
+    published.owner_peer = peer_id;
+    published.items = c.count;
+    published.cluster_id = next_cluster_id_++;
+    HM_ASSIGN_OR_RETURN(overlay::InsertReceipt receipt,
+                        overlays_[layer]->Insert(published, peer_id));
+    HM_OBS_COUNTER_ADD("build.clusters_published", 1);
+    HM_OBS_HISTOGRAM("overlay.insert_routing_hops",
+                     obs::Buckets::Exponential(1, 2.0, 12), receipt.routing_hops);
+    HM_OBS_HISTOGRAM("overlay.insert_replicas",
+                     obs::Buckets::Exponential(1, 2.0, 12), receipt.replicas);
 #ifdef HYPERM_OBS_DISABLED
-      (void)receipt;
+    (void)receipt;
 #endif
-    }
+  }
+  return OkStatus();
+}
+
+Status HyperMNetwork::PublishPeerParallel(
+    int peer_id, const std::vector<std::vector<Vector>>& level_points,
+    uint64_t base_seed) {
+  std::vector<size_t> layers;
+  for (size_t layer = 0; layer < levels_.size(); ++layer) {
+    if (!level_points[layer].empty()) layers.push_back(layer);
+  }
+  std::vector<std::optional<Result<cluster::KMeansResult>>> slots(layers.size());
+  const cluster::KMeansOptions kmeans_options = MakeKMeansOptions();
+  PoolRun(layers.size(), [&](size_t t) {
+    Rng task_rng(MixSeed(base_seed, static_cast<uint64_t>(peer_id), layers[t]));
+    slots[t].emplace(
+        cluster::KMeans(level_points[layers[t]], kmeans_options, task_rng));
+  });
+  for (size_t t = 0; t < layers.size(); ++t) {
+    if (!slots[t]->ok()) return slots[t]->status();
+    HM_RETURN_IF_ERROR(InsertClusters(peer_id, layers[t], slots[t]->value()));
   }
   return OkStatus();
 }
@@ -201,30 +313,6 @@ double HyperMNetwork::LevelRadiusScale(int layer) const {
                                  levels_[static_cast<size_t>(layer)]);
 }
 
-Result<std::unordered_map<int, double>> HyperMNetwork::QueryLayer(
-    int layer, const Vector& query, double epsilon, int querying_peer,
-    RangeQueryInfo* info) {
-  HM_OBS_SPAN("query/layer" + std::to_string(layer));
-  const Vector projection = ProjectToLevel(query, layer);
-  const double level_epsilon = epsilon * LevelRadiusScale(layer);
-  geom::Sphere key_sphere =
-      mappers_[static_cast<size_t>(layer)].ToKeySphere(projection, level_epsilon);
-  // Guard the Theorem 4.1 boundary against floating-point rounding in the
-  // key mapping: a cluster's farthest member sits exactly on its sphere, and
-  // one ulp of per-coordinate error must not turn into a false dismissal.
-  // The key cube has unit extent, so absolute slack is safe and negligible.
-  key_sphere.radius += 1e-9;
-  HM_ASSIGN_OR_RETURN(
-      overlay::RangeQueryResult result,
-      overlays_[static_cast<size_t>(layer)]->RangeQuery(key_sphere, querying_peer));
-  if (info != nullptr) {
-    info->overlay_routing_hops += result.routing_hops;
-    info->overlay_flood_hops += result.flood_hops;
-  }
-  return ComputeLevelScores(static_cast<int>(levels_[static_cast<size_t>(layer)].dim()),
-                            result.matches, key_sphere);
-}
-
 Result<std::vector<PeerScore>> HyperMNetwork::ScorePeers(const Vector& query,
                                                          double epsilon,
                                                          int querying_peer,
@@ -237,12 +325,45 @@ Result<std::vector<PeerScore>> HyperMNetwork::ScorePeers(const Vector& query,
     return InvalidArgumentError("ScorePeers: bad querying peer");
   }
   HM_OBS_SPAN("query/score");
+  // Per-layer range searches are independent (read-only overlays, atomic
+  // stats), so they fan out across the pool; scores and info accounting are
+  // drained in layer order below, preserving the sequential merge exactly.
+  const size_t num_layers = levels_.size();
+  std::vector<LayerQueryOutcome> outcomes(num_layers);
+  PoolRun(num_layers, [&](size_t layer) {
+    const auto start = std::chrono::steady_clock::now();
+    LayerQueryOutcome& out = outcomes[layer];
+    const Vector projection = ProjectToLevel(query, static_cast<int>(layer));
+    const double level_epsilon = epsilon * LevelRadiusScale(static_cast<int>(layer));
+    geom::Sphere key_sphere = mappers_[layer].ToKeySphere(projection, level_epsilon);
+    // Guard the Theorem 4.1 boundary against floating-point rounding in the
+    // key mapping: a cluster's farthest member sits exactly on its sphere, and
+    // one ulp of per-coordinate error must not turn into a false dismissal.
+    // The key cube has unit extent, so absolute slack is safe and negligible.
+    key_sphere.radius += 1e-9;
+    Result<overlay::RangeQueryResult> result =
+        overlays_[layer]->RangeQuery(key_sphere, querying_peer);
+    if (!result.ok()) {
+      out.status = result.status();
+    } else {
+      out.routing_hops = result.value().routing_hops;
+      out.flood_hops = result.value().flood_hops;
+      out.scores = ComputeLevelScores(static_cast<int>(levels_[layer].dim()),
+                                      result.value().matches, key_sphere);
+    }
+    out.wall_us = ElapsedUs(start);
+  });
   std::vector<std::unordered_map<int, double>> level_scores;
-  level_scores.reserve(levels_.size());
-  for (int layer = 0; layer < num_layers(); ++layer) {
-    HM_ASSIGN_OR_RETURN(auto scores, QueryLayer(layer, query, epsilon,
-                                                querying_peer, info));
-    level_scores.push_back(std::move(scores));
+  level_scores.reserve(num_layers);
+  for (size_t layer = 0; layer < num_layers; ++layer) {
+    LayerQueryOutcome& out = outcomes[layer];
+    HM_OBS_SPAN_COMPLETED("query/layer" + std::to_string(layer), out.wall_us);
+    if (!out.status.ok()) return out.status;
+    if (info != nullptr) {
+      info->overlay_routing_hops += out.routing_hops;
+      info->overlay_flood_hops += out.flood_hops;
+    }
+    level_scores.push_back(std::move(out.scores));
   }
   std::vector<PeerScore> aggregated =
       AggregateScores(level_scores, options_.score_policy);
@@ -307,61 +428,89 @@ Result<std::vector<ItemId>> HyperMNetwork::KnnQuery(const Vector& query, int k,
   KnnQueryInfo local_info;
   if (info == nullptr) info = &local_info;
   RangeQueryInfo* range_info = &info->range;
-  std::vector<std::unordered_map<int, double>> level_scores;
-  for (int layer = 0; layer < num_layers(); ++layer) {
-    HM_OBS_SPAN("query/layer" + std::to_string(layer));
-    const size_t l = static_cast<size_t>(layer);
-    const int layer_dim = static_cast<int>(levels_[l].dim());
-    const Vector key_center = mappers_[l].ToKey(ProjectToLevel(query, layer));
 
-    // Expanding probe: widen the overlay range query until the discovered
-    // summaries can plausibly supply k items (Fig. 5, step 2 needs the
-    // reachable clusters before Eq. 8 can be inverted).
-    const double max_radius = std::sqrt(static_cast<double>(layer_dim));
-    double probe_radius = 0.05 * max_radius;
-    overlay::RangeQueryResult probe;
-    while (true) {
-      geom::Sphere probe_sphere{key_center, probe_radius};
-      HM_ASSIGN_OR_RETURN(probe, overlays_[l]->RangeQuery(probe_sphere, querying_peer));
-      range_info->overlay_routing_hops += probe.routing_hops;
-      range_info->overlay_flood_hops += probe.flood_hops;
-      if (probe_radius >= max_radius) break;
+  // Per-layer expanding probe + radius estimation, fanned out like
+  // ScorePeers. Each task keeps its hop counts and estimated radius in its
+  // own slot; the double-valued knn.level_radius histogram is observed at
+  // the ordered drain so observation order never depends on scheduling.
+  const size_t num_layers = levels_.size();
+  std::vector<LayerQueryOutcome> outcomes(num_layers);
+  PoolRun(num_layers, [&](size_t l) {
+    const auto start = std::chrono::steady_clock::now();
+    LayerQueryOutcome& out = outcomes[l];
+    [&] {
+      const int layer_dim = static_cast<int>(levels_[l].dim());
+      const Vector key_center =
+          mappers_[l].ToKey(ProjectToLevel(query, static_cast<int>(l)));
+
+      // Expanding probe: widen the overlay range query until the discovered
+      // summaries can plausibly supply k items (Fig. 5, step 2 needs the
+      // reachable clusters before Eq. 8 can be inverted).
+      const double max_radius = std::sqrt(static_cast<double>(layer_dim));
+      double probe_radius = 0.05 * max_radius;
+      overlay::RangeQueryResult probe;
+      while (true) {
+        geom::Sphere probe_sphere{key_center, probe_radius};
+        Result<overlay::RangeQueryResult> attempt =
+            overlays_[l]->RangeQuery(probe_sphere, querying_peer);
+        if (!attempt.ok()) {
+          out.status = attempt.status();
+          return;
+        }
+        probe = std::move(attempt).value();
+        out.routing_hops += probe.routing_hops;
+        out.flood_hops += probe.flood_hops;
+        if (probe_radius >= max_radius) break;
+        std::vector<geom::ClusterView> views;
+        views.reserve(probe.matches.size());
+        for (const overlay::PublishedCluster& c : probe.matches) {
+          views.push_back(geom::ClusterView{
+              c.sphere.radius, vec::Distance(c.sphere.center, key_center), c.items});
+        }
+        if (!views.empty() &&
+            geom::ExpectedItems(layer_dim, views, probe_radius) >=
+                static_cast<double>(k)) {
+          break;
+        }
+        probe_radius = std::min(max_radius, probe_radius * 2.0);
+      }
+
+      // Invert Eq. 8 over the discovered clusters for the per-level radius.
       std::vector<geom::ClusterView> views;
       views.reserve(probe.matches.size());
       for (const overlay::PublishedCluster& c : probe.matches) {
         views.push_back(geom::ClusterView{
             c.sphere.radius, vec::Distance(c.sphere.center, key_center), c.items});
       }
-      if (!views.empty() &&
-          geom::ExpectedItems(layer_dim, views, probe_radius) >= static_cast<double>(k)) {
-        break;
+      double level_radius = probe_radius;
+      if (!views.empty()) {
+        Result<double> solved =
+            geom::SolveRadiusForCount(layer_dim, views, static_cast<double>(k));
+        if (solved.ok()) level_radius = std::min(solved.value(), probe_radius);
       }
-      probe_radius = std::min(max_radius, probe_radius * 2.0);
-    }
+      out.level_radius = level_radius;
 
-    // Invert Eq. 8 over the discovered clusters for the per-level radius.
-    std::vector<geom::ClusterView> views;
-    views.reserve(probe.matches.size());
-    for (const overlay::PublishedCluster& c : probe.matches) {
-      views.push_back(geom::ClusterView{
-          c.sphere.radius, vec::Distance(c.sphere.center, key_center), c.items});
-    }
-    double level_radius = probe_radius;
-    if (!views.empty()) {
-      Result<double> solved =
-          geom::SolveRadiusForCount(layer_dim, views, static_cast<double>(k));
-      if (solved.ok()) level_radius = std::min(solved.value(), probe_radius);
-    }
-    info->level_radii.push_back(level_radius);
+      // Score this level against the estimated radius. The probe's matches
+      // are a superset of the refined query's (level_radius <= probe_radius),
+      // so the scores can be computed locally without another flood.
+      const geom::Sphere level_sphere{key_center, level_radius};
+      out.scores = ComputeLevelScores(layer_dim, probe.matches, level_sphere);
+    }();
+    out.wall_us = ElapsedUs(start);
+  });
+
+  std::vector<std::unordered_map<int, double>> level_scores;
+  level_scores.reserve(num_layers);
+  for (size_t l = 0; l < num_layers; ++l) {
+    LayerQueryOutcome& out = outcomes[l];
+    HM_OBS_SPAN_COMPLETED("query/layer" + std::to_string(l), out.wall_us);
+    if (!out.status.ok()) return out.status;
+    range_info->overlay_routing_hops += out.routing_hops;
+    range_info->overlay_flood_hops += out.flood_hops;
+    info->level_radii.push_back(out.level_radius);
     HM_OBS_HISTOGRAM("knn.level_radius", obs::Buckets::Linear(0.0, 4.0, 32),
-                     level_radius);
-
-    // Score this level against the estimated radius. The probe's matches
-    // are a superset of the refined query's (level_radius <= probe_radius),
-    // so the scores can be computed locally without another flood.
-    const geom::Sphere level_sphere{key_center, level_radius};
-    level_scores.push_back(
-        ComputeLevelScores(layer_dim, probe.matches, level_sphere));
+                     out.level_radius);
+    level_scores.push_back(std::move(out.scores));
   }
 
   std::vector<PeerScore> merged = AggregateScores(level_scores, options_.score_policy);
@@ -475,7 +624,7 @@ Status HyperMNetwork::RepublishPeer(int peer, Rng& rng) {
       level_points[layer].push_back(wavelet::Project(pyramid, levels_[layer]));
     }
   }
-  return PublishPeer(peer, level_points, options_, rng);
+  return PublishPeerParallel(peer, level_points, rng.NextUint64());
 }
 
 uint64_t HyperMNetwork::publication_hops(int id) const {

@@ -15,12 +15,15 @@
 #ifndef HYPERM_HYPERM_NETWORK_H_
 #define HYPERM_HYPERM_NETWORK_H_
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "cluster/kmeans.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "data/dataset.h"
 #include "data/peer_assignment.h"
 #include "hyperm/key_mapper.h"
@@ -52,6 +55,12 @@ struct HyperMOptions {
   bool replicate_spheres = true;  ///< false recreates the Fig. 6 failure mode
                                   ///< (ablation only; breaks the range-query
                                   ///< no-false-dismissal guarantee)
+  /// Pool lanes for the parallel build/query fan-outs: 0 picks
+  /// ThreadPool::DefaultNumThreads() (hardware concurrency), 1 runs every
+  /// fan-out inline on the calling thread (the sequential escape hatch).
+  /// Results are bit-identical at any value — per-task RNG streams are
+  /// derived from (seed, peer, layer), never from scheduling order.
+  int num_threads = 0;
 };
 
 /// Traffic/effort account of one range query.
@@ -170,15 +179,25 @@ class HyperMNetwork {
  private:
   HyperMNetwork() = default;
 
-  /// Publishes one peer's summaries into all layers (steps i2–i3).
-  Status PublishPeer(int peer_id,
-                     const std::vector<std::vector<Vector>>& level_points,
-                     const HyperMOptions& options, Rng& rng);
+  /// Runs `fn(i)` for i in [0, n) on the pool, recording the fan-out in the
+  /// `pool.tasks` counter and `pool.wall_us` histogram.
+  void PoolRun(size_t n, const std::function<void(size_t)>& fn);
 
-  /// One layer's overlay range query + Eq. 1 scores.
-  Result<std::unordered_map<int, double>> QueryLayer(int layer, const Vector& query,
-                                                     double epsilon, int querying_peer,
-                                                     RangeQueryInfo* info);
+  /// Clusters and publishes one peer's summaries into all layers (steps
+  /// i2–i3): per-layer k-means fanned out on the pool with RNG streams
+  /// derived from `base_seed`, inserts drained in layer order on the calling
+  /// thread.
+  Status PublishPeerParallel(int peer_id,
+                             const std::vector<std::vector<Vector>>& level_points,
+                             uint64_t base_seed);
+
+  /// Drains one (peer, layer) k-means result into the layer's overlay:
+  /// key-sphere mapping, cluster-id assignment, replicated inserts. Must run
+  /// on the orchestrating thread (mutates overlays and next_cluster_id_).
+  Status InsertClusters(int peer_id, size_t layer,
+                        const cluster::KMeansResult& result);
+
+  cluster::KMeansOptions MakeKMeansOptions() const;
 
   size_t data_dim_ = 0;
   int num_detail_levels_ = 0;  // log2(data_dim_)
@@ -187,6 +206,7 @@ class HyperMNetwork {
   std::vector<wavelet::Level> levels_;
   std::vector<KeyMapper> mappers_;
   std::vector<std::unique_ptr<overlay::Overlay>> overlays_;
+  std::unique_ptr<ThreadPool> pool_;
   sim::NetworkStats stats_;
   std::vector<uint64_t> publication_hops_;  // per peer, set during Build
   uint64_t next_cluster_id_ = 1;

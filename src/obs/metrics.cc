@@ -45,6 +45,7 @@ Histogram::Histogram(const Buckets& buckets) {
 }
 
 void Histogram::Observe(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (value < snap_.edges.front()) {
     ++snap_.underflow;
   } else if (value >= snap_.edges.back()) {
@@ -60,9 +61,18 @@ void Histogram::Observe(double value) {
   snap_.max = std::max(snap_.max, value);
 }
 
-HistogramSnapshot Histogram::Snapshot() const { return snap_; }
+HistogramSnapshot Histogram::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snap_;
+}
+
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snap_.count;
+}
 
 void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   std::fill(snap_.counts.begin(), snap_.counts.end(), uint64_t{0});
   snap_.underflow = 0;
   snap_.overflow = 0;

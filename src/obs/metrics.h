@@ -11,8 +11,14 @@
 // `subsystem.quantity[_unit]` — e.g. `can.route_hops`, `kmeans.wall_us`,
 // `net.bytes_per_message`.
 //
-// The registry is designed for the single-threaded simulator: registration
-// is mutex-guarded (cheap, rare), but metric *updates* are unsynchronized.
+// Thread-safety: registration is mutex-guarded, counter/gauge updates are
+// relaxed atomics and histogram updates take a per-histogram mutex, so pool
+// workers (common/thread_pool.h) may bump metrics concurrently. Metric
+// *values* stay deterministic across thread counts as long as concurrent
+// observations are integer-valued (integer sums commute exactly in double);
+// wall-clock timings are nondeterministic run to run anyway. The span
+// tracer (trace.h) remains single-threaded — only the orchestrating thread
+// may open spans.
 //
 // Use the HM_OBS_* macros from trace.h in instrumented code — they cache the
 // handle in a function-local static and compile to nothing under
@@ -21,6 +27,7 @@
 #ifndef HYPERM_OBS_METRICS_H_
 #define HYPERM_OBS_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <map>
@@ -31,27 +38,32 @@
 
 namespace hyperm::obs {
 
-/// Monotone event count.
+/// Monotone event count. Thread-safe (relaxed atomic).
 class Counter {
  public:
-  void Add(uint64_t delta = 1) { value_ += delta; }
-  uint64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void Add(uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
-/// Last-write-wins instantaneous value.
+/// Last-write-wins instantaneous value. Thread-safe (relaxed atomic).
 class Gauge {
  public:
-  void Set(double value) { value_ = value; }
-  void Add(double delta) { value_ += delta; }
-  double value() const { return value_; }
-  void Reset() { value_ = 0.0; }
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Bucket layout of a histogram: ascending edges e0 < e1 < ... < en define
@@ -85,6 +97,7 @@ struct HistogramSnapshot {
 };
 
 /// Fixed-bucket histogram with explicit underflow/overflow buckets.
+/// Thread-safe: observations and snapshots take a per-histogram mutex.
 class Histogram {
  public:
   explicit Histogram(const Buckets& buckets);
@@ -92,10 +105,11 @@ class Histogram {
   void Observe(double value);
 
   HistogramSnapshot Snapshot() const;
-  uint64_t count() const { return snap_.count; }
+  uint64_t count() const;
   void Reset();
 
  private:
+  mutable std::mutex mu_;   // guards snap_
   HistogramSnapshot snap_;  // doubles as live state
 };
 

@@ -51,6 +51,13 @@ class Tracer {
   /// Closes the span (no-op for id < 0). Must be the innermost open span.
   void End(int id);
 
+  /// Records an already-finished span of the given duration, nested under the
+  /// innermost open span. This is how parallel fan-outs keep the trace tree
+  /// deterministic: workers measure their own wall time, and the orchestrating
+  /// thread records one completed span per task at fan-in, in task order.
+  /// Returns the span id, or -1 when the buffer is full.
+  int AddCompleted(std::string name, double duration_us);
+
   /// All recorded spans in start order. Open spans have duration_us == -1.
   const std::vector<SpanRecord>& spans() const { return spans_; }
 
@@ -132,6 +139,11 @@ class ScopedTimer {
 #define HM_OBS_SPAN(name) \
   ::hyperm::obs::ScopedSpan HM_OBS_CONCAT_(hm_obs_span_, __LINE__)((name))
 
+/// Records an already-finished span of `duration_us` microseconds (measured
+/// elsewhere, e.g. by a pool worker) under the innermost open span.
+#define HM_OBS_SPAN_COMPLETED(name, duration_us) \
+  ((void)::hyperm::obs::Tracer::Global().AddCompleted((name), (duration_us)))
+
 /// counter `name` += delta.
 #define HM_OBS_COUNTER_ADD(name, delta)                                 \
   do {                                                                  \
@@ -168,6 +180,7 @@ class ScopedTimer {
 #else  // HYPERM_OBS_DISABLED
 
 #define HM_OBS_SPAN(name) ((void)0)
+#define HM_OBS_SPAN_COMPLETED(name, duration_us) ((void)0)
 #define HM_OBS_COUNTER_ADD(name, delta) ((void)0)
 #define HM_OBS_GAUGE_SET(name, value) ((void)0)
 #define HM_OBS_HISTOGRAM(name, buckets, value) ((void)0)

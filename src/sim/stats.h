@@ -9,6 +9,7 @@
 #define HYPERM_SIM_STATS_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -43,17 +44,30 @@ struct RadioEnergyModel {
 };
 
 /// Accumulates hop/byte/energy counters per traffic class.
+///
+/// Thread-safe: counters are relaxed atomics, so pool workers routing
+/// concurrent layer tasks may RecordHop into a shared instance. Totals stay
+/// deterministic across thread counts because hop/byte increments are
+/// integers and — under the default RadioEnergyModel — the per-hop energy
+/// addends are integer-valued nanojoules, so the double sums commute exactly.
 class NetworkStats {
  public:
   NetworkStats() = default;
   explicit NetworkStats(RadioEnergyModel model) : model_(model) {}
 
+  // Copyable (relaxed snapshot of the counters); many call sites pass
+  // NetworkStats by value when aggregating multi-run results.
+  NetworkStats(const NetworkStats& other);
+  NetworkStats& operator=(const NetworkStats& other);
+
   /// Records one hop (one physical transmission) of `bytes` payload.
   void RecordHop(TrafficClass cls, uint64_t bytes);
 
   /// Bumps the served-query counter (range/k-NN/point queries answered).
-  void RecordQueryServed() { ++queries_served_; }
-  uint64_t queries_served() const { return queries_served_; }
+  void RecordQueryServed() { queries_served_.fetch_add(1, std::memory_order_relaxed); }
+  uint64_t queries_served() const {
+    return queries_served_.load(std::memory_order_relaxed);
+  }
 
   /// Hops recorded for one class / all classes.
   uint64_t hops(TrafficClass cls) const;
@@ -82,10 +96,10 @@ class NetworkStats {
  private:
   static constexpr size_t kNumClasses = static_cast<size_t>(TrafficClass::kCount_);
   RadioEnergyModel model_;
-  std::array<uint64_t, kNumClasses> hops_{};
-  std::array<uint64_t, kNumClasses> bytes_{};
-  std::array<double, kNumClasses> energy_nj_{};
-  uint64_t queries_served_ = 0;
+  std::array<std::atomic<uint64_t>, kNumClasses> hops_{};
+  std::array<std::atomic<uint64_t>, kNumClasses> bytes_{};
+  std::array<std::atomic<double>, kNumClasses> energy_nj_{};
+  std::atomic<uint64_t> queries_served_{0};
 };
 
 }  // namespace hyperm::sim

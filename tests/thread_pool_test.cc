@@ -1,0 +1,98 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hyperm {
+namespace {
+
+TEST(ThreadPoolTest, DefaultNumThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::DefaultNumThreads(), 1);
+}
+
+TEST(ThreadPoolTest, ClampsNonPositiveThreadCounts) {
+  ThreadPool zero(0);
+  EXPECT_EQ(zero.num_threads(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.ParallelFor(n, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ZeroTasksReturnsImmediately) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.ParallelFor(0, [&](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInlineInIndexOrder) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<size_t> order;
+  pool.ParallelFor(100, [&](size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  std::vector<size_t> expected(100);
+  std::iota(expected.begin(), expected.end(), size_t{0});
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, SingleTaskRunsInlineEvenWithWorkers) {
+  ThreadPool pool(8);
+  const auto caller = std::this_thread::get_id();
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossManyFanOuts) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<size_t> sum{0};
+    pool.ParallelFor(64, [&](size_t i) { sum.fetch_add(i + 1); });
+    EXPECT_EQ(sum.load(), 64u * 65u / 2u);
+  }
+}
+
+TEST(ThreadPoolTest, DisjointSlotWritesAreIdenticalAtAnyThreadCount) {
+  const size_t n = 2048;
+  auto run = [n](int threads) {
+    ThreadPool pool(threads);
+    std::vector<uint64_t> slots(n, 0);
+    pool.ParallelFor(n, [&](size_t i) { slots[i] = i * 2654435761u + 17; });
+    return slots;
+  };
+  const std::vector<uint64_t> sequential = run(1);
+  EXPECT_EQ(run(2), sequential);
+  EXPECT_EQ(run(8), sequential);
+}
+
+TEST(MixSeedTest, DistinguishesTaskIdentity) {
+  // (seed, a, b) permutations and neighbours must land in distinct streams.
+  EXPECT_NE(MixSeed(1, 2, 3), MixSeed(1, 3, 2));
+  EXPECT_NE(MixSeed(1, 2, 3), MixSeed(2, 2, 3));
+  EXPECT_NE(MixSeed(1, 2, 3), MixSeed(1, 2, 4));
+  EXPECT_NE(MixSeed(1, 2, 3), MixSeed(1, 3, 3));
+  // A plain xor/add fold would collide on transfers between a and b.
+  EXPECT_NE(MixSeed(1, 2, 3), MixSeed(1, 2 + 1, 3 - 1));
+  // Same identity, same stream.
+  EXPECT_EQ(MixSeed(7, 11, 13), MixSeed(7, 11, 13));
+}
+
+}  // namespace
+}  // namespace hyperm
