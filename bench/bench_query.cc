@@ -1,0 +1,133 @@
+// Query-effectiveness regression bench: range + k-NN recall, precision and
+// simulated latency on the Markov dataset against the exact oracle. Fully
+// seeded, so every number it reports is deterministic; the JSON report is
+// diffed against bench/baselines/BENCH_query.json in CI (see check_report)
+// to catch silent effectiveness or traffic regressions.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/markov_generator.h"
+#include "hyperm/eval.h"
+#include "hyperm/flat_index.h"
+#include "obs/metrics.h"
+
+using namespace hyperm;
+
+namespace {
+
+struct QueryBed {
+  data::Dataset dataset;
+  data::PeerAssignment assignment;
+  std::unique_ptr<core::HyperMNetwork> network;
+};
+
+std::unique_ptr<QueryBed> BuildBed(bool paper) {
+  Rng rng(606);
+  data::MarkovOptions data_options;
+  data_options.count = paper ? 5000 : 800;
+  data_options.dim = paper ? 512 : 64;
+  data_options.num_families = 8;
+  Result<data::Dataset> dataset = data::GenerateMarkov(data_options, rng);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", dataset.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto bed = std::make_unique<QueryBed>();
+  bed->dataset = std::move(dataset).value();
+  data::AssignmentOptions assign_options;
+  assign_options.num_peers = paper ? 100 : 16;
+  assign_options.num_interest_classes = 8;
+  assign_options.min_peers_per_class = 4;
+  assign_options.max_peers_per_class = paper ? 20 : 6;
+  Result<data::PeerAssignment> assignment =
+      data::AssignByInterest(bed->dataset, assign_options, rng);
+  if (!assignment.ok()) {
+    std::fprintf(stderr, "assignment: %s\n", assignment.status().ToString().c_str());
+    std::exit(1);
+  }
+  bed->assignment = std::move(assignment).value();
+  core::HyperMOptions options;
+  Result<std::unique_ptr<core::HyperMNetwork>> network =
+      core::HyperMNetwork::Build(bed->dataset, bed->assignment, options, rng);
+  if (!network.ok()) {
+    std::fprintf(stderr, "network: %s\n", network.status().ToString().c_str());
+    std::exit(1);
+  }
+  bed->network = std::move(network).value();
+  return bed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool paper = bench::PaperScale(argc, argv);
+  bench::PrintHeader("Regression", "range + k-NN effectiveness and latency vs baseline",
+                     paper);
+  auto bed = BuildBed(paper);
+  const core::FlatIndex oracle(bed->dataset);
+  const size_t n = bed->dataset.size();
+  const int num_peers = bed->network->num_peers();
+  std::printf("items=%zu dim=%zu peers=%d layers=%d\n\n", n, bed->dataset.dim(),
+              num_peers, bed->network->num_layers());
+
+  const int num_queries = 15;  // 15 range + 15 k-NN
+
+  std::vector<core::PrecisionRecall> range_results;
+  double range_latency_ms = 0.0;
+  for (int q = 0; q < num_queries; ++q) {
+    const Vector& query = bed->dataset.items[(static_cast<size_t>(q) * 173 + 19) % n];
+    const double eps = oracle.KnnRadius(query, 25);
+    core::RangeQueryInfo info;
+    Result<std::vector<core::ItemId>> retrieved = bed->network->RangeQuery(
+        query, eps, /*querying_peer=*/q % num_peers, -1, &info);
+    if (!retrieved.ok()) {
+      std::fprintf(stderr, "%s\n", retrieved.status().ToString().c_str());
+      return 1;
+    }
+    range_results.push_back(
+        core::Evaluate(*retrieved, oracle.RangeSearch(query, eps)));
+    range_latency_ms += info.latency_ms;
+  }
+  range_latency_ms /= num_queries;
+  const core::EffectivenessSummary range = core::Summarize(range_results);
+
+  std::vector<core::PrecisionRecall> knn_results;
+  double knn_latency_ms = 0.0;
+  core::KnnOptions knn_options;
+  for (int q = 0; q < num_queries; ++q) {
+    const Vector& query = bed->dataset.items[(static_cast<size_t>(q) * 311 + 7) % n];
+    core::KnnQueryInfo info;
+    Result<std::vector<core::ItemId>> retrieved = bed->network->KnnQuery(
+        query, /*k=*/10, knn_options, /*querying_peer=*/q % num_peers, &info);
+    if (!retrieved.ok()) {
+      std::fprintf(stderr, "%s\n", retrieved.status().ToString().c_str());
+      return 1;
+    }
+    knn_results.push_back(core::Evaluate(*retrieved, oracle.Knn(query, 10)));
+    knn_latency_ms += info.range.latency_ms;
+  }
+  knn_latency_ms /= num_queries;
+  const core::EffectivenessSummary knn = core::Summarize(knn_results);
+
+  std::printf("%-8s %10s %10s %14s\n", "query", "recall", "precision",
+              "latency (ms)");
+  std::printf("%-8s %10.3f %10.3f %14.1f\n", "range", range.mean_recall,
+              range.mean_precision, range_latency_ms);
+  std::printf("%-8s %10.3f %10.3f %14.1f\n", "knn", knn.mean_recall,
+              knn.mean_precision, knn_latency_ms);
+
+  // The regression surface: deterministic gauges diffed against the baseline
+  // (5% tolerance) alongside every counter the run recorded (10%).
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.GetGauge("benchq.range_recall").Set(range.mean_recall);
+  reg.GetGauge("benchq.range_precision").Set(range.mean_precision);
+  reg.GetGauge("benchq.range_latency_ms").Set(range_latency_ms);
+  reg.GetGauge("benchq.knn_recall").Set(knn.mean_recall);
+  reg.GetGauge("benchq.knn_precision").Set(knn.mean_precision);
+  reg.GetGauge("benchq.knn_latency_ms").Set(knn_latency_ms);
+
+  bench::WriteBenchReport(argc, argv, "bench_query");
+  return 0;
+}

@@ -4,11 +4,14 @@
 // at least 10 named metrics and a nested span tree covering Build and one
 // query path. Exits 0 on success, 1 with a diagnostic otherwise.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "common/result.h"
 #include "obs/export.h"
 #include "obs/json.h"
 
@@ -23,6 +26,87 @@ namespace {
     }                                                   \
   } while (0)
 
+// Keys whose values are wall-clock derived and therefore nondeterministic
+// run to run; they are schema-checked but never value-diffed.
+bool IsWallClockKey(const std::string& key) {
+  return key.find("_us") != std::string::npos ||
+         key.find("wall") != std::string::npos;
+}
+
+bool WithinRelativeTolerance(double actual, double expected, double tolerance) {
+  const double scale = std::max(std::abs(actual), std::abs(expected));
+  if (scale == 0.0) return true;
+  return std::abs(actual - expected) <= tolerance * scale;
+}
+
+// Diffs the report's counters (10% relative tolerance) and gauges (5%)
+// against a baseline report. Wall-clock keys are skipped; a baseline key
+// missing from the report is an error; keys the baseline does not know are
+// only warned about (new metrics should be added to the baseline, not block
+// it). Returns the number of violations.
+int DiffAgainstBaseline(const obs::MetricsSnapshot& actual,
+                        const obs::MetricsSnapshot& baseline) {
+  int violations = 0;
+  for (const auto& [key, expected] : baseline.counters) {
+    if (IsWallClockKey(key)) continue;
+    const auto it = actual.counters.find(key);
+    if (it == actual.counters.end()) {
+      std::fprintf(stderr, "check_report: counter '%s' missing from report\n",
+                   key.c_str());
+      ++violations;
+      continue;
+    }
+    if (!WithinRelativeTolerance(static_cast<double>(it->second),
+                                 static_cast<double>(expected), 0.10)) {
+      std::fprintf(stderr,
+                   "check_report: counter '%s' = %llu, baseline %llu (>10%%)\n",
+                   key.c_str(), static_cast<unsigned long long>(it->second),
+                   static_cast<unsigned long long>(expected));
+      ++violations;
+    }
+  }
+  for (const auto& [key, expected] : baseline.gauges) {
+    if (IsWallClockKey(key)) continue;
+    const auto it = actual.gauges.find(key);
+    if (it == actual.gauges.end()) {
+      std::fprintf(stderr, "check_report: gauge '%s' missing from report\n",
+                   key.c_str());
+      ++violations;
+      continue;
+    }
+    if (!WithinRelativeTolerance(it->second, expected, 0.05)) {
+      std::fprintf(stderr,
+                   "check_report: gauge '%s' = %g, baseline %g (>5%%)\n",
+                   key.c_str(), it->second, expected);
+      ++violations;
+    }
+  }
+  for (const auto& [key, value] : actual.counters) {
+    (void)value;
+    if (!IsWallClockKey(key) && !baseline.counters.count(key)) {
+      std::fprintf(stderr, "check_report: note: counter '%s' not in baseline\n",
+                   key.c_str());
+    }
+  }
+  for (const auto& [key, value] : actual.gauges) {
+    (void)value;
+    if (!IsWallClockKey(key) && !baseline.gauges.count(key)) {
+      std::fprintf(stderr, "check_report: note: gauge '%s' not in baseline\n",
+                   key.c_str());
+    }
+  }
+  return violations;
+}
+
+Result<obs::MetricsSnapshot> LoadSnapshot(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return InvalidArgumentError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  HM_ASSIGN_OR_RETURN(obs::Json parsed, obs::Json::Parse(buffer.str()));
+  return obs::MetricsFromJson(parsed);
+}
+
 const obs::Json* FindSpan(const obs::Json& spans, const std::string& name) {
   for (const obs::Json& span : spans.items()) {
     const obs::Json* n = span.Find("name");
@@ -31,7 +115,7 @@ const obs::Json* FindSpan(const obs::Json& spans, const std::string& name) {
   return nullptr;
 }
 
-int Run(const std::string& path) {
+int Run(const std::string& path, const std::string& baseline_path) {
   std::ifstream in(path);
   CHECK_REPORT(in.good(), "cannot open report file");
   std::ostringstream buffer;
@@ -106,6 +190,27 @@ int Run(const std::string& path) {
   }
 #endif
 
+  if (!baseline_path.empty()) {
+#ifdef HYPERM_OBS_DISABLED
+    // Without instrumentation the report carries no metric values to diff.
+    std::printf("check_report: obs disabled, skipping baseline diff\n");
+#else
+    Result<obs::MetricsSnapshot> baseline = LoadSnapshot(baseline_path);
+    if (!baseline.ok()) {
+      std::fprintf(stderr, "check_report: baseline: %s\n",
+                   baseline.status().ToString().c_str());
+      return 1;
+    }
+    const int violations = DiffAgainstBaseline(snapshot.value(), baseline.value());
+    if (violations > 0) {
+      std::fprintf(stderr, "check_report: %d baseline violation(s) vs %s\n",
+                   violations, baseline_path.c_str());
+      return 1;
+    }
+    std::printf("check_report: baseline %s matched\n", baseline_path.c_str());
+#endif
+  }
+
   std::printf("check_report: %s OK (%zu metrics, %zu spans)\n", path.c_str(),
               named, spans->items().size());
   return 0;
@@ -115,9 +220,9 @@ int Run(const std::string& path) {
 }  // namespace hyperm
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: check_report <report.json>\n");
+  if (argc != 2 && argc != 3) {
+    std::fprintf(stderr, "usage: check_report <report.json> [baseline.json]\n");
     return 2;
   }
-  return hyperm::Run(argv[1]);
+  return hyperm::Run(argv[1], argc == 3 ? argv[2] : "");
 }

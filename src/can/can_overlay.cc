@@ -4,6 +4,7 @@
 #include <cmath>
 #include <deque>
 #include <limits>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
@@ -55,6 +56,9 @@ Status CanOverlay::Join(Rng& rng) {
   }
   HM_ASSIGN_OR_RETURN(RouteResult route,
                       Route(point, bootstrap, sim::TrafficClass::kJoin, KeyMessageBytes()));
+  if (!route.delivered) {
+    return UnavailableError("Join: route to join point lost in transit");
+  }
   const NodeId owner = route.destination;
   const NodeId fresh = SplitZone(owner, point);
   // Split handshake: owner transfers half its zone (and state) to the
@@ -178,8 +182,25 @@ NodeId CanOverlay::OwnerOf(const Vector& key) const {
   return overlay::kInvalidNode;  // unreachable on a consistent partition
 }
 
+net::HopResult CanOverlay::SendMessage(net::MessageType type, NodeId src,
+                                       NodeId dst, uint64_t bytes,
+                                       sim::TrafficClass cls) {
+  if (transport_ == nullptr) {
+    stats_->RecordHop(cls, bytes);
+    return net::HopResult{true, 0.0};
+  }
+  net::Message message;
+  message.type = type;
+  message.src = src;
+  message.dst = dst;
+  message.bytes = bytes;
+  message.cls = cls;
+  return transport_->SendHop(message);
+}
+
 Result<RouteResult> CanOverlay::Route(const Vector& key, NodeId origin,
-                                      sim::TrafficClass cls, uint64_t message_bytes) {
+                                      sim::TrafficClass cls, uint64_t message_bytes,
+                                      net::MessageType type) {
   if (origin < 0 || origin >= num_nodes() ||
       !nodes_[static_cast<size_t>(origin)].active) {
     return InvalidArgumentError("Route: bad origin node");
@@ -216,10 +237,18 @@ Result<RouteResult> CanOverlay::Route(const Vector& key, NodeId origin,
       }
     }
     HM_CHECK_NE(best, overlay::kInvalidNode);
+    const net::HopResult hop = SendMessage(type, current, best, message_bytes, cls);
+    result.latency_ms += hop.latency_ms;
+    if (!hop.delivered) {
+      // Retries exhausted mid-route: the message dies here. The walk is not
+      // an error — the caller decides what an undelivered route means.
+      result.delivered = false;
+      ++result.hops;
+      return result;
+    }
     current = best;
     visited.insert(current);
     ++result.hops;
-    stats_->RecordHop(cls, message_bytes);
   }
   result.destination = current;
   HM_OBS_HISTOGRAM("can.route_hops", obs::Buckets::Exponential(1, 2.0, 12),
@@ -236,18 +265,40 @@ Result<InsertReceipt> CanOverlay::Insert(const PublishedCluster& cluster, NodeId
   }
   HM_ASSIGN_OR_RETURN(RouteResult route,
                       Route(cluster.sphere.center, origin, sim::TrafficClass::kInsert,
-                            ClusterMessageBytes()));
+                            ClusterMessageBytes(), net::MessageType::kInsert));
   InsertReceipt receipt;
   receipt.routing_hops = route.hops;
+  receipt.latency_ms = route.latency_ms;
+  if (!route.delivered) {
+    // The publication never reached the centroid owner; nothing is stored.
+    receipt.delivered = false;
+    return receipt;
+  }
+
+  // Re-publication of an already-stored cluster id (soft-state refresh)
+  // supersedes the entry in place instead of duplicating it; ids are unique
+  // per publication otherwise, so first insertion is a plain append.
+  const auto store_at = [this, &cluster](NodeId node) {
+    auto& stored = nodes_[static_cast<size_t>(node)].stored;
+    for (PublishedCluster& existing : stored) {
+      if (existing.cluster_id == cluster.cluster_id) {
+        existing = cluster;
+        return;
+      }
+    }
+    stored.push_back(cluster);
+  };
 
   if (!replicate_spheres_) {
-    nodes_[static_cast<size_t>(route.destination)].stored.push_back(cluster);
+    store_at(route.destination);
     return receipt;
   }
 
   // Replicate into every zone the sphere overlaps, flooding outward from the
   // centroid owner through the neighbour graph (a connected region, since
-  // the sphere is connected and zones tile the space).
+  // the sphere is connected and zones tile the space). A lost replication
+  // message prunes that branch, but the target stays unvisited so another
+  // flood path may still reach it.
   std::unordered_set<NodeId> visited;
   std::deque<NodeId> frontier;
   visited.insert(route.destination);
@@ -255,14 +306,17 @@ Result<InsertReceipt> CanOverlay::Insert(const PublishedCluster& cluster, NodeId
   while (!frontier.empty()) {
     const NodeId node = frontier.front();
     frontier.pop_front();
-    nodes_[static_cast<size_t>(node)].stored.push_back(cluster);
+    store_at(node);
     for (NodeId n : nodes_[static_cast<size_t>(node)].neighbors) {
       if (visited.contains(n)) continue;
       if (!nodes_[static_cast<size_t>(n)].zone.IntersectsSphere(cluster.sphere)) continue;
+      const net::HopResult hop =
+          SendMessage(net::MessageType::kReplicate, node, n, ClusterMessageBytes(),
+                      sim::TrafficClass::kReplicate);
+      if (!hop.delivered) continue;
       visited.insert(n);
       frontier.push_back(n);
       ++receipt.replicas;
-      stats_->RecordHop(sim::TrafficClass::kReplicate, ClusterMessageBytes());
     }
   }
   HM_OBS_HISTOGRAM("can.insert_replicas", obs::Buckets::Exponential(1, 2.0, 12),
@@ -280,15 +334,27 @@ Result<RangeQueryResult> CanOverlay::RangeQuery(const geom::Sphere& query,
   }
   HM_ASSIGN_OR_RETURN(RouteResult route, Route(query.center, origin,
                                                sim::TrafficClass::kQuery,
-                                               KeyMessageBytes()));
+                                               KeyMessageBytes(),
+                                               net::MessageType::kRoute));
   RangeQueryResult result;
   result.routing_hops = route.hops;
+  result.latency_ms = route.latency_ms;
+  if (!route.delivered) {
+    // The query died on the way to the flood start; no node evaluated it.
+    result.delivered = false;
+    return result;
+  }
 
   std::unordered_set<NodeId> visited;
   std::unordered_set<uint64_t> seen_clusters;
   std::deque<NodeId> frontier;
+  // Flood branches run concurrently: a node's answer arrives when the chain
+  // of flood edges reaching it completes, and the query completes when the
+  // slowest branch does.
+  std::unordered_map<NodeId, double> arrival;
   visited.insert(route.destination);
   frontier.push_back(route.destination);
+  arrival[route.destination] = route.latency_ms;
   while (!frontier.empty()) {
     const NodeId node = frontier.front();
     frontier.pop_front();
@@ -301,10 +367,16 @@ Result<RangeQueryResult> CanOverlay::RangeQuery(const geom::Sphere& query,
     for (NodeId n : nodes_[static_cast<size_t>(node)].neighbors) {
       if (visited.contains(n)) continue;
       if (!nodes_[static_cast<size_t>(n)].zone.IntersectsSphere(query)) continue;
+      const net::HopResult hop =
+          SendMessage(net::MessageType::kQueryFlood, node, n, KeyMessageBytes(),
+                      sim::TrafficClass::kQuery);
+      if (!hop.delivered) continue;
       visited.insert(n);
       frontier.push_back(n);
       ++result.flood_hops;
-      stats_->RecordHop(sim::TrafficClass::kQuery, KeyMessageBytes());
+      const double at = arrival[node] + hop.latency_ms;
+      arrival[n] = at;
+      result.latency_ms = std::max(result.latency_ms, at);
     }
   }
   HM_OBS_HISTOGRAM("can.flood_nodes_visited", obs::Buckets::Exponential(1, 2.0, 12),
@@ -340,6 +412,28 @@ int CanOverlay::RemoveByOwner(int owner_peer) {
     stored.erase(end, stored.end());
   }
   return removed;
+}
+
+int CanOverlay::ExpireBefore(double now) {
+  int removed = 0;
+  for (Node& node : nodes_) {
+    auto& stored = node.stored;
+    const auto end = std::remove_if(
+        stored.begin(), stored.end(),
+        [now](const PublishedCluster& c) { return c.expires_at < now; });
+    removed += static_cast<int>(std::distance(end, stored.end()));
+    stored.erase(end, stored.end());
+  }
+  return removed;
+}
+
+int CanOverlay::ClearNode(NodeId node) {
+  HM_CHECK_GE(node, 0);
+  HM_CHECK_LT(node, num_nodes());
+  Node& n = nodes_[static_cast<size_t>(node)];
+  const int lost = static_cast<int>(n.stored.size());
+  n.stored.clear();
+  return lost;
 }
 
 const geom::Box& CanOverlay::zone(NodeId node) const {

@@ -24,6 +24,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "geom/shapes.h"
+#include "net/transport.h"
 #include "overlay/overlay.h"
 #include "sim/stats.h"
 #include "vec/vector.h"
@@ -34,6 +35,11 @@ namespace hyperm::can {
 struct RouteResult {
   overlay::NodeId destination = overlay::kInvalidNode;
   int hops = 0;
+
+  /// False when an unreliable transport exhausted its retries on some hop;
+  /// `destination` is then kInvalidNode. Always true without a transport.
+  bool delivered = true;
+  double latency_ms = 0.0;  ///< accumulated per-hop link latency
 };
 
 /// CAN overlay implementation. Construct with Build().
@@ -59,6 +65,9 @@ class CanOverlay : public overlay::Overlay {
   void ClearStorage() override;
   int RemoveByOwner(int owner_peer) override;
   void set_replicate_spheres(bool enabled) override { replicate_spheres_ = enabled; }
+  void set_transport(net::Transport* transport) override { transport_ = transport; }
+  int ExpireBefore(double now) override;
+  int ClearNode(overlay::NodeId node) override;
 
   // Introspection (tests, experiments) --------------------------------------
 
@@ -72,11 +81,15 @@ class CanOverlay : public overlay::Overlay {
   /// `key` is clamped into [0,1) per dimension first.
   overlay::NodeId OwnerOf(const Vector& key) const;
 
-  /// Greedy-routes from `origin` toward `key`, recording one hop of
-  /// `message_bytes` under `cls` per forward. Fails with Internal if the
-  /// greedy walk exceeds its TTL (cannot happen on a consistent topology).
+  /// Greedy-routes from `origin` toward `key`, sending one message of
+  /// `message_bytes` under `cls` per forward (through the transport when one
+  /// is set, else straight into NetworkStats). A transport-level delivery
+  /// failure ends the walk with result.delivered == false (Ok status).
+  /// Fails with Internal if the greedy walk exceeds its TTL (cannot happen
+  /// on a consistent topology).
   Result<RouteResult> Route(const Vector& key, overlay::NodeId origin,
-                            sim::TrafficClass cls, uint64_t message_bytes);
+                            sim::TrafficClass cls, uint64_t message_bytes,
+                            net::MessageType type = net::MessageType::kRoute);
 
   /// Clusters currently stored at `node` (including replicas).
   const std::vector<overlay::PublishedCluster>& stored(overlay::NodeId node) const;
@@ -146,8 +159,15 @@ class CanOverlay : public overlay::Overlay {
   /// Bytes of a message carrying a published cluster.
   uint64_t ClusterMessageBytes() const;
 
+  /// Sends one overlay message: through `transport_` when set, else the
+  /// direct RecordHop the overlay has always done (delivered, zero latency).
+  net::HopResult SendMessage(net::MessageType type, overlay::NodeId src,
+                             overlay::NodeId dst, uint64_t bytes,
+                             sim::TrafficClass cls);
+
   size_t dim_;
-  sim::NetworkStats* stats_;  // not owned
+  sim::NetworkStats* stats_;      // not owned
+  net::Transport* transport_ = nullptr;  // not owned; nullptr = direct stats
   bool replicate_spheres_ = true;
   std::vector<Node> nodes_;
 };

@@ -61,6 +61,8 @@ struct LayerQueryOutcome {
   int routing_hops = 0;
   int flood_hops = 0;
   double wall_us = 0.0;
+  double latency_ms = 0.0;  // simulated; layers run in parallel, max wins
+  bool delivered = true;    // false: the layer lookup died in transit
 };
 
 }  // namespace
@@ -71,6 +73,115 @@ void HyperMNetwork::PoolRun(size_t n, const std::function<void(size_t)>& fn) {
     pool_->ParallelFor(n, fn);
   }
   HM_OBS_COUNTER_ADD("pool.tasks", n);
+}
+
+void HyperMNetwork::QueryFanOut(size_t n, const std::function<void(size_t)>& fn) {
+  if (sim_ != nullptr) {
+    // The unreliable transport consumes one seeded RNG stream per message in
+    // issue order; racing layer tasks would make the draw sequence depend on
+    // scheduling. Layers still *model* parallel execution (latency is the max
+    // over layers), the walk is just performed sequentially.
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  PoolRun(n, fn);
+}
+
+Status HyperMNetwork::InitTransport() {
+  const net::NetOptions& net_opts = options_.net;
+  if (!net_opts.unreliable) {
+    transport_ = std::make_unique<net::ReliableTransport>(&stats_, net_opts.link);
+  } else {
+    if (options_.overlay_kind != OverlayKind::kCan) {
+      return InvalidArgumentError(
+          "Build: net.unreliable requires the CAN overlay (the other overlay "
+          "kinds do not route their traffic through a transport)");
+    }
+    HM_RETURN_IF_ERROR(net_opts.faults.Validate(num_peers()));
+    sim_ = std::make_unique<sim::Simulator>();
+    fault_state_ = std::make_unique<net::FaultState>(num_peers(), net_opts.faults);
+    transport_ = std::make_unique<net::UnreliableTransport>(
+        sim_.get(), &stats_, fault_state_.get(), net_opts);
+    published_cache_.assign(
+        peers_.size(),
+        std::vector<std::vector<overlay::PublishedCluster>>(levels_.size()));
+
+    for (const net::PeerEvent& event : net_opts.faults.peer_events) {
+      sim_->ScheduleAt(event.at_ms, [this, event] {
+        if (event.up) {
+          fault_state_->SetUp(event.peer, true);
+          ++soft_.rejoins;
+          HM_OBS_COUNTER_ADD("net.rejoins", 1);
+        } else {
+          fault_state_->SetUp(event.peer, false);
+          ++soft_.crashes;
+          HM_OBS_COUNTER_ADD("net.crashes", 1);
+          // A crash wipes the node's volatile summary store. Its zone and
+          // its local item collection survive; its share of the distributed
+          // index does not — republish ticks by the owners repair it.
+          int lost = 0;
+          for (auto& ov : overlays_) lost += ov->ClearNode(event.peer);
+          soft_.summaries_lost += static_cast<uint64_t>(lost);
+          HM_OBS_COUNTER_ADD("net.summaries_lost", lost);
+        }
+      });
+    }
+    if (net_opts.republish_period_ms > 0.0) ScheduleRepublish();
+    if (net_opts.summary_ttl_ms > 0.0) {
+      const sim::TimeMs period = net_opts.expiry_sweep_period_ms > 0.0
+                                     ? net_opts.expiry_sweep_period_ms
+                                     : net_opts.summary_ttl_ms / 2.0;
+      ScheduleExpirySweep(period);
+    }
+  }
+  for (auto& ov : overlays_) ov->set_transport(transport_.get());
+  return OkStatus();
+}
+
+void HyperMNetwork::ScheduleRepublish() {
+  sim_->ScheduleAfter(options_.net.republish_period_ms, [this] {
+    RepublishTick();
+    ScheduleRepublish();
+  });
+}
+
+void HyperMNetwork::ScheduleExpirySweep(sim::TimeMs period) {
+  sim_->ScheduleAfter(period, [this, period] {
+    int expired = 0;
+    for (auto& ov : overlays_) expired += ov->ExpireBefore(sim_->now());
+    soft_.summaries_expired += static_cast<uint64_t>(expired);
+    HM_OBS_COUNTER_ADD("net.summaries_expired", expired);
+    ScheduleExpirySweep(period);
+  });
+}
+
+void HyperMNetwork::RepublishTick() {
+  const double ttl = options_.net.summary_ttl_ms;
+  for (int p = 0; p < num_peers(); ++p) {
+    if (!fault_state_->up(p)) continue;  // crashed peers cannot republish
+    bool any = false;
+    for (size_t layer = 0; layer < overlays_.size(); ++layer) {
+      for (overlay::PublishedCluster cluster :
+           published_cache_[static_cast<size_t>(p)][layer]) {
+        if (ttl > 0.0) cluster.expires_at = sim_->now() + ttl;
+        Result<overlay::InsertReceipt> receipt = overlays_[layer]->Insert(cluster, p);
+        if (receipt.ok() && !receipt.value().delivered) {
+          ++soft_.inserts_lost;
+          HM_OBS_COUNTER_ADD("net.inserts_lost", 1);
+        }
+        any = true;
+      }
+    }
+    if (any) {
+      ++soft_.republishes;
+      HM_OBS_COUNTER_ADD("net.republishes", 1);
+    }
+  }
+}
+
+void HyperMNetwork::AdvanceTo(sim::TimeMs t) {
+  if (sim_ == nullptr) return;
+  sim_->RunUntil(t);
 }
 
 cluster::KMeansOptions HyperMNetwork::MakeKMeansOptions() const {
@@ -204,6 +315,11 @@ Result<std::unique_ptr<HyperMNetwork>> HyperMNetwork::Build(
     }
   }
 
+  // Transport + fault machinery. From here on, every overlay hop and
+  // retrieve exchange is a message through net->transport_ — publication
+  // included, so building under an unreliable plan already loses summaries.
+  HM_RETURN_IF_ERROR(net->InitTransport());
+
   // Cluster + publish every peer (steps i2-i3). One flat (peer, layer) task
   // list keeps all lanes busy even when peers hold uneven collections; each
   // task runs k-means on a private RNG stream derived from (base_seed, peer,
@@ -263,8 +379,18 @@ Status HyperMNetwork::InsertClusters(int peer_id, size_t layer,
     published.owner_peer = peer_id;
     published.items = c.count;
     published.cluster_id = next_cluster_id_++;
+    if (sim_ != nullptr) {
+      if (options_.net.summary_ttl_ms > 0.0) {
+        published.expires_at = sim_->now() + options_.net.summary_ttl_ms;
+      }
+      published_cache_[static_cast<size_t>(peer_id)][layer].push_back(published);
+    }
     HM_ASSIGN_OR_RETURN(overlay::InsertReceipt receipt,
                         overlays_[layer]->Insert(published, peer_id));
+    if (!receipt.delivered) {
+      ++soft_.inserts_lost;
+      HM_OBS_COUNTER_ADD("net.inserts_lost", 1);
+    }
     HM_OBS_COUNTER_ADD("build.clusters_published", 1);
     HM_OBS_HISTOGRAM("overlay.insert_routing_hops",
                      obs::Buckets::Exponential(1, 2.0, 12), receipt.routing_hops);
@@ -330,7 +456,7 @@ Result<std::vector<PeerScore>> HyperMNetwork::ScorePeers(const Vector& query,
   // drained in layer order below, preserving the sequential merge exactly.
   const size_t num_layers = levels_.size();
   std::vector<LayerQueryOutcome> outcomes(num_layers);
-  PoolRun(num_layers, [&](size_t layer) {
+  QueryFanOut(num_layers, [&](size_t layer) {
     const auto start = std::chrono::steady_clock::now();
     LayerQueryOutcome& out = outcomes[layer];
     const Vector projection = ProjectToLevel(query, static_cast<int>(layer));
@@ -348,6 +474,8 @@ Result<std::vector<PeerScore>> HyperMNetwork::ScorePeers(const Vector& query,
     } else {
       out.routing_hops = result.value().routing_hops;
       out.flood_hops = result.value().flood_hops;
+      out.latency_ms = result.value().latency_ms;
+      out.delivered = result.value().delivered;
       out.scores = ComputeLevelScores(static_cast<int>(levels_[layer].dim()),
                                       result.value().matches, key_sphere);
     }
@@ -362,6 +490,8 @@ Result<std::vector<PeerScore>> HyperMNetwork::ScorePeers(const Vector& query,
     if (info != nullptr) {
       info->overlay_routing_hops += out.routing_hops;
       info->overlay_flood_hops += out.flood_hops;
+      info->latency_ms = std::max(info->latency_ms, out.latency_ms);
+      if (!out.delivered) ++info->layers_lost;
     }
     level_scores.push_back(std::move(out.scores));
   }
@@ -391,14 +521,34 @@ Result<std::vector<ItemId>> HyperMNetwork::RangeQuery(const Vector& query,
   std::vector<ItemId> results;
   {
     HM_OBS_SPAN("query/retrieve");
+    // Peers are contacted in parallel; the phase completes when the slowest
+    // delivered exchange does.
+    double retrieve_latency = 0.0;
     for (size_t i = 0; i < contact; ++i) {
-      const Peer& target = peers_[static_cast<size_t>(scores[i].peer)];
+      const int target_peer = scores[i].peer;
+      const net::HopResult request = transport_->SendHop(
+          {net::MessageType::kRetrieveRequest, querying_peer, target_peer,
+           kRequestBytes, sim::TrafficClass::kRetrieve});
+      if (!request.delivered) {
+        ++soft_.retrieves_lost;
+        HM_OBS_COUNTER_ADD("net.retrieves_lost", 1);
+        continue;
+      }
+      const Peer& target = peers_[static_cast<size_t>(target_peer)];
       std::vector<ItemId> local = target.RangeSearch(query, epsilon);
-      stats_.RecordHop(sim::TrafficClass::kRetrieve, kRequestBytes);
-      stats_.RecordHop(sim::TrafficClass::kRetrieve,
-                       ResponseBytes(local.size(), data_dim_));
+      const net::HopResult response = transport_->SendHop(
+          {net::MessageType::kRetrieveResponse, target_peer, querying_peer,
+           ResponseBytes(local.size(), data_dim_), sim::TrafficClass::kRetrieve});
+      retrieve_latency =
+          std::max(retrieve_latency, request.latency_ms + response.latency_ms);
+      if (!response.delivered) {
+        ++soft_.retrieves_lost;
+        HM_OBS_COUNTER_ADD("net.retrieves_lost", 1);
+        continue;
+      }
       results.insert(results.end(), local.begin(), local.end());
     }
+    info->latency_ms += retrieve_latency;
   }
   info->peers_contacted = static_cast<int>(contact);
   RecordQueryInfoMetrics(*info);
@@ -435,7 +585,7 @@ Result<std::vector<ItemId>> HyperMNetwork::KnnQuery(const Vector& query, int k,
   // the ordered drain so observation order never depends on scheduling.
   const size_t num_layers = levels_.size();
   std::vector<LayerQueryOutcome> outcomes(num_layers);
-  PoolRun(num_layers, [&](size_t l) {
+  QueryFanOut(num_layers, [&](size_t l) {
     const auto start = std::chrono::steady_clock::now();
     LayerQueryOutcome& out = outcomes[l];
     [&] {
@@ -460,6 +610,9 @@ Result<std::vector<ItemId>> HyperMNetwork::KnnQuery(const Vector& query, int k,
         probe = std::move(attempt).value();
         out.routing_hops += probe.routing_hops;
         out.flood_hops += probe.flood_hops;
+        // Probe widenings within a layer are sequential round trips.
+        out.latency_ms += probe.latency_ms;
+        if (!probe.delivered) out.delivered = false;
         if (probe_radius >= max_radius) break;
         std::vector<geom::ClusterView> views;
         views.reserve(probe.matches.size());
@@ -507,6 +660,8 @@ Result<std::vector<ItemId>> HyperMNetwork::KnnQuery(const Vector& query, int k,
     if (!out.status.ok()) return out.status;
     range_info->overlay_routing_hops += out.routing_hops;
     range_info->overlay_flood_hops += out.flood_hops;
+    range_info->latency_ms = std::max(range_info->latency_ms, out.latency_ms);
+    if (!out.delivered) ++range_info->layers_lost;
     info->level_radii.push_back(out.level_radius);
     HM_OBS_HISTOGRAM("knn.level_radius", obs::Buckets::Linear(0.0, 4.0, 32),
                      out.level_radius);
@@ -549,18 +704,35 @@ Result<std::vector<ItemId>> HyperMNetwork::KnnQuery(const Vector& query, int k,
   std::vector<ScoredItem> fetched;
   {
     HM_OBS_SPAN("query/retrieve");
+    double retrieve_latency = 0.0;
     for (size_t i = 0; i < num_contacted; ++i) {
       const PeerScore& ps = merged[i];
       const int request = std::max(
           1, static_cast<int>(std::ceil(options.c * k * ps.score / sum)));
+      info->items_requested += request;
+      const net::HopResult request_hop = transport_->SendHop(
+          {net::MessageType::kRetrieveRequest, querying_peer, ps.peer,
+           kRequestBytes, sim::TrafficClass::kRetrieve});
+      if (!request_hop.delivered) {
+        ++soft_.retrieves_lost;
+        HM_OBS_COUNTER_ADD("net.retrieves_lost", 1);
+        continue;
+      }
       const Peer& target = peers_[static_cast<size_t>(ps.peer)];
       std::vector<ScoredItem> local = target.NearestItemsScored(query, request);
-      stats_.RecordHop(sim::TrafficClass::kRetrieve, kRequestBytes);
-      stats_.RecordHop(sim::TrafficClass::kRetrieve,
-                       ResponseBytes(local.size(), data_dim_));
-      info->items_requested += request;
+      const net::HopResult response_hop = transport_->SendHop(
+          {net::MessageType::kRetrieveResponse, ps.peer, querying_peer,
+           ResponseBytes(local.size(), data_dim_), sim::TrafficClass::kRetrieve});
+      retrieve_latency = std::max(retrieve_latency,
+                                  request_hop.latency_ms + response_hop.latency_ms);
+      if (!response_hop.delivered) {
+        ++soft_.retrieves_lost;
+        HM_OBS_COUNTER_ADD("net.retrieves_lost", 1);
+        continue;
+      }
       fetched.insert(fetched.end(), local.begin(), local.end());
     }
+    range_info->latency_ms += retrieve_latency;
   }
   range_info->peers_contacted = static_cast<int>(num_contacted);
   HM_OBS_HISTOGRAM("knn.items_requested", obs::Buckets::Exponential(1, 2.0, 14),
@@ -607,11 +779,21 @@ Status HyperMNetwork::RepublishPeer(int peer, Rng& rng) {
   HM_OBS_SPAN("republish");
   HM_OBS_COUNTER_ADD("republish.count", 1);
 
-  // Unpublish: every replica holder processes one removal message.
+  // Unpublish: every replica holder processes one removal message. Removals
+  // stay direct (always delivered) even under an unreliable transport — a
+  // lost unpublish would just leave a stale entry, and TTL expiry is the
+  // fault model's real cleanup mechanism.
   for (auto& overlay : overlays_) {
     const int removed = overlay->RemoveByOwner(peer);
     for (int i = 0; i < removed; ++i) {
       stats_.RecordHop(sim::TrafficClass::kReplicate, 32);
+    }
+  }
+  if (sim_ != nullptr) {
+    // The fresh publication below recaches; drop the superseded summaries so
+    // republish ticks stop refreshing them.
+    for (auto& per_layer : published_cache_[static_cast<size_t>(peer)]) {
+      per_layer.clear();
     }
   }
 

@@ -29,7 +29,10 @@
 #include "hyperm/key_mapper.h"
 #include "hyperm/peer.h"
 #include "hyperm/score.h"
+#include "net/fault_plan.h"
+#include "net/transport.h"
 #include "overlay/overlay.h"
+#include "sim/simulator.h"
 #include "sim/stats.h"
 #include "wavelet/level.h"
 #include "wavelet/transform.h"
@@ -61,6 +64,13 @@ struct HyperMOptions {
   /// Results are bit-identical at any value — per-task RNG streams are
   /// derived from (seed, peer, layer), never from scheduling order.
   int num_threads = 0;
+
+  /// Transport configuration. Default (net.unreliable == false) routes all
+  /// overlay and retrieve traffic through a ReliableTransport, which is
+  /// bit-identical to the historical direct-stats behavior. Setting
+  /// net.unreliable enables the MANET fault model (loss, duplication,
+  /// crash/rejoin, partitions, retries, soft-state republish).
+  net::NetOptions net;
 };
 
 /// Traffic/effort account of one range query.
@@ -69,6 +79,21 @@ struct RangeQueryInfo {
   int overlay_flood_hops = 0;    ///< zone flooding in all layers
   int candidate_peers = 0;       ///< peers with a positive aggregated score
   int peers_contacted = 0;       ///< peers actually asked for items
+  int layers_lost = 0;           ///< layer lookups lost in transit (faults)
+  double latency_ms = 0.0;       ///< simulated end-to-end latency (layers in
+                                 ///< parallel, slowest branch wins)
+};
+
+/// Soft-state bookkeeping, deterministic and independent of the obs layer
+/// (the equivalent net.* obs counters mirror these when obs is compiled in).
+struct SoftStateCounters {
+  uint64_t crashes = 0;            ///< peer crash events applied
+  uint64_t rejoins = 0;            ///< peer rejoin events applied
+  uint64_t summaries_lost = 0;     ///< stored summaries wiped by crashes
+  uint64_t summaries_expired = 0;  ///< stored summaries removed by TTL sweeps
+  uint64_t republishes = 0;        ///< per-peer republish rounds completed
+  uint64_t inserts_lost = 0;       ///< publications that never reached their owner
+  uint64_t retrieves_lost = 0;     ///< item fetches lost (request or response)
 };
 
 /// Traffic/effort account of one k-NN query.
@@ -145,6 +170,28 @@ class HyperMNetwork {
   /// introduces; all traffic is recorded in stats().
   Status RepublishPeer(int peer, Rng& rng);
 
+  // Fault simulation (net.unreliable only) -----------------------------------
+
+  /// Advances the fault simulation clock to `t` ms, applying every scheduled
+  /// crash/rejoin event, republish tick and TTL expiry sweep with time <= t.
+  /// No-op when the network runs on the reliable transport (no simulator).
+  void AdvanceTo(sim::TimeMs t);
+
+  /// Current simulated time (0 on the reliable transport).
+  sim::TimeMs now() const { return sim_ ? sim_->now() : 0.0; }
+
+  /// True when the network was built with net.unreliable.
+  bool unreliable() const { return sim_ != nullptr; }
+
+  /// The transport all overlay/retrieve traffic goes through.
+  const net::Transport& transport() const { return *transport_; }
+
+  /// Soft-state / fault bookkeeping (all zero on the reliable transport).
+  const SoftStateCounters& soft_state() const { return soft_; }
+
+  /// True iff peer `p` is currently up (always true on reliable transports).
+  bool peer_up(int p) const { return transport_->peer_up(p); }
+
   // Introspection ------------------------------------------------------------
 
   int num_peers() const { return static_cast<int>(peers_.size()); }
@@ -183,6 +230,24 @@ class HyperMNetwork {
   /// `pool.tasks` counter and `pool.wall_us` histogram.
   void PoolRun(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Query fan-out: PoolRun on the reliable transport; a plain in-order loop
+  /// on the unreliable one, whose per-message RNG stream is consumed in
+  /// issue order and must not race.
+  void QueryFanOut(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Wires up the transport (always) and, when net.unreliable, the fault
+  /// simulator: crash/rejoin events, republish ticks, TTL expiry sweeps.
+  Status InitTransport();
+
+  /// One soft-state republish round: every live peer re-inserts its cached
+  /// summaries with a refreshed TTL (same cluster ids — delivery refreshes
+  /// the stored entry in place, losses leave the old entry to expire).
+  void RepublishTick();
+
+  /// Self-rescheduling periodic events on the fault simulator.
+  void ScheduleRepublish();
+  void ScheduleExpirySweep(sim::TimeMs period);
+
   /// Clusters and publishes one peer's summaries into all layers (steps
   /// i2–i3): per-layer k-means fanned out on the pool with RNG streams
   /// derived from `base_seed`, inserts drained in layer order on the calling
@@ -210,6 +275,15 @@ class HyperMNetwork {
   sim::NetworkStats stats_;
   std::vector<uint64_t> publication_hops_;  // per peer, set during Build
   uint64_t next_cluster_id_ = 1;
+
+  // Transport + fault machinery. transport_ is always set after Build;
+  // sim_/fault_state_ only when net.unreliable.
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<net::FaultState> fault_state_;
+  std::unique_ptr<net::Transport> transport_;
+  SoftStateCounters soft_;
+  // Last published summaries per [peer][layer]; what RepublishTick re-inserts.
+  std::vector<std::vector<std::vector<overlay::PublishedCluster>>> published_cache_;
 };
 
 }  // namespace hyperm::core

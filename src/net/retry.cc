@@ -1,0 +1,21 @@
+#include "net/retry.h"
+
+#include <algorithm>
+
+namespace hyperm::net {
+
+double RetryDelayMs(const RetryPolicy& policy, int attempt) {
+  double delay = policy.timeout_ms;
+  for (int i = 0; i < attempt; ++i) {
+    delay *= policy.backoff;
+    if (delay >= policy.max_timeout_ms) return policy.max_timeout_ms;
+  }
+  return std::min(delay, policy.max_timeout_ms);
+}
+
+int MaxAttempts(const RetryPolicy& policy) {
+  if (!policy.enabled) return 1;
+  return std::max(1, policy.max_attempts);
+}
+
+}  // namespace hyperm::net

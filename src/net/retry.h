@@ -1,0 +1,34 @@
+// Link-layer ack/retry (ARQ) policy.
+//
+// MANET radios already retransmit at the MAC layer (802.11 link-level ARQ);
+// this is the knob set for that mechanism as the transport models it: a
+// sender waits `timeout_ms` for the ack, retransmits with exponential
+// backoff capped at `max_timeout_ms`, and gives up after `max_attempts`
+// physical transmissions — the message then counts as a dead letter. Every
+// retransmission costs real radio energy and real latency, which is exactly
+// the retry-traffic axis the fault benches sweep.
+
+#ifndef HYPERM_NET_RETRY_H_
+#define HYPERM_NET_RETRY_H_
+
+namespace hyperm::net {
+
+/// Ack/retry configuration for one link-level exchange.
+struct RetryPolicy {
+  bool enabled = true;        ///< false: single attempt, loss is final
+  int max_attempts = 4;       ///< total physical transmissions (>= 1)
+  double timeout_ms = 20.0;   ///< ack wait before the first retransmission
+  double backoff = 2.0;       ///< timeout multiplier per further attempt (>= 1)
+  double max_timeout_ms = 160.0;  ///< backoff cap
+};
+
+/// Ack-timeout (ms) charged for failed attempt number `attempt` (0-based):
+/// timeout_ms * backoff^attempt, capped at max_timeout_ms.
+double RetryDelayMs(const RetryPolicy& policy, int attempt);
+
+/// Physical transmissions the policy allows per message (>= 1).
+int MaxAttempts(const RetryPolicy& policy);
+
+}  // namespace hyperm::net
+
+#endif  // HYPERM_NET_RETRY_H_

@@ -1,0 +1,96 @@
+#include "net/transport.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "obs/trace.h"
+
+namespace hyperm::net {
+
+ReliableTransport::ReliableTransport(sim::NetworkStats* stats,
+                                     const sim::LinkModel& link)
+    : stats_(stats), link_(link) {
+  HM_CHECK(stats != nullptr);
+}
+
+HopResult ReliableTransport::SendHop(const Message& message) {
+  // Exactly the RecordHop call the overlays used to make inline — no obs
+  // metrics on this path, so reliable-mode runs stay bit-identical to the
+  // pre-transport code (metrics snapshots included).
+  stats_->RecordHop(message.cls, message.bytes);
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  return HopResult{true, link_.HopMs(message.bytes)};
+}
+
+UnreliableTransport::UnreliableTransport(sim::Simulator* sim,
+                                         sim::NetworkStats* stats,
+                                         FaultState* state,
+                                         const NetOptions& options)
+    : sim_(sim),
+      stats_(stats),
+      state_(state),
+      plan_(options.faults),
+      retry_(options.retry),
+      link_(options.link),
+      seed_(options.seed) {
+  HM_CHECK(sim != nullptr);
+  HM_CHECK(stats != nullptr);
+  HM_CHECK(state != nullptr);
+}
+
+HopResult UnreliableTransport::SendHop(const Message& message) {
+  HopResult result;
+  const int attempts = MaxAttempts(retry_);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    // One independent randomness stream per physical transmission: the draw
+    // sequence depends only on (seed, issue order), never on timing.
+    Rng draw(MixSeed(seed_, next_msg_id_++));
+    // The radio transmits — energy and traffic are spent — before fate
+    // (crash, partition, loss) decides whether anything arrives.
+    stats_->RecordHop(message.cls, message.bytes);
+    ++counters_.messages_sent;
+    HM_OBS_COUNTER_ADD("net.messages", 1);
+    if (attempt > 0) {
+      ++counters_.retries;
+      HM_OBS_COUNTER_ADD("net.retries", 1);
+    }
+
+    bool lost = false;
+    if (!state_->up(message.src) || !state_->up(message.dst)) {
+      ++counters_.dropped_down;
+      HM_OBS_COUNTER_ADD("net.dropped_down", 1);
+      lost = true;
+    } else if (!state_->Connected(message.src, message.dst, sim_->now())) {
+      ++counters_.dropped_partition;
+      HM_OBS_COUNTER_ADD("net.dropped_partition", 1);
+      lost = true;
+    } else if (draw.Bernoulli(plan_.loss_rate)) {
+      ++counters_.dropped_loss;
+      HM_OBS_COUNTER_ADD("net.dropped_loss", 1);
+      lost = true;
+    }
+
+    if (!lost) {
+      double hop_ms = link_.HopMs(message.bytes);
+      if (plan_.jitter_ms > 0.0) hop_ms += draw.Uniform(0.0, plan_.jitter_ms);
+      result.delivered = true;
+      result.latency_ms += hop_ms;
+      if (draw.Bernoulli(plan_.duplicate_rate)) {
+        // A spurious second copy reaches the receiver: the duplicate burnt
+        // air time and energy but carries no new information.
+        stats_->RecordHop(message.cls, message.bytes);
+        ++counters_.messages_sent;
+        ++counters_.duplicates;
+        HM_OBS_COUNTER_ADD("net.duplicates", 1);
+      }
+      return result;
+    }
+    // The sender learns of the failure only by ack timeout; the wait is real
+    // latency whether or not another attempt follows.
+    result.latency_ms += RetryDelayMs(retry_, attempt);
+  }
+  ++counters_.dead_letters;
+  HM_OBS_COUNTER_ADD("net.dead_letters", 1);
+  return result;
+}
+
+}  // namespace hyperm::net

@@ -1,0 +1,171 @@
+// Message-level transport between overlay nodes / application peers.
+//
+// Every overlay hop in the system — greedy routing forwards, replication and
+// query flood edges, retrieve requests and responses — is one typed message
+// with a payload byte size, sent through a Transport. Two implementations:
+//
+//  * ReliableTransport — the default. Synchronous, infallible, zero
+//    machinery: SendHop records the hop into NetworkStats exactly as the
+//    overlays did before this layer existed, so all results, traffic counts
+//    and obs metrics stay bit-identical to the pre-transport code paths.
+//
+//  * UnreliableTransport — the MANET model. Each physical transmission can
+//    be lost, duplicated, blocked by a partition, or addressed to a crashed
+//    peer (per a seeded FaultPlan); deliveries take LinkModel time plus
+//    seeded jitter; a link-level ack/retry policy (RetryPolicy) retransmits
+//    with exponential backoff until delivery or the dead-letter budget is
+//    exhausted. Per-message randomness derives from MixSeed(seed, msg_id),
+//    never from wall clock or scheduling, so runs are deterministic.
+//
+// The unreliable transport is deliberately single-threaded (message ids are
+// consumed in call order); callers fan queries out serially when
+// `reliable()` is false. The reliable transport is thread-safe (it only
+// touches the atomic NetworkStats counters).
+
+#ifndef HYPERM_NET_TRANSPORT_H_
+#define HYPERM_NET_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "net/fault_plan.h"
+#include "net/retry.h"
+#include "sim/dissemination.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+
+namespace hyperm::net {
+
+/// What a message carries; drives per-type accounting in the fault benches.
+enum class MessageType {
+  kRoute = 0,         ///< greedy routing forward (key only)
+  kInsert,            ///< cluster summary publication
+  kReplicate,         ///< sphere replication into an overlapping zone
+  kQueryFlood,        ///< range-query flood edge
+  kRetrieveRequest,   ///< direct item request to an owner peer
+  kRetrieveResponse,  ///< items shipped back to the querier
+  kControl,           ///< maintenance (unpublish, handshakes)
+};
+
+/// One message between two peers (overlay node ids == application peer ids).
+struct Message {
+  MessageType type = MessageType::kControl;
+  int src = -1;
+  int dst = -1;
+  uint64_t bytes = 0;             ///< payload size (drives latency + energy)
+  sim::TrafficClass cls = sim::TrafficClass::kQuery;  ///< accounting class
+};
+
+/// Outcome of one (possibly retried) message exchange.
+struct HopResult {
+  bool delivered = false;
+  double latency_ms = 0.0;  ///< serialisation + jitter + ack-timeout waits
+};
+
+/// Running totals a transport exposes for benches and tests. The reliable
+/// transport leaves everything but messages_sent at zero.
+struct TransportCounters {
+  uint64_t messages_sent = 0;   ///< physical transmissions (retries included)
+  uint64_t retries = 0;         ///< retransmissions after an ack timeout
+  uint64_t dead_letters = 0;    ///< messages never delivered
+  uint64_t duplicates = 0;      ///< spurious second deliveries
+  uint64_t dropped_loss = 0;    ///< transmissions lost to the loss_rate draw
+  uint64_t dropped_down = 0;    ///< transmissions to/from a crashed peer
+  uint64_t dropped_partition = 0;  ///< transmissions across a partition
+};
+
+/// Abstract message transport. See file comment for the two implementations.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends one message, applying the implementation's delivery model.
+  /// Traffic (hops/bytes/energy) is recorded into NetworkStats per physical
+  /// transmission, whether or not it is delivered — radios burn energy on
+  /// lost packets too.
+  virtual HopResult SendHop(const Message& message) = 0;
+
+  /// True when delivery is synchronous and infallible (the bit-identical
+  /// legacy behavior). Callers may parallelize sends only when true.
+  virtual bool reliable() const = 0;
+
+  /// Availability of `peer` right now (always true for reliable transports).
+  virtual bool peer_up(int peer) const { return peer >= 0; }
+
+  /// Current simulated time (0 for transports without a simulator).
+  virtual sim::TimeMs now() const { return 0.0; }
+
+  /// Snapshot of the transport's running totals.
+  virtual TransportCounters counters() const = 0;
+};
+
+/// Default transport: synchronous, infallible, stats-only. SendHop performs
+/// exactly the NetworkStats::RecordHop call the overlays used to make
+/// inline, so every downstream number is unchanged.
+class ReliableTransport : public Transport {
+ public:
+  explicit ReliableTransport(sim::NetworkStats* stats,
+                             const sim::LinkModel& link = {});
+
+  HopResult SendHop(const Message& message) override;
+  bool reliable() const override { return true; }
+  TransportCounters counters() const override {
+    TransportCounters snapshot;
+    snapshot.messages_sent = messages_sent_.load(std::memory_order_relaxed);
+    return snapshot;
+  }
+
+ private:
+  sim::NetworkStats* stats_;  // not owned
+  sim::LinkModel link_;
+  // Atomic because reliable sends run concurrently on pool workers (query
+  // layer fan-out); everything else in TransportCounters stays zero here.
+  std::atomic<uint64_t> messages_sent_{0};
+};
+
+/// Unreliable-transport configuration (one member of HyperMOptions).
+struct NetOptions {
+  /// false: ReliableTransport, today's exact behavior. true: the MANET model
+  /// below, driven by a per-network sim::Simulator.
+  bool unreliable = false;
+  FaultPlan faults;
+  RetryPolicy retry;
+  sim::LinkModel link;
+  uint64_t seed = 0x6e657221;  ///< per-message randomness stream seed
+
+  // Soft state: published summaries expire after ttl and owners republish
+  // periodically, so the index self-heals after crashes. 0 disables either.
+  double summary_ttl_ms = 0.0;
+  double republish_period_ms = 0.0;
+  double expiry_sweep_period_ms = 0.0;  ///< 0: summary_ttl_ms / 2
+};
+
+/// The MANET transport: seeded loss/duplication/jitter, crash & partition
+/// awareness via FaultState, link-level ARQ per RetryPolicy. Single-threaded.
+class UnreliableTransport : public Transport {
+ public:
+  /// `sim`, `stats` and `state` must outlive the transport.
+  UnreliableTransport(sim::Simulator* sim, sim::NetworkStats* stats,
+                      FaultState* state, const NetOptions& options);
+
+  HopResult SendHop(const Message& message) override;
+  bool reliable() const override { return false; }
+  bool peer_up(int peer) const override { return state_->up(peer); }
+  sim::TimeMs now() const override { return sim_->now(); }
+  TransportCounters counters() const override { return counters_; }
+
+ private:
+  sim::Simulator* sim_;       // not owned
+  sim::NetworkStats* stats_;  // not owned
+  FaultState* state_;         // not owned
+  FaultPlan plan_;
+  RetryPolicy retry_;
+  sim::LinkModel link_;
+  uint64_t seed_;
+  uint64_t next_msg_id_ = 0;
+  TransportCounters counters_;
+};
+
+}  // namespace hyperm::net
+
+#endif  // HYPERM_NET_TRANSPORT_H_

@@ -16,11 +16,16 @@
 #define HYPERM_OVERLAY_OVERLAY_H_
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/result.h"
 #include "geom/shapes.h"
 #include "sim/stats.h"
+
+namespace hyperm::net {
+class Transport;
+}  // namespace hyperm::net
 
 namespace hyperm::overlay {
 
@@ -36,12 +41,22 @@ struct PublishedCluster {
   int owner_peer = -1;      ///< application peer holding the summarized items
   int items = 0;            ///< number of items the cluster summarizes
   uint64_t cluster_id = 0;  ///< globally unique id (dedupes replicas)
+
+  /// Soft state: simulated time after which the summary may be garbage
+  /// collected (owners republish to refresh it). Infinity = never expires,
+  /// the behavior of every pre-soft-state publication.
+  double expires_at = std::numeric_limits<double>::infinity();
 };
 
 /// Cost receipt for one publication.
 struct InsertReceipt {
   int routing_hops = 0;  ///< greedy hops from origin to the centroid owner
   int replicas = 0;      ///< additional zones the sphere was replicated into
+
+  /// False when an unreliable transport lost the publication before it
+  /// reached the centroid owner (always true on reliable transports).
+  bool delivered = true;
+  double latency_ms = 0.0;  ///< accumulated link latency along the route
 };
 
 /// Result of a range query.
@@ -50,6 +65,11 @@ struct RangeQueryResult {
   int routing_hops = 0;                   ///< hops to reach the query center owner
   int flood_hops = 0;                     ///< zone-flood edges traversed
   int nodes_visited = 0;                  ///< overlay nodes that evaluated the query
+
+  /// False when the unreliable transport lost the initial routing phase; the
+  /// flood never started and `matches` is empty.
+  bool delivered = true;
+  double latency_ms = 0.0;  ///< time until the slowest flood branch answered
 };
 
 /// Per-node storage snapshot (drives the Fig. 9 distribution analysis).
@@ -100,6 +120,20 @@ class Overlay {
   /// landing in a neighbouring zone miss border-straddling clusters) and
   /// exists for the replication ablation bench.
   virtual void set_replicate_spheres(bool enabled) = 0;
+
+  /// Routes all overlay traffic through `transport` (not owned; may be
+  /// nullptr to restore direct stats recording). Default: ignored —
+  /// overlays without transport support keep their inline accounting.
+  virtual void set_transport(net::Transport* transport) { (void)transport; }
+
+  /// Soft state: erases every stored summary with expires_at < `now` and
+  /// returns the number of entries erased. Default: no soft state, 0.
+  virtual int ExpireBefore(double now) { (void)now; return 0; }
+
+  /// Crash support: wipes `node`'s volatile summary storage (the node keeps
+  /// its zone and stays routable) and returns the number of entries lost.
+  /// Default: no crash support, 0.
+  virtual int ClearNode(NodeId node) { (void)node; return 0; }
 };
 
 }  // namespace hyperm::overlay

@@ -9,6 +9,7 @@
 #ifndef HYPERM_SIM_DISSEMINATION_H_
 #define HYPERM_SIM_DISSEMINATION_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -22,10 +23,16 @@ struct LinkModel {
   double hop_overhead_ms = 5.0;         ///< fixed per-transmission latency
   double bandwidth_bytes_per_ms = 125.0;  ///< serialisation rate
 
-  /// Duration of one hop carrying `bytes` of payload.
+  /// Duration of one hop carrying `bytes` of payload. A non-positive
+  /// bandwidth (misconfiguration) is clamped to a minimal positive rate so
+  /// the result stays finite instead of dividing by zero.
   double HopMs(double bytes) const {
-    return hop_overhead_ms + bytes / bandwidth_bytes_per_ms;
+    return hop_overhead_ms +
+           bytes / std::max(bandwidth_bytes_per_ms, kMinBandwidthBytesPerMs);
   }
+
+  /// Clamp floor applied by HopMs when bandwidth_bytes_per_ms <= 0.
+  static constexpr double kMinBandwidthBytesPerMs = 1e-9;
 };
 
 /// Makespan (ms) of peers transmitting `per_peer_hops[i]` hops each of

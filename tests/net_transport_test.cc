@@ -1,0 +1,247 @@
+// Unit tests of the unreliable-transport subsystem: fault plans, retry
+// policy arithmetic, transport delivery semantics and their determinism.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/fault_plan.h"
+#include "net/retry.h"
+#include "net/transport.h"
+#include "sim/dissemination.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+
+namespace hyperm::net {
+namespace {
+
+TEST(FaultPlanTest, ValidatesProbabilitiesAndSchedules) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.Validate(4).ok());
+
+  plan.loss_rate = 1.5;
+  EXPECT_FALSE(plan.Validate(4).ok());
+  plan.loss_rate = 0.2;
+  plan.duplicate_rate = -0.1;
+  EXPECT_FALSE(plan.Validate(4).ok());
+  plan.duplicate_rate = 0.0;
+  plan.jitter_ms = -1.0;
+  EXPECT_FALSE(plan.Validate(4).ok());
+  plan.jitter_ms = 0.0;
+
+  plan.peer_events.push_back(PeerEvent{100.0, 7, false});
+  EXPECT_FALSE(plan.Validate(4).ok());  // peer 7 of 4
+  plan.peer_events.back().peer = 3;
+  EXPECT_TRUE(plan.Validate(4).ok());
+
+  plan.partitions.push_back(Partition{200.0, 100.0, {0, 1}});
+  EXPECT_FALSE(plan.Validate(4).ok());  // end before start
+  plan.partitions.back().end_ms = 300.0;
+  EXPECT_TRUE(plan.Validate(4).ok());
+}
+
+TEST(FaultStateTest, TracksAvailabilityAndPartitions) {
+  FaultPlan plan;
+  plan.partitions.push_back(Partition{100.0, 200.0, {0, 1}});
+  FaultState state(4, plan);
+
+  for (int p = 0; p < 4; ++p) EXPECT_TRUE(state.up(p));
+  EXPECT_FALSE(state.up(-1));
+  EXPECT_FALSE(state.up(4));
+  state.SetUp(2, false);
+  EXPECT_FALSE(state.up(2));
+  state.SetUp(2, true);
+  EXPECT_TRUE(state.up(2));
+
+  // Outside the window everyone talks; inside, only within a group.
+  EXPECT_TRUE(state.Connected(0, 2, 50.0));
+  EXPECT_TRUE(state.Connected(0, 1, 150.0));   // both in the group
+  EXPECT_TRUE(state.Connected(2, 3, 150.0));   // both in the complement
+  EXPECT_FALSE(state.Connected(0, 2, 150.0));  // across the split
+  EXPECT_FALSE(state.Connected(3, 1, 150.0));
+  EXPECT_TRUE(state.Connected(0, 2, 200.0));  // window is half-open
+}
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyWithCap) {
+  RetryPolicy policy;  // 20ms, x2, cap 160ms
+  EXPECT_DOUBLE_EQ(RetryDelayMs(policy, 0), 20.0);
+  EXPECT_DOUBLE_EQ(RetryDelayMs(policy, 1), 40.0);
+  EXPECT_DOUBLE_EQ(RetryDelayMs(policy, 2), 80.0);
+  EXPECT_DOUBLE_EQ(RetryDelayMs(policy, 3), 160.0);
+  EXPECT_DOUBLE_EQ(RetryDelayMs(policy, 9), 160.0);  // capped
+  EXPECT_EQ(MaxAttempts(policy), 4);
+
+  policy.enabled = false;
+  EXPECT_EQ(MaxAttempts(policy), 1);
+  policy.enabled = true;
+  policy.max_attempts = 0;
+  EXPECT_EQ(MaxAttempts(policy), 1);  // floor
+}
+
+// Satellite regression: HopMs must stay finite when the configured bandwidth
+// is zero or negative instead of dividing by zero.
+TEST(LinkModelTest, HopMsClampsNonPositiveBandwidth) {
+  sim::LinkModel link;
+  link.bandwidth_bytes_per_ms = 0.0;
+  EXPECT_TRUE(std::isfinite(link.HopMs(1024.0)));
+  link.bandwidth_bytes_per_ms = -5.0;
+  EXPECT_TRUE(std::isfinite(link.HopMs(1024.0)));
+  EXPECT_GE(link.HopMs(0.0), link.hop_overhead_ms);
+  // Sane configurations are untouched.
+  link.bandwidth_bytes_per_ms = 125.0;
+  EXPECT_DOUBLE_EQ(link.HopMs(125.0), link.hop_overhead_ms + 1.0);
+}
+
+TEST(ReliableTransportTest, RecordsExactlyOneHopPerMessage) {
+  sim::NetworkStats stats;
+  ReliableTransport transport(&stats);
+  const Message message{MessageType::kQueryFlood, 0, 1, 100,
+                        sim::TrafficClass::kQuery};
+  const HopResult result = transport.SendHop(message);
+  EXPECT_TRUE(result.delivered);
+  EXPECT_GT(result.latency_ms, 0.0);
+  EXPECT_EQ(stats.hops(sim::TrafficClass::kQuery), 1u);
+  EXPECT_EQ(stats.bytes(sim::TrafficClass::kQuery), 100u);
+  EXPECT_EQ(transport.counters().messages_sent, 1u);
+  EXPECT_EQ(transport.counters().retries, 0u);
+  EXPECT_EQ(transport.counters().dead_letters, 0u);
+  EXPECT_TRUE(transport.reliable());
+  EXPECT_TRUE(transport.peer_up(12345));
+}
+
+NetOptions LossyOptions(double loss, bool retries_enabled = true) {
+  NetOptions options;
+  options.unreliable = true;
+  options.faults.loss_rate = loss;
+  options.retry.enabled = retries_enabled;
+  return options;
+}
+
+struct SendOutcome {
+  int delivered = 0;
+  double total_latency = 0.0;
+  TransportCounters counters;
+};
+
+SendOutcome SendMany(const NetOptions& options, int count, int num_peers = 4) {
+  sim::Simulator sim;
+  sim::NetworkStats stats;
+  FaultState state(num_peers, options.faults);
+  UnreliableTransport transport(&sim, &stats, &state, options);
+  SendOutcome outcome;
+  for (int i = 0; i < count; ++i) {
+    const HopResult r = transport.SendHop(
+        {MessageType::kRoute, i % num_peers, (i + 1) % num_peers, 64,
+         sim::TrafficClass::kQuery});
+    outcome.delivered += r.delivered ? 1 : 0;
+    outcome.total_latency += r.latency_ms;
+  }
+  outcome.counters = transport.counters();
+  return outcome;
+}
+
+TEST(UnreliableTransportTest, SeededRunsAreDeterministic) {
+  const NetOptions options = LossyOptions(0.3);
+  const SendOutcome a = SendMany(options, 500);
+  const SendOutcome b = SendMany(options, 500);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.total_latency, b.total_latency);
+  EXPECT_EQ(a.counters.messages_sent, b.counters.messages_sent);
+  EXPECT_EQ(a.counters.retries, b.counters.retries);
+  EXPECT_EQ(a.counters.dead_letters, b.counters.dead_letters);
+  EXPECT_EQ(a.counters.dropped_loss, b.counters.dropped_loss);
+
+  NetOptions reseeded = options;
+  reseeded.seed ^= 0xdecafbad;
+  const SendOutcome c = SendMany(reseeded, 500);
+  EXPECT_NE(a.counters.dropped_loss, c.counters.dropped_loss);
+}
+
+TEST(UnreliableTransportTest, RetriesMaskLossAtACost) {
+  const SendOutcome with_retries = SendMany(LossyOptions(0.2), 1000);
+  // 4 attempts vs 20% loss: effective failure ~0.2^4 = 0.16%.
+  EXPECT_GE(with_retries.delivered, 985);
+  EXPECT_GT(with_retries.counters.retries, 0u);
+  // Retransmissions cost real traffic beyond one send per message.
+  EXPECT_GT(with_retries.counters.messages_sent, 1000u);
+
+  const SendOutcome no_retries =
+      SendMany(LossyOptions(0.2, /*retries_enabled=*/false), 1000);
+  EXPECT_EQ(no_retries.counters.retries, 0u);
+  // Single-attempt delivery tracks the raw loss rate.
+  EXPECT_LT(no_retries.delivered, 900);
+  EXPECT_GT(no_retries.delivered, 700);
+  EXPECT_LT(no_retries.delivered, with_retries.delivered);
+  EXPECT_EQ(no_retries.counters.dead_letters,
+            static_cast<uint64_t>(1000 - no_retries.delivered));
+}
+
+TEST(UnreliableTransportTest, LossFreePlanDeliversEverything) {
+  const SendOutcome outcome = SendMany(LossyOptions(0.0), 200);
+  EXPECT_EQ(outcome.delivered, 200);
+  EXPECT_EQ(outcome.counters.dead_letters, 0u);
+  EXPECT_EQ(outcome.counters.retries, 0u);
+  EXPECT_EQ(outcome.counters.messages_sent, 200u);
+}
+
+TEST(UnreliableTransportTest, DownPeersAndPartitionsBlockDelivery) {
+  NetOptions options;
+  options.unreliable = true;
+  sim::Simulator sim;
+  sim::NetworkStats stats;
+  FaultState state(4, options.faults);
+  UnreliableTransport transport(&sim, &stats, &state, options);
+
+  state.SetUp(1, false);
+  const HopResult to_down = transport.SendHop(
+      {MessageType::kRoute, 0, 1, 64, sim::TrafficClass::kQuery});
+  EXPECT_FALSE(to_down.delivered);
+  EXPECT_GT(transport.counters().dropped_down, 0u);
+  EXPECT_FALSE(transport.peer_up(1));
+  state.SetUp(1, true);
+
+  NetOptions split = options;
+  split.faults.partitions.push_back(Partition{0.0, 1000.0, {0}});
+  FaultState split_state(4, split.faults);
+  UnreliableTransport split_transport(&sim, &stats, &split_state, split);
+  const HopResult across = split_transport.SendHop(
+      {MessageType::kRoute, 0, 2, 64, sim::TrafficClass::kQuery});
+  EXPECT_FALSE(across.delivered);
+  EXPECT_GT(split_transport.counters().dropped_partition, 0u);
+  const HopResult inside = split_transport.SendHop(
+      {MessageType::kRoute, 2, 3, 64, sim::TrafficClass::kQuery});
+  EXPECT_TRUE(inside.delivered);
+}
+
+TEST(UnreliableTransportTest, DuplicatesChargeTrafficWithoutNewDeliveries) {
+  NetOptions options;
+  options.unreliable = true;
+  options.faults.duplicate_rate = 1.0;  // every delivery arrives twice
+  const SendOutcome outcome = SendMany(options, 100);
+  EXPECT_EQ(outcome.delivered, 100);
+  EXPECT_EQ(outcome.counters.duplicates, 100u);
+  EXPECT_EQ(outcome.counters.messages_sent, 200u);
+}
+
+TEST(UnreliableTransportTest, FailedAttemptsChargeEnergyAndLatency) {
+  NetOptions options;
+  options.unreliable = true;
+  options.faults.loss_rate = 1.0;  // nothing ever arrives
+  sim::Simulator sim;
+  sim::NetworkStats stats;
+  FaultState state(2, options.faults);
+  UnreliableTransport transport(&sim, &stats, &state, options);
+  const HopResult r = transport.SendHop(
+      {MessageType::kInsert, 0, 1, 256, sim::TrafficClass::kInsert});
+  EXPECT_FALSE(r.delivered);
+  // Every physical attempt burnt radio traffic...
+  EXPECT_EQ(stats.hops(sim::TrafficClass::kInsert),
+            static_cast<uint64_t>(MaxAttempts(options.retry)));
+  // ...and the sender waited out every ack timeout: 20+40+80+160.
+  EXPECT_DOUBLE_EQ(r.latency_ms, 300.0);
+  EXPECT_EQ(transport.counters().dead_letters, 1u);
+}
+
+}  // namespace
+}  // namespace hyperm::net

@@ -33,6 +33,7 @@ struct RunCapture {
   KnnQueryInfo knn_info;
   std::vector<ItemId> post_republish_items;
   std::vector<uint64_t> publication_hops;
+  uint64_t transport_messages = 0;
   std::array<uint64_t, kNumClasses> hops{};
   std::array<uint64_t, kNumClasses> bytes{};
   double energy_mj = 0.0;
@@ -41,7 +42,7 @@ struct RunCapture {
   std::vector<std::string> span_names;  // sorted multiset of span names
 };
 
-RunCapture RunWorkload(int num_threads) {
+RunCapture RunWorkload(int num_threads, bool explicit_net_options = false) {
   obs::MetricsRegistry::Global().Reset();
   obs::Tracer::Global().Reset();
 
@@ -63,6 +64,14 @@ RunCapture RunWorkload(int num_threads) {
 
   HyperMOptions options;
   options.num_threads = num_threads;
+  if (explicit_net_options) {
+    // Reliable transport spelled out, with soft-state knobs set: none of it
+    // may perturb the reliable path (no simulator → the knobs are inert).
+    options.net = net::NetOptions{};
+    options.net.unreliable = false;
+    options.net.summary_ttl_ms = 500.0;
+    options.net.republish_period_ms = 250.0;
+  }
   Result<std::unique_ptr<HyperMNetwork>> net =
       HyperMNetwork::Build(dataset.value(), assignment.value(), options, rng);
   EXPECT_TRUE(net.ok()) << net.status().ToString();
@@ -99,6 +108,7 @@ RunCapture RunWorkload(int num_threads) {
   for (int p = 0; p < network.num_peers(); ++p) {
     cap.publication_hops.push_back(network.publication_hops(p));
   }
+  cap.transport_messages = network.transport().counters().messages_sent;
   for (size_t c = 0; c < kNumClasses; ++c) {
     cap.hops[c] = network.stats().hops(static_cast<sim::TrafficClass>(c));
     cap.bytes[c] = network.stats().bytes(static_cast<sim::TrafficClass>(c));
@@ -151,6 +161,10 @@ void ExpectRunsIdentical(const RunCapture& a, const RunCapture& b) {
   EXPECT_EQ(a.range_info.overlay_flood_hops, b.range_info.overlay_flood_hops);
   EXPECT_EQ(a.range_info.candidate_peers, b.range_info.candidate_peers);
   EXPECT_EQ(a.range_info.peers_contacted, b.range_info.peers_contacted);
+  EXPECT_EQ(a.range_info.latency_ms, b.range_info.latency_ms);
+  EXPECT_EQ(a.range_info.layers_lost, b.range_info.layers_lost);
+  EXPECT_EQ(a.knn_info.range.latency_ms, b.knn_info.range.latency_ms);
+  EXPECT_EQ(a.transport_messages, b.transport_messages);
   EXPECT_EQ(a.knn_info.range.overlay_routing_hops, b.knn_info.range.overlay_routing_hops);
   EXPECT_EQ(a.knn_info.range.overlay_flood_hops, b.knn_info.range.overlay_flood_hops);
   EXPECT_EQ(a.knn_info.items_requested, b.knn_info.items_requested);
@@ -201,6 +215,20 @@ TEST(NetworkParallelTest, DefaultThreadCountMatchesSequentialResults) {
   const RunCapture sequential = RunWorkload(1);
   const RunCapture defaulted = RunWorkload(0);
   ExpectRunsIdentical(sequential, defaulted);
+}
+
+TEST(NetworkParallelTest, ExplicitReliableTransportIsBitIdentical) {
+  // Spelling out NetOptions (reliable, with soft-state knobs set) must not
+  // change a single observable — results, traffic, metrics, latencies — at
+  // any thread count. This is the transport subsystem's compatibility
+  // contract: ReliableTransport == the historical direct-stats behavior.
+  const RunCapture implicit_seq = RunWorkload(1);
+  const RunCapture explicit_seq = RunWorkload(1, /*explicit_net_options=*/true);
+  ExpectRunsIdentical(implicit_seq, explicit_seq);
+  const RunCapture explicit_par = RunWorkload(8, /*explicit_net_options=*/true);
+  ExpectRunsIdentical(implicit_seq, explicit_par);
+  // The reliable path never reports faults.
+  EXPECT_EQ(explicit_seq.range_info.layers_lost, 0);
 }
 
 }  // namespace

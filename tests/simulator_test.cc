@@ -87,6 +87,71 @@ TEST(SimulatorTest, ZeroDelayRunsAtCurrentTime) {
   EXPECT_EQ(seen, 4.0);
 }
 
+TEST(SimulatorTest, RunUntilExecutesEventsSpawnedExactlyAtBoundary) {
+  // An event inside the window schedules work for exactly `until`; that work
+  // (and zero-delay work it spawns at `until`) belongs to this RunUntil.
+  Simulator sim;
+  std::vector<int> fired;
+  sim.ScheduleAfter(1.0, [&] {
+    fired.push_back(1);
+    sim.ScheduleAt(5.0, [&] {
+      fired.push_back(2);
+      sim.ScheduleAfter(0.0, [&] { fired.push_back(3); });
+    });
+  });
+  sim.ScheduleAfter(5.0 + 1e-9, [&] { fired.push_back(4); });  // just past it
+  EXPECT_EQ(sim.RunUntil(5.0), 3u);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 5.0);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockOnEmptyQueue) {
+  Simulator sim;
+  EXPECT_EQ(sim.RunUntil(42.0), 0u);
+  EXPECT_EQ(sim.now(), 42.0);
+  // Moving to an earlier-or-equal instant executes nothing and keeps time
+  // monotonic.
+  EXPECT_EQ(sim.RunUntil(42.0), 0u);
+  EXPECT_EQ(sim.now(), 42.0);
+}
+
+TEST(SimulatorTest, ZeroDelaySelfRescheduleIsStoppedByMaxEvents) {
+  // A zero-delay feedback loop never advances the clock; only the
+  // max_events guard can end the run.
+  Simulator sim;
+  uint64_t ticks = 0;
+  std::function<void()> loop = [&] {
+    ++ticks;
+    sim.ScheduleAfter(0.0, loop);
+  };
+  sim.ScheduleAfter(0.0, loop);
+  EXPECT_EQ(sim.Run(1000), 1000u);
+  EXPECT_EQ(ticks, 1000u);
+  EXPECT_EQ(sim.now(), 0.0);      // time never moved
+  EXPECT_EQ(sim.pending(), 1u);   // the next iteration is still queued
+  // The guard is a pause, not a corruption: a later bounded run continues
+  // the same loop from where it stopped.
+  EXPECT_EQ(sim.Run(10), 10u);
+  EXPECT_EQ(ticks, 1010u);
+}
+
+TEST(SimulatorTest, FifoTieBreakAcrossSchedulingStyles) {
+  // ScheduleAfter and ScheduleAt targeting the same instant interleave in
+  // call order, and zero-delay events spawned while executing that instant
+  // run after everything already queued for it.
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAfter(2.0, [&] {
+    order.push_back(0);
+    sim.ScheduleAfter(0.0, [&] { order.push_back(3); });  // same instant, last
+  });
+  sim.ScheduleAt(2.0, [&] { order.push_back(1); });
+  sim.ScheduleAfter(2.0, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
 TEST(SimulatorTest, ExecutedAccumulates) {
   Simulator sim;
   for (int i = 0; i < 7; ++i) sim.ScheduleAfter(i, [] {});
