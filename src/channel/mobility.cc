@@ -1,0 +1,26 @@
+#include "channel/mobility.h"
+
+#include "common/check.h"
+
+namespace hyperm::channel {
+
+MobilityProcess::MobilityProcess(sim::Simulator* sim, RadioChannel* channel)
+    : sim_(sim), channel_(channel) {
+  HM_CHECK(sim != nullptr);
+  HM_CHECK(channel != nullptr);
+}
+
+void MobilityProcess::Start() {
+  if (started_) return;
+  if (channel_->step_m() <= 0.0) return;  // static placement: nothing to drive
+  started_ = true;
+  sim_->ScheduleAfter(channel_->tick_ms(), [this] { Tick(); });
+}
+
+void MobilityProcess::Tick() {
+  channel_->Step();
+  ++ticks_;
+  sim_->ScheduleAfter(channel_->tick_ms(), [this] { Tick(); });
+}
+
+}  // namespace hyperm::channel

@@ -1,0 +1,49 @@
+// Mobility driver: a self-rescheduling simulator event that advances the
+// radio channel's random-waypoint state on a fixed tick.
+//
+// The channel owns the mobility *model* (RadioChannel::Step); this class
+// owns its *clock*. Ticks live on the per-network sim::Simulator event
+// queue, so connectivity evolves in lockstep with soft-state republish
+// sweeps and fault events, and a run is reproducible from (options, seed)
+// regardless of host threading — the simulator executes ticks one at a time
+// in deterministic order.
+
+#ifndef HYPERM_CHANNEL_MOBILITY_H_
+#define HYPERM_CHANNEL_MOBILITY_H_
+
+#include <cstdint>
+
+#include "channel/radio_channel.h"
+#include "sim/simulator.h"
+
+namespace hyperm::channel {
+
+/// Schedules RadioChannel::Step every channel tick. Both pointers are
+/// borrowed and must outlive the process (the network owns all three and
+/// destroys the simulator last).
+class MobilityProcess {
+ public:
+  MobilityProcess(sim::Simulator* sim, RadioChannel* channel);
+
+  /// Schedules the first tick (tick_ms from now). Each tick advances the
+  /// channel one mobility step and reschedules itself; ticks execute only
+  /// when the owning network advances the simulated clock. No-op when the
+  /// channel's speed is zero (a static placement never changes) or when
+  /// already started.
+  void Start();
+
+  /// Ticks executed so far.
+  uint64_t ticks() const { return ticks_; }
+
+ private:
+  void Tick();
+
+  sim::Simulator* sim_;    // not owned
+  RadioChannel* channel_;  // not owned
+  bool started_ = false;
+  uint64_t ticks_ = 0;
+};
+
+}  // namespace hyperm::channel
+
+#endif  // HYPERM_CHANNEL_MOBILITY_H_

@@ -1,0 +1,167 @@
+#include "channel/radio_channel.h"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/trace.h"
+
+namespace hyperm::channel {
+
+Status ChannelOptions::Validate() const {
+  if (tick_ms <= 0.0) return InvalidArgumentError("ChannelOptions: tick_ms <= 0");
+  if (speed_m_per_s < 0.0) {
+    return InvalidArgumentError("ChannelOptions: negative speed_m_per_s");
+  }
+  if (bandwidth_bytes_per_ms <= 0.0) {
+    return InvalidArgumentError("ChannelOptions: bandwidth_bytes_per_ms <= 0");
+  }
+  if (tx_overhead_ms < 0.0) {
+    return InvalidArgumentError("ChannelOptions: negative tx_overhead_ms");
+  }
+  if (contention_per_busy_neighbor < 0.0) {
+    return InvalidArgumentError("ChannelOptions: negative contention");
+  }
+  if (field.field_size_m <= 0.0 || field.radio_range_m <= 0.0) {
+    return InvalidArgumentError("ChannelOptions: non-positive field geometry");
+  }
+  return OkStatus();
+}
+
+Result<std::unique_ptr<RadioChannel>> RadioChannel::Create(
+    int num_peers, const ChannelOptions& options, sim::NetworkStats* stats) {
+  if (num_peers < 1) return InvalidArgumentError("RadioChannel: num_peers < 1");
+  HM_CHECK(stats != nullptr);
+  HM_RETURN_IF_ERROR(options.Validate());
+  manet::TopologyOptions field = options.field;
+  field.num_nodes = num_peers;
+  Rng placement(MixSeed(options.seed, 0));
+  HM_ASSIGN_OR_RETURN(manet::ManetTopology topology,
+                      manet::ManetTopology::Generate(field, placement));
+  return std::unique_ptr<RadioChannel>(
+      new RadioChannel(options, std::move(topology), stats));
+}
+
+RadioChannel::RadioChannel(const ChannelOptions& options,
+                           manet::ManetTopology topology, sim::NetworkStats* stats)
+    : options_(options),
+      topology_(std::move(topology)),
+      stats_(stats),
+      mobility_rng_(MixSeed(options.seed, 1)),
+      busy_until_(static_cast<size_t>(topology_.num_nodes()), 0.0) {
+  RelabelIslands();
+}
+
+void RadioChannel::RelabelIslands() {
+  const int n = topology_.num_nodes();
+  island_.assign(static_cast<size_t>(n), -1);
+  int label = 0;
+  std::deque<int> frontier;
+  for (int start = 0; start < n; ++start) {
+    if (island_[static_cast<size_t>(start)] >= 0) continue;
+    island_[static_cast<size_t>(start)] = label;
+    frontier.push_back(start);
+    while (!frontier.empty()) {
+      const int node = frontier.front();
+      frontier.pop_front();
+      for (int next : topology_.neighbors(node)) {
+        if (island_[static_cast<size_t>(next)] >= 0) continue;
+        island_[static_cast<size_t>(next)] = label;
+        frontier.push_back(next);
+      }
+    }
+    ++label;
+  }
+}
+
+bool RadioChannel::connected() const {
+  return !island_.empty() &&
+         std::all_of(island_.begin(), island_.end(), [](int l) { return l == 0; });
+}
+
+bool RadioChannel::Reachable(int src, int dst) const {
+  if (src < 0 || dst < 0 || static_cast<size_t>(src) >= island_.size() ||
+      static_cast<size_t>(dst) >= island_.size()) {
+    return false;
+  }
+  return island_[static_cast<size_t>(src)] == island_[static_cast<size_t>(dst)];
+}
+
+sim::TimeMs RadioChannel::TransmitOneHop(int node, sim::TimeMs ready_ms,
+                                         const net::Message& message) {
+  sim::TimeMs& tail = busy_until_[static_cast<size_t>(node)];
+  const sim::TimeMs start = std::max(ready_ms, tail);
+  if (start > ready_ms) {
+    ++counters_.queued_transmissions;
+    counters_.queue_wait_ms += start - ready_ms;
+  }
+  // Neighbourhood contention: every radio neighbour still draining its own
+  // queue when this send starts shares the carrier and stretches the send.
+  int busy_neighbors = 0;
+  for (int peer : topology_.neighbors(node)) {
+    if (busy_until_[static_cast<size_t>(peer)] > start) ++busy_neighbors;
+  }
+  const double serialise_ms =
+      options_.tx_overhead_ms +
+      static_cast<double>(message.bytes) / options_.bandwidth_bytes_per_ms;
+  const double tx_ms =
+      serialise_ms *
+      (1.0 + options_.contention_per_busy_neighbor * busy_neighbors);
+  tail = start + tx_ms;
+  ++counters_.radio_transmissions;
+  stats_->RecordHop(message.cls, message.bytes);
+  HM_OBS_COUNTER_ADD("channel.radio_transmissions", 1);
+  return tail;
+}
+
+net::ChannelTransmission RadioChannel::Transmit(const net::Message& message,
+                                                sim::TimeMs now) {
+  HM_CHECK_GE(message.src, 0);
+  HM_CHECK_LT(message.src, topology_.num_nodes());
+  HM_CHECK_GE(message.dst, 0);
+  HM_CHECK_LT(message.dst, topology_.num_nodes());
+  net::ChannelTransmission result;
+  if (message.src == message.dst) return result;  // local delivery, free
+  const std::vector<int> path = topology_.ShortestPath(message.src, message.dst);
+  if (path.empty()) {
+    // No radio path: the source radio still transmits into the void before
+    // the ack timeout reveals the island boundary.
+    const sim::TimeMs done = TransmitOneHop(message.src, now, message);
+    ++counters_.unreachable_transmissions;
+    HM_OBS_COUNTER_ADD("channel.unreachable", 1);
+    result.latency_ms = done - now;
+    result.radio_hops = 1;
+    result.reachable = false;
+    return result;
+  }
+  // One queued radio transmission per hop, in path order: each relay can
+  // only forward once the previous hop's send completes AND its own queue
+  // has drained — this is where offered load becomes latency.
+  sim::TimeMs ready = now;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    ready = TransmitOneHop(path[i], ready, message);
+  }
+  result.latency_ms = ready - now;
+  result.radio_hops = static_cast<int>(path.size()) - 1;
+  result.reachable = true;
+  return result;
+}
+
+void RadioChannel::Step() {
+  topology_.RandomWaypointStep(step_m(), mobility_rng_);
+  RelabelIslands();
+  ++counters_.mobility_steps;
+  if (!connected()) {
+    ++counters_.disconnected_steps;
+    HM_OBS_COUNTER_ADD("channel.disconnected_steps", 1);
+  }
+}
+
+sim::TimeMs RadioChannel::DrainedAtMs() const {
+  sim::TimeMs latest = 0.0;
+  for (sim::TimeMs t : busy_until_) latest = std::max(latest, t);
+  return latest;
+}
+
+}  // namespace hyperm::channel

@@ -1,0 +1,143 @@
+// The physical radio substrate beneath the unreliable transport.
+//
+// The paper's setting is a room-scale ad-hoc radio network, but the overlay
+// model above treats every overlay hop as one free physical transmission
+// between any two peers. This module closes that gap: peers live at physical
+// positions in a field (manet::ManetTopology), one overlay hop costs one
+// queued radio transmission per hop of the current shortest unit-disk path,
+// each node owns a FIFO transmit queue with finite bandwidth and
+// neighbourhood contention, and peers that mobility has split into different
+// radio islands are simply unreachable until the graph heals — partitions
+// *emerge* from geometry instead of being scripted in a FaultPlan.
+//
+// Determinism: the only randomness is the placement stream MixSeed(seed, 0)
+// and the mobility stream MixSeed(seed, 1), both owned by the channel and
+// consumed on the simulator thread only. Queue state advances monotonically
+// with simulated time, so a fixed (options, seed, workload) reproduces the
+// exact same latencies and drop patterns at any host thread count.
+
+#ifndef HYPERM_CHANNEL_RADIO_CHANNEL_H_
+#define HYPERM_CHANNEL_RADIO_CHANNEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "manet/topology.h"
+#include "net/transport.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+
+namespace hyperm::channel {
+
+/// Radio-channel configuration (one member of HyperMOptions). Disabled by
+/// default: the transport then keeps its free-channel LinkModel behavior.
+struct ChannelOptions {
+  bool enabled = false;
+
+  /// Physical deployment. `field.num_nodes` is overridden with the network's
+  /// peer count at Create time; one peer == one radio node.
+  manet::TopologyOptions field;
+
+  // Mobility: every tick_ms of simulated time each node moves
+  // speed_m_per_s * tick_ms / 1000 meters toward its random waypoint and
+  // connectivity is recomputed. speed 0 keeps the placement static.
+  double tick_ms = 100.0;
+  double speed_m_per_s = 1.0;
+
+  // Transmit-queue model. One transmission of b payload bytes occupies the
+  // sending radio for (tx_overhead_ms + b / bandwidth_bytes_per_ms) ms,
+  // stretched by contention_per_busy_neighbor per radio neighbour whose own
+  // queue is still busy when this transmission starts (carrier sharing).
+  double bandwidth_bytes_per_ms = 125.0;  ///< ~1 Mbit/s radio
+  double tx_overhead_ms = 5.0;            ///< MAC + preamble per transmission
+  double contention_per_busy_neighbor = 0.1;
+
+  uint64_t seed = 0x6368616eULL;  ///< placement + mobility randomness ("chan")
+
+  /// Structural validation (positive tick/bandwidth, non-negative rest).
+  Status Validate() const;
+};
+
+/// Running totals the channel exposes for benches and tests.
+struct ChannelCounters {
+  uint64_t mobility_steps = 0;        ///< RandomWaypointStep ticks executed
+  uint64_t disconnected_steps = 0;    ///< ticks that left the graph split
+  uint64_t radio_transmissions = 0;   ///< single-hop radio sends charged
+  uint64_t unreachable_transmissions = 0;  ///< sends with no radio path
+  uint64_t queued_transmissions = 0;  ///< sends that waited behind a queue
+  double queue_wait_ms = 0.0;         ///< total time spent queued
+};
+
+/// Deterministic unit-disk radio channel with per-node FIFO transmit queues.
+/// Implements net::PhysicalChannel; install on an UnreliableTransport via
+/// set_channel. Single-threaded by design (like the transport above it).
+class RadioChannel : public net::PhysicalChannel {
+ public:
+  /// Builds the channel for `num_peers` radio nodes. Placement comes from
+  /// ManetTopology::Generate on the MixSeed(seed, 0) stream — connected at
+  /// t = 0, so a fresh network can always bootstrap; mobility may split it
+  /// later. `stats` (not owned, must outlive the channel) receives one
+  /// RecordHop per physical radio transmission.
+  static Result<std::unique_ptr<RadioChannel>> Create(int num_peers,
+                                                      const ChannelOptions& options,
+                                                      sim::NetworkStats* stats);
+
+  /// True iff the two peers are currently in the same radio island.
+  bool Reachable(int src, int dst) const override;
+
+  /// Charges one physical transmission attempt: one queued single-hop radio
+  /// send per hop of the current shortest path from src to dst, in order,
+  /// each waiting out the sending node's queue. Latency is the arrival time
+  /// at dst minus `now`. When no radio path exists, the source still burns
+  /// one local transmission (the radio cannot know the path is gone) and the
+  /// result is flagged unreachable.
+  net::ChannelTransmission Transmit(const net::Message& message,
+                                    sim::TimeMs now) override;
+
+  /// One mobility tick: advance every node speed * tick / 1000 meters toward
+  /// its waypoint, rebuild connectivity and the island labels. Called by
+  /// MobilityProcess on the simulator clock.
+  void Step();
+
+  /// Simulated time at which every transmit queue is empty again — benches
+  /// advance past this before timing queries so publication backlog does not
+  /// leak into query latency.
+  sim::TimeMs DrainedAtMs() const;
+
+  int num_nodes() const { return topology_.num_nodes(); }
+  double tick_ms() const { return options_.tick_ms; }
+  double step_m() const { return options_.speed_m_per_s * options_.tick_ms / 1000.0; }
+  bool connected() const;
+  const manet::ManetTopology& topology() const { return topology_; }
+  const ChannelCounters& counters() const { return counters_; }
+
+ private:
+  RadioChannel(const ChannelOptions& options, manet::ManetTopology topology,
+               sim::NetworkStats* stats);
+
+  /// Queues one single-hop transmission on `node` whose payload arrives at
+  /// the radio at `ready_ms`; returns the completion (= next-hop arrival)
+  /// time and records the hop into stats.
+  sim::TimeMs TransmitOneHop(int node, sim::TimeMs ready_ms,
+                             const net::Message& message);
+
+  /// Recomputes the connected-component label of every node (BFS, ascending
+  /// node order, so labels are deterministic).
+  void RelabelIslands();
+
+  ChannelOptions options_;
+  manet::ManetTopology topology_;
+  sim::NetworkStats* stats_;  // not owned
+  Rng mobility_rng_;
+  std::vector<int> island_;              // component label per node
+  std::vector<sim::TimeMs> busy_until_;  // per-node transmit queue tail
+  ChannelCounters counters_;
+};
+
+}  // namespace hyperm::channel
+
+#endif  // HYPERM_CHANNEL_RADIO_CHANNEL_H_

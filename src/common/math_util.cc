@@ -48,11 +48,20 @@ double BetaContinuedFraction(double a, double b, double x) {
 
 }  // namespace
 
-double LogGamma(double x) { return std::lgamma(x); }
+double LogGamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  // glibc's lgamma writes the global `signgam`, which races when the thread
+  // pool evaluates sphere volumes concurrently; use the reentrant variant.
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
 
 double LogFactorial(int n) {
   HM_CHECK_GE(n, 0);
-  return std::lgamma(static_cast<double>(n) + 1.0);
+  return LogGamma(static_cast<double>(n) + 1.0);
 }
 
 double LogDoubleFactorial(int n) {

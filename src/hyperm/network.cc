@@ -90,6 +90,11 @@ void HyperMNetwork::QueryFanOut(size_t n, const std::function<void(size_t)>& fn)
 Status HyperMNetwork::InitTransport() {
   const net::NetOptions& net_opts = options_.net;
   if (!net_opts.unreliable) {
+    if (options_.channel.enabled) {
+      return InvalidArgumentError(
+          "Build: channel.enabled requires net.unreliable (the radio channel "
+          "models per-attempt physics the reliable transport has no seam for)");
+    }
     transport_ = std::make_unique<net::ReliableTransport>(&stats_, net_opts.link);
   } else {
     if (options_.overlay_kind != OverlayKind::kCan) {
@@ -100,8 +105,18 @@ Status HyperMNetwork::InitTransport() {
     HM_RETURN_IF_ERROR(net_opts.faults.Validate(num_peers()));
     sim_ = std::make_unique<sim::Simulator>();
     fault_state_ = std::make_unique<net::FaultState>(num_peers(), net_opts.faults);
-    transport_ = std::make_unique<net::UnreliableTransport>(
+    auto unreliable = std::make_unique<net::UnreliableTransport>(
         sim_.get(), &stats_, fault_state_.get(), net_opts);
+    if (options_.channel.enabled) {
+      HM_ASSIGN_OR_RETURN(
+          channel_,
+          channel::RadioChannel::Create(num_peers(), options_.channel, &stats_));
+      unreliable->set_channel(channel_.get());
+      mobility_ = std::make_unique<channel::MobilityProcess>(sim_.get(),
+                                                             channel_.get());
+      mobility_->Start();
+    }
+    transport_ = std::move(unreliable);
     published_cache_.assign(
         peers_.size(),
         std::vector<std::vector<overlay::PublishedCluster>>(levels_.size()));

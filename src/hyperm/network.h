@@ -20,6 +20,8 @@
 #include <memory>
 #include <vector>
 
+#include "channel/mobility.h"
+#include "channel/radio_channel.h"
 #include "cluster/kmeans.h"
 #include "common/result.h"
 #include "common/rng.h"
@@ -71,6 +73,12 @@ struct HyperMOptions {
   /// net.unreliable enables the MANET fault model (loss, duplication,
   /// crash/rejoin, partitions, retries, soft-state republish).
   net::NetOptions net;
+
+  /// Physical radio substrate (requires net.unreliable). When
+  /// channel.enabled, overlay hops ride queued multi-hop radio paths over a
+  /// mobile unit-disk topology and radio islands make peers unreachable;
+  /// when disabled (default) the transport keeps the free-channel LinkModel.
+  channel::ChannelOptions channel;
 };
 
 /// Traffic/effort account of one range query.
@@ -192,6 +200,9 @@ class HyperMNetwork {
   /// True iff peer `p` is currently up (always true on reliable transports).
   bool peer_up(int p) const { return transport_->peer_up(p); }
 
+  /// The physical radio channel, or nullptr when channel.enabled is false.
+  const channel::RadioChannel* radio_channel() const { return channel_.get(); }
+
   // Introspection ------------------------------------------------------------
 
   int num_peers() const { return static_cast<int>(peers_.size()); }
@@ -277,9 +288,12 @@ class HyperMNetwork {
   uint64_t next_cluster_id_ = 1;
 
   // Transport + fault machinery. transport_ is always set after Build;
-  // sim_/fault_state_ only when net.unreliable.
+  // sim_/fault_state_ only when net.unreliable; channel_/mobility_ only when
+  // channel.enabled (the channel must outlive the transport that borrows it).
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<net::FaultState> fault_state_;
+  std::unique_ptr<channel::RadioChannel> channel_;
+  std::unique_ptr<channel::MobilityProcess> mobility_;
   std::unique_ptr<net::Transport> transport_;
   SoftStateCounters soft_;
   // Last published summaries per [peer][layer]; what RepublishTick re-inserts.

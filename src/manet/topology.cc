@@ -54,6 +54,28 @@ Result<ManetTopology> ManetTopology::Generate(const TopologyOptions& options, Rn
       "ManetTopology: no connected placement found (radio range too small?)");
 }
 
+Result<ManetTopology> ManetTopology::FromPositions(const TopologyOptions& options,
+                                                   std::vector<Vector> positions) {
+  if (positions.empty()) return InvalidArgumentError("FromPositions: no positions");
+  if (options.field_size_m <= 0.0 || options.radio_range_m <= 0.0) {
+    return InvalidArgumentError("FromPositions: non-positive geometry");
+  }
+  for (const Vector& p : positions) {
+    if (p.size() != 2) return InvalidArgumentError("FromPositions: positions must be 2-D");
+    if (p[0] < 0.0 || p[0] > options.field_size_m || p[1] < 0.0 ||
+        p[1] > options.field_size_m) {
+      return InvalidArgumentError("FromPositions: position outside the field");
+    }
+  }
+  ManetTopology topology;
+  topology.options_ = options;
+  topology.options_.num_nodes = static_cast<int>(positions.size());
+  topology.positions_ = std::move(positions);
+  topology.waypoints_ = topology.positions_;
+  topology.RebuildConnectivity();
+  return topology;
+}
+
 void ManetTopology::RebuildConnectivity() {
   const size_t n = positions_.size();
   neighbors_.assign(n, {});
@@ -87,8 +109,40 @@ int ManetTopology::PathHops(int from, int to) const {
   HM_CHECK_LT(to, num_nodes());
   if (from == to) return 0;
   const std::vector<int> hops = BfsHops(neighbors_, from);
-  HM_CHECK_GE(hops[static_cast<size_t>(to)], 0) << "topology disconnected";
-  return hops[static_cast<size_t>(to)];
+  const int h = hops[static_cast<size_t>(to)];
+  return h >= 0 ? h : kUnreachableHops;
+}
+
+std::vector<int> ManetTopology::ShortestPath(int from, int to) const {
+  HM_CHECK_GE(from, 0);
+  HM_CHECK_LT(from, num_nodes());
+  HM_CHECK_GE(to, 0);
+  HM_CHECK_LT(to, num_nodes());
+  if (from == to) return {from};
+  // BFS with parent pointers; neighbours are stored in ascending id order,
+  // so the first parent discovered is the deterministic tie-break.
+  std::vector<int> parent(neighbors_.size(), -1);
+  std::deque<int> frontier;
+  parent[static_cast<size_t>(from)] = from;
+  frontier.push_back(from);
+  while (!frontier.empty()) {
+    const int node = frontier.front();
+    frontier.pop_front();
+    if (node == to) break;
+    for (int next : neighbors_[static_cast<size_t>(node)]) {
+      if (parent[static_cast<size_t>(next)] >= 0) continue;
+      parent[static_cast<size_t>(next)] = node;
+      frontier.push_back(next);
+    }
+  }
+  if (parent[static_cast<size_t>(to)] < 0) return {};
+  std::vector<int> path;
+  for (int node = to; node != from; node = parent[static_cast<size_t>(node)]) {
+    path.push_back(node);
+  }
+  path.push_back(from);
+  std::reverse(path.begin(), path.end());
+  return path;
 }
 
 double ManetTopology::MeanPairwiseHops() const {
@@ -100,12 +154,12 @@ double ManetTopology::MeanPairwiseHops() const {
     const std::vector<int> hops = BfsHops(neighbors_, i);
     for (int j = 0; j < n; ++j) {
       if (i == j) continue;
-      HM_CHECK_GE(hops[static_cast<size_t>(j)], 0) << "topology disconnected";
+      if (hops[static_cast<size_t>(j)] < 0) continue;  // different radio island
       total += hops[static_cast<size_t>(j)];
       ++pairs;
     }
   }
-  return total / pairs;
+  return pairs == 0 ? 0.0 : total / pairs;
 }
 
 bool ManetTopology::connected() const {

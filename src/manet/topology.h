@@ -29,6 +29,10 @@ struct TopologyOptions {
   int max_placement_attempts = 200;  ///< retries until a connected placement
 };
 
+/// Sentinel returned by PathHops when no radio path exists (the unit-disk
+/// graph is split into islands — routine under mobility).
+inline constexpr int kUnreachableHops = -1;
+
 /// A static snapshot of node positions with unit-disk connectivity.
 class ManetTopology {
  public:
@@ -36,6 +40,13 @@ class ManetTopology {
   /// Returns FailedPrecondition if no connected placement is found within
   /// the attempt budget (radio range too small for the field).
   static Result<ManetTopology> Generate(const TopologyOptions& options, Rng& rng);
+
+  /// Builds a topology from explicit node positions (2-D, inside the field).
+  /// Connectivity is NOT required — this is how tests and the channel layer
+  /// construct deterministic disconnected layouts. Waypoints start at the
+  /// node positions (nodes are stationary until RandomWaypointStep re-draws).
+  static Result<ManetTopology> FromPositions(const TopologyOptions& options,
+                                             std::vector<Vector> positions);
 
   /// Number of nodes.
   int num_nodes() const { return static_cast<int>(positions_.size()); }
@@ -46,12 +57,18 @@ class ManetTopology {
   /// Physical radio neighbours of `node` (within radio range).
   const std::vector<int>& neighbors(int node) const;
 
-  /// Shortest-path hop count between two nodes (0 for a == b). Fatal if the
-  /// graph has been disconnected by mobility; check connected() first.
+  /// Shortest-path hop count between two nodes (0 for a == b), or
+  /// kUnreachableHops when mobility has split them into different radio
+  /// islands — callers treat that as "unreachable this tick".
   int PathHops(int from, int to) const;
 
-  /// Mean hop count over all ordered node pairs — the expected physical cost
-  /// of one overlay hop.
+  /// Node sequence of one shortest path from `from` to `to`, both endpoints
+  /// included ({from} when from == to). Empty when no path exists. Ties are
+  /// broken deterministically (BFS in ascending neighbour order).
+  std::vector<int> ShortestPath(int from, int to) const;
+
+  /// Mean hop count over all ordered *reachable* node pairs — the expected
+  /// physical cost of one overlay hop (0 if no pair is reachable).
   double MeanPairwiseHops() const;
 
   /// True iff the connectivity graph is currently connected.

@@ -1,16 +1,50 @@
 #include "net/retry.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace hyperm::net {
+namespace {
 
-double RetryDelayMs(const RetryPolicy& policy, int attempt) {
-  double delay = policy.timeout_ms;
+// Shared backoff schedule: base * backoff^attempt, capped at max_timeout_ms.
+double BackoffDelayMs(const RetryPolicy& policy, double base, int attempt) {
+  double delay = base;
   for (int i = 0; i < attempt; ++i) {
     delay *= policy.backoff;
     if (delay >= policy.max_timeout_ms) return policy.max_timeout_ms;
   }
   return std::min(delay, policy.max_timeout_ms);
+}
+
+}  // namespace
+
+void RttEstimator::Observe(double rtt_ms, const RetryPolicy& policy) {
+  rtt_ms = std::max(rtt_ms, 0.0);
+  if (!has_sample_) {
+    srtt_ = rtt_ms;
+    rttvar_ = rtt_ms / 2.0;
+    has_sample_ = true;
+    return;
+  }
+  rttvar_ = (1.0 - policy.rttvar_gain) * rttvar_ +
+            policy.rttvar_gain * std::abs(srtt_ - rtt_ms);
+  srtt_ = (1.0 - policy.rtt_gain) * srtt_ + policy.rtt_gain * rtt_ms;
+}
+
+double RttEstimator::TimeoutMs(const RetryPolicy& policy) const {
+  const double base =
+      has_sample_ ? srtt_ + policy.rttvar_mult * rttvar_ : policy.timeout_ms;
+  return std::max(base, policy.min_timeout_ms);
+}
+
+double RetryDelayMs(const RetryPolicy& policy, int attempt) {
+  return BackoffDelayMs(policy, policy.timeout_ms, attempt);
+}
+
+double AdaptiveRetryDelayMs(const RetryPolicy& policy, const RttEstimator& estimator,
+                            int attempt) {
+  const double delay = BackoffDelayMs(policy, estimator.TimeoutMs(policy), attempt);
+  return std::max(delay, policy.min_timeout_ms);
 }
 
 int MaxAttempts(const RetryPolicy& policy) {

@@ -7,6 +7,14 @@
 // physical transmissions — the message then counts as a dead letter. Every
 // retransmission costs real radio energy and real latency, which is exactly
 // the retry-traffic axis the fault benches sweep.
+//
+// The policy has two timeout modes. Static (the default) uses the fixed
+// `timeout_ms` base. Adaptive derives the base from a Jacobson-style
+// per-destination RTT estimate (srtt/rttvar EWMAs, RFC 6298 shape): under a
+// congested channel the observed RTT inflates with queue depth, and a static
+// timeout either fires spuriously (wasting energy on premature retransmits)
+// or waits far too long. The static mode is bit-identical to the pre-adaptive
+// behavior; adaptive is opt-in per NetOptions.
 
 #ifndef HYPERM_NET_RETRY_H_
 #define HYPERM_NET_RETRY_H_
@@ -20,11 +28,52 @@ struct RetryPolicy {
   double timeout_ms = 20.0;   ///< ack wait before the first retransmission
   double backoff = 2.0;       ///< timeout multiplier per further attempt (>= 1)
   double max_timeout_ms = 160.0;  ///< backoff cap
+
+  // Adaptive mode (off by default; the static path is bit-identical when
+  // off). The ack-timeout base becomes srtt + rttvar_mult * rttvar of the
+  // destination's observed RTTs, floored at min_timeout_ms; `timeout_ms`
+  // still seeds destinations with no samples yet.
+  bool adaptive = false;
+  double rtt_gain = 0.125;      ///< srtt EWMA gain (Jacobson alpha)
+  double rttvar_gain = 0.25;    ///< rttvar EWMA gain (Jacobson beta)
+  double rttvar_mult = 4.0;     ///< timeout = srtt + rttvar_mult * rttvar
+  double min_timeout_ms = 5.0;  ///< hard floor on the adaptive timeout
+};
+
+/// Jacobson/Karels RTT estimator for one destination: smoothed RTT plus a
+/// mean-deviation estimate, so jitter widens the timeout instead of causing
+/// spurious retransmissions.
+class RttEstimator {
+ public:
+  /// Folds one observed RTT sample into the estimate. First sample: srtt =
+  /// rtt, rttvar = rtt / 2 (RFC 6298 §2.2); later samples use the policy's
+  /// EWMA gains (§2.3).
+  void Observe(double rtt_ms, const RetryPolicy& policy);
+
+  /// Ack-timeout base derived from the estimate: srtt + rttvar_mult * rttvar,
+  /// never below min_timeout_ms. Falls back to the static timeout_ms (also
+  /// floored) before the first sample.
+  double TimeoutMs(const RetryPolicy& policy) const;
+
+  bool has_sample() const { return has_sample_; }
+  double srtt_ms() const { return srtt_; }
+  double rttvar_ms() const { return rttvar_; }
+
+ private:
+  bool has_sample_ = false;
+  double srtt_ = 0.0;
+  double rttvar_ = 0.0;
 };
 
 /// Ack-timeout (ms) charged for failed attempt number `attempt` (0-based):
 /// timeout_ms * backoff^attempt, capped at max_timeout_ms.
 double RetryDelayMs(const RetryPolicy& policy, int attempt);
+
+/// Adaptive variant: the estimator's timeout replaces the static base, then
+/// the same backoff/cap schedule applies. The min_timeout_ms floor holds for
+/// every attempt.
+double AdaptiveRetryDelayMs(const RetryPolicy& policy, const RttEstimator& estimator,
+                            int attempt);
 
 /// Physical transmissions the policy allows per message (>= 1).
 int MaxAttempts(const RetryPolicy& policy);

@@ -35,6 +35,22 @@ UnreliableTransport::UnreliableTransport(sim::Simulator* sim,
   HM_CHECK(sim != nullptr);
   HM_CHECK(stats != nullptr);
   HM_CHECK(state != nullptr);
+  if (retry_.adaptive) {
+    rtt_.resize(static_cast<size_t>(state->num_peers()));
+  }
+}
+
+const RttEstimator* UnreliableTransport::rtt_estimator(int peer) const {
+  if (peer < 0 || static_cast<size_t>(peer) >= rtt_.size()) return nullptr;
+  return &rtt_[static_cast<size_t>(peer)];
+}
+
+double UnreliableTransport::RetryWaitMs(int dst, int attempt) const {
+  if (!retry_.adaptive) return RetryDelayMs(retry_, attempt);
+  if (dst < 0 || static_cast<size_t>(dst) >= rtt_.size()) {
+    return AdaptiveRetryDelayMs(retry_, RttEstimator{}, attempt);
+  }
+  return AdaptiveRetryDelayMs(retry_, rtt_[static_cast<size_t>(dst)], attempt);
 }
 
 HopResult UnreliableTransport::SendHop(const Message& message) {
@@ -45,10 +61,24 @@ HopResult UnreliableTransport::SendHop(const Message& message) {
     // sequence depends only on (seed, issue order), never on timing.
     Rng draw(MixSeed(seed_, next_msg_id_++));
     // The radio transmits — energy and traffic are spent — before fate
-    // (crash, partition, loss) decides whether anything arrives.
-    stats_->RecordHop(message.cls, message.bytes);
-    ++counters_.messages_sent;
-    HM_OBS_COUNTER_ADD("net.messages", 1);
+    // (crash, partition, loss) decides whether anything arrives. With a
+    // physical channel the attempt is one queued transmission per radio hop
+    // of the current shortest path (the channel records the traffic); the
+    // free-channel model charges exactly one hop.
+    double air_ms = 0.0;
+    bool geo_reachable = true;
+    if (channel_ != nullptr) {
+      const ChannelTransmission tx = channel_->Transmit(message, sim_->now());
+      counters_.messages_sent += static_cast<uint64_t>(tx.radio_hops);
+      HM_OBS_COUNTER_ADD("net.messages", tx.radio_hops);
+      air_ms = tx.latency_ms;
+      geo_reachable = tx.reachable;
+    } else {
+      stats_->RecordHop(message.cls, message.bytes);
+      ++counters_.messages_sent;
+      HM_OBS_COUNTER_ADD("net.messages", 1);
+      air_ms = link_.HopMs(message.bytes);
+    }
     if (attempt > 0) {
       ++counters_.retries;
       HM_OBS_COUNTER_ADD("net.retries", 1);
@@ -63,6 +93,10 @@ HopResult UnreliableTransport::SendHop(const Message& message) {
       ++counters_.dropped_partition;
       HM_OBS_COUNTER_ADD("net.dropped_partition", 1);
       lost = true;
+    } else if (!geo_reachable) {
+      ++counters_.dropped_unreachable;
+      HM_OBS_COUNTER_ADD("net.dropped_unreachable", 1);
+      lost = true;
     } else if (draw.Bernoulli(plan_.loss_rate)) {
       ++counters_.dropped_loss;
       HM_OBS_COUNTER_ADD("net.dropped_loss", 1);
@@ -70,15 +104,26 @@ HopResult UnreliableTransport::SendHop(const Message& message) {
     }
 
     if (!lost) {
-      double hop_ms = link_.HopMs(message.bytes);
+      double hop_ms = air_ms;
       if (plan_.jitter_ms > 0.0) hop_ms += draw.Uniform(0.0, plan_.jitter_ms);
+      if (retry_.adaptive && message.dst >= 0 &&
+          static_cast<size_t>(message.dst) < rtt_.size()) {
+        // The delivered exchange is the RTT sample — jitter included, so the
+        // timeout widens with the variance it actually observes.
+        rtt_[static_cast<size_t>(message.dst)].Observe(hop_ms, retry_);
+      }
       result.delivered = true;
       result.latency_ms += hop_ms;
       if (draw.Bernoulli(plan_.duplicate_rate)) {
         // A spurious second copy reaches the receiver: the duplicate burnt
         // air time and energy but carries no new information.
-        stats_->RecordHop(message.cls, message.bytes);
-        ++counters_.messages_sent;
+        if (channel_ != nullptr) {
+          const ChannelTransmission dup = channel_->Transmit(message, sim_->now());
+          counters_.messages_sent += static_cast<uint64_t>(dup.radio_hops);
+        } else {
+          stats_->RecordHop(message.cls, message.bytes);
+          ++counters_.messages_sent;
+        }
         ++counters_.duplicates;
         HM_OBS_COUNTER_ADD("net.duplicates", 1);
       }
@@ -86,7 +131,7 @@ HopResult UnreliableTransport::SendHop(const Message& message) {
     }
     // The sender learns of the failure only by ack timeout; the wait is real
     // latency whether or not another attempt follows.
-    result.latency_ms += RetryDelayMs(retry_, attempt);
+    result.latency_ms += RetryWaitMs(message.dst, attempt);
   }
   ++counters_.dead_letters;
   HM_OBS_COUNTER_ADD("net.dead_letters", 1);

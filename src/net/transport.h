@@ -27,6 +27,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <vector>
 
 #include "net/fault_plan.h"
 #include "net/retry.h"
@@ -71,7 +72,37 @@ struct TransportCounters {
   uint64_t duplicates = 0;      ///< spurious second deliveries
   uint64_t dropped_loss = 0;    ///< transmissions lost to the loss_rate draw
   uint64_t dropped_down = 0;    ///< transmissions to/from a crashed peer
-  uint64_t dropped_partition = 0;  ///< transmissions across a partition
+  uint64_t dropped_partition = 0;  ///< transmissions across a scripted partition
+  uint64_t dropped_unreachable = 0;  ///< no physical radio path (geometry-derived
+                                     ///< partition; PhysicalChannel runs only)
+};
+
+/// One physical transmission attempt as costed by a PhysicalChannel.
+struct ChannelTransmission {
+  double latency_ms = 0.0;  ///< queue waits + serialisation along the path
+  int radio_hops = 0;       ///< physical radio transmissions charged to stats
+  bool reachable = true;    ///< false: no radio path existed; only the local
+                            ///< transmission was charged
+};
+
+/// The physical radio substrate beneath an UnreliableTransport. When
+/// installed (set_channel), it replaces the free-channel LinkModel latency:
+/// each overlay-hop attempt becomes one queued transmission per radio hop of
+/// the current shortest physical path, and peers in different radio islands
+/// are unreachable — partitions *emerge* from geometry instead of FaultPlan
+/// literals. Implementations record per-radio-hop traffic into NetworkStats
+/// themselves and must be deterministic given their seed.
+class PhysicalChannel {
+ public:
+  virtual ~PhysicalChannel() = default;
+
+  /// True iff a physical radio path currently exists between the two peers.
+  virtual bool Reachable(int src, int dst) const = 0;
+
+  /// Performs (and charges) one physical transmission attempt of `message`
+  /// starting at simulated time `now`. Unreachable destinations still cost
+  /// one local transmission — the radio cannot know the path is gone.
+  virtual ChannelTransmission Transmit(const Message& message, sim::TimeMs now) = 0;
 };
 
 /// Abstract message transport. See file comment for the two implementations.
@@ -154,16 +185,33 @@ class UnreliableTransport : public Transport {
   sim::TimeMs now() const override { return sim_->now(); }
   TransportCounters counters() const override { return counters_; }
 
+  /// Installs the physical radio substrate (not owned; must outlive the
+  /// transport; nullptr restores the free-channel LinkModel). With a channel,
+  /// per-attempt latency and traffic come from queued multi-hop radio paths
+  /// and geometry decides reachability; without one, behavior is bit-identical
+  /// to the pre-channel transport.
+  void set_channel(PhysicalChannel* channel) { channel_ = channel; }
+
+  /// Read access to one destination's RTT estimator (adaptive mode only;
+  /// nullptr otherwise or for out-of-range peers). For tests and benches.
+  const RttEstimator* rtt_estimator(int peer) const;
+
  private:
+  /// Ack-timeout wait charged for failed attempt `attempt` toward `dst` —
+  /// static schedule, or the destination's Jacobson estimate when adaptive.
+  double RetryWaitMs(int dst, int attempt) const;
+
   sim::Simulator* sim_;       // not owned
   sim::NetworkStats* stats_;  // not owned
   FaultState* state_;         // not owned
+  PhysicalChannel* channel_ = nullptr;  // not owned; optional
   FaultPlan plan_;
   RetryPolicy retry_;
   sim::LinkModel link_;
   uint64_t seed_;
   uint64_t next_msg_id_ = 0;
   TransportCounters counters_;
+  std::vector<RttEstimator> rtt_;  // per destination; adaptive mode only
 };
 
 }  // namespace hyperm::net

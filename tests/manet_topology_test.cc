@@ -142,6 +142,78 @@ TEST(ManetTopologyTest, MobilityKeepsPositionsInBoundsOverTime) {
   }
 }
 
+// Two tight clusters far outside radio range of each other: a deterministic
+// disconnected layout (impossible via Generate, which demands connectivity).
+Result<ManetTopology> TwoIslands() {
+  TopologyOptions options;
+  options.field_size_m = 1000.0;
+  options.radio_range_m = 50.0;
+  return ManetTopology::FromPositions(
+      options, {{10.0, 10.0}, {40.0, 10.0}, {70.0, 10.0},     // island A: 0-1-2
+                {910.0, 910.0}, {940.0, 910.0}});             // island B: 3-4
+}
+
+TEST(ManetTopologyTest, FromPositionsValidatesInput) {
+  TopologyOptions options;
+  options.field_size_m = 100.0;
+  options.radio_range_m = 30.0;
+  EXPECT_FALSE(ManetTopology::FromPositions(options, {}).ok());
+  EXPECT_FALSE(ManetTopology::FromPositions(options, {{1.0, 2.0, 3.0}}).ok());
+  EXPECT_FALSE(ManetTopology::FromPositions(options, {{50.0, 150.0}}).ok());
+  EXPECT_FALSE(ManetTopology::FromPositions(options, {{-1.0, 50.0}}).ok());
+  Result<ManetTopology> ok = ManetTopology::FromPositions(options, {{50.0, 50.0}});
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->num_nodes(), 1);
+}
+
+// Satellite regression: PathHops on a split graph used to Fatal; it must now
+// report the kUnreachableHops sentinel and leave every aggregate finite.
+TEST(ManetTopologyTest, PathHopsReportsUnreachableAcrossIslands) {
+  Result<ManetTopology> t = TwoIslands();
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_FALSE(t->connected());
+  EXPECT_EQ(t->PathHops(0, 2), 2);                  // within island A
+  EXPECT_EQ(t->PathHops(3, 4), 1);                  // within island B
+  EXPECT_EQ(t->PathHops(0, 3), kUnreachableHops);   // across islands
+  EXPECT_EQ(t->PathHops(4, 2), kUnreachableHops);
+  EXPECT_TRUE(t->ShortestPath(0, 4).empty());
+  // Mean pairwise hops averages reachable pairs only: A contributes
+  // (1+1+2)*2 hops over 6 ordered pairs, B contributes 2 over 2.
+  EXPECT_DOUBLE_EQ(t->MeanPairwiseHops(), 10.0 / 8.0);
+}
+
+TEST(ManetTopologyTest, ShortestPathEndpointsHopsAndAdjacency) {
+  Rng rng(12);
+  Result<ManetTopology> t = ManetTopology::Generate(DenseOptions(), rng);
+  ASSERT_TRUE(t.ok());
+  for (int to = 1; to < 12; ++to) {
+    const std::vector<int> path = t->ShortestPath(0, to);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), 0);
+    EXPECT_EQ(path.back(), to);
+    EXPECT_EQ(static_cast<int>(path.size()), t->PathHops(0, to) + 1);
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      const auto& nbrs = t->neighbors(path[i]);
+      EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), path[i + 1]), nbrs.end());
+    }
+  }
+  EXPECT_EQ(t->ShortestPath(5, 5), std::vector<int>{5});
+}
+
+TEST(ManetTopologyTest, MobilityCanSplitAndStillReportsFinitely) {
+  Result<ManetTopology> t = TwoIslands();
+  ASSERT_TRUE(t.ok());
+  // Mobility over a split graph keeps working: nodes drift toward fresh
+  // waypoints and every metric stays finite whether or not the graph heals.
+  Rng rng(13);
+  for (int step = 0; step < 50; ++step) {
+    t->RandomWaypointStep(25.0, rng);
+    const double mean = t->MeanPairwiseHops();
+    EXPECT_GE(mean, 0.0);
+    EXPECT_LT(mean, 1000.0);
+  }
+}
+
 TEST(ManetTopologyTest, DeterministicGivenSeed) {
   Result<ManetTopology> a = [&] {
     Rng rng(11);

@@ -41,6 +41,46 @@ TEST(FaultPlanTest, ValidatesProbabilitiesAndSchedules) {
   EXPECT_TRUE(plan.Validate(4).ok());
 }
 
+// Satellite edge cases: schedules that are legal but easy to mis-handle.
+TEST(FaultPlanTest, AcceptsOverlappingPartitionWindows) {
+  FaultPlan plan;
+  plan.partitions.push_back(Partition{100.0, 300.0, {0, 1}});
+  plan.partitions.push_back(Partition{200.0, 400.0, {2}});  // overlaps in time
+  ASSERT_TRUE(plan.Validate(4).ok());
+  FaultState state(4, plan);
+  // In the overlap both windows apply simultaneously: 0-2 crosses the second
+  // split, 0-1 sit together in the first group, and 1-3 crosses the first.
+  EXPECT_FALSE(state.Connected(0, 2, 250.0));
+  EXPECT_TRUE(state.Connected(0, 1, 250.0));
+  EXPECT_FALSE(state.Connected(1, 3, 250.0));
+  // After the first window closes only the second still blocks.
+  EXPECT_TRUE(state.Connected(1, 3, 350.0));
+  EXPECT_FALSE(state.Connected(2, 3, 350.0));
+}
+
+TEST(FaultPlanTest, AcceptsOutOfOrderAndDuplicatePeerEvents) {
+  FaultPlan plan;
+  // Events need not be sorted by time, and the same peer may transition
+  // repeatedly — even twice at the same instant (last write wins when the
+  // simulator applies them in scheduling order).
+  plan.peer_events.push_back(PeerEvent{300.0, 1, true});
+  plan.peer_events.push_back(PeerEvent{100.0, 1, false});
+  plan.peer_events.push_back(PeerEvent{100.0, 1, false});
+  EXPECT_TRUE(plan.Validate(4).ok());
+  plan.peer_events.push_back(PeerEvent{-1.0, 1, false});
+  EXPECT_FALSE(plan.Validate(4).ok());  // negative times stay rejected
+}
+
+TEST(FaultPlanTest, ZeroLengthPartitionWindowNeverBlocks) {
+  FaultPlan plan;
+  plan.partitions.push_back(Partition{100.0, 100.0, {0}});  // empty [100,100)
+  ASSERT_TRUE(plan.Validate(4).ok());
+  FaultState state(4, plan);
+  EXPECT_TRUE(state.Connected(0, 1, 99.0));
+  EXPECT_TRUE(state.Connected(0, 1, 100.0));  // half-open: instant window is empty
+  EXPECT_TRUE(state.Connected(0, 1, 101.0));
+}
+
 TEST(FaultStateTest, TracksAvailabilityAndPartitions) {
   FaultPlan plan;
   plan.partitions.push_back(Partition{100.0, 200.0, {0, 1}});
@@ -241,6 +281,115 @@ TEST(UnreliableTransportTest, FailedAttemptsChargeEnergyAndLatency) {
   // ...and the sender waited out every ack timeout: 20+40+80+160.
   EXPECT_DOUBLE_EQ(r.latency_ms, 300.0);
   EXPECT_EQ(transport.counters().dead_letters, 1u);
+}
+
+// --- Adaptive ARQ (Jacobson RTT estimation) --------------------------------
+
+TEST(RttEstimatorTest, ConvergesOnFixedSyntheticTrace) {
+  RetryPolicy policy;
+  policy.adaptive = true;
+  RttEstimator est;
+  EXPECT_FALSE(est.has_sample());
+  // Before any sample the static timeout seeds the estimate.
+  EXPECT_DOUBLE_EQ(est.TimeoutMs(policy), policy.timeout_ms);
+
+  est.Observe(80.0, policy);  // first sample: srtt = rtt, rttvar = rtt/2
+  EXPECT_TRUE(est.has_sample());
+  EXPECT_DOUBLE_EQ(est.srtt_ms(), 80.0);
+  EXPECT_DOUBLE_EQ(est.rttvar_ms(), 40.0);
+  EXPECT_DOUBLE_EQ(est.TimeoutMs(policy), 80.0 + 4.0 * 40.0);
+
+  // A constant 10 ms trace pulls srtt to 10 and rttvar toward zero, so the
+  // timeout converges to ~srtt instead of staying at the inflated start.
+  for (int i = 0; i < 200; ++i) est.Observe(10.0, policy);
+  EXPECT_NEAR(est.srtt_ms(), 10.0, 0.01);
+  EXPECT_NEAR(est.rttvar_ms(), 0.0, 0.01);
+  EXPECT_LT(est.TimeoutMs(policy), 11.0);
+  EXPECT_GE(est.TimeoutMs(policy), policy.min_timeout_ms);
+}
+
+TEST(RttEstimatorTest, TimeoutNeverBelowConfiguredFloor) {
+  RetryPolicy policy;
+  policy.adaptive = true;
+  policy.min_timeout_ms = 7.5;
+  RttEstimator est;
+  for (int i = 0; i < 50; ++i) est.Observe(0.25, policy);  // near-zero RTTs
+  EXPECT_GE(est.TimeoutMs(policy), 7.5);
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    EXPECT_GE(AdaptiveRetryDelayMs(policy, est, attempt), 7.5);
+  }
+  // The backoff/cap schedule still applies above the floor.
+  RttEstimator wide;
+  wide.Observe(30.0, policy);  // timeout base 30 + 4*15 = 90
+  EXPECT_DOUBLE_EQ(AdaptiveRetryDelayMs(policy, wide, 0), 90.0);
+  EXPECT_DOUBLE_EQ(AdaptiveRetryDelayMs(policy, wide, 1), policy.max_timeout_ms);
+}
+
+TEST(UnreliableTransportTest, StaticPolicyBitIdenticalWhenAdaptiveFieldsSet) {
+  // With adaptive == false the new knobs must be completely inert: a run
+  // with exotic adaptive parameters matches the default-policy run exactly.
+  const NetOptions plain = LossyOptions(0.25);
+  NetOptions tweaked = plain;
+  tweaked.retry.adaptive = false;
+  tweaked.retry.rtt_gain = 0.9;
+  tweaked.retry.rttvar_gain = 0.9;
+  tweaked.retry.rttvar_mult = 17.0;
+  tweaked.retry.min_timeout_ms = 123.0;
+  const SendOutcome a = SendMany(plain, 600);
+  const SendOutcome b = SendMany(tweaked, 600);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.total_latency, b.total_latency);
+  EXPECT_EQ(a.counters.messages_sent, b.counters.messages_sent);
+  EXPECT_EQ(a.counters.retries, b.counters.retries);
+  EXPECT_EQ(a.counters.dead_letters, b.counters.dead_letters);
+}
+
+TEST(UnreliableTransportTest, AdaptiveModeTrainsPerDestinationEstimators) {
+  NetOptions options;
+  options.unreliable = true;
+  options.retry.adaptive = true;
+  sim::Simulator sim;
+  sim::NetworkStats stats;
+  FaultState state(4, options.faults);
+  UnreliableTransport transport(&sim, &stats, &state, options);
+  // Loss-free deliveries: every exchange feeds its destination's estimator.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(
+        transport
+            .SendHop({MessageType::kRoute, 0, 1, 64, sim::TrafficClass::kQuery})
+            .delivered);
+  }
+  const RttEstimator* trained = transport.rtt_estimator(1);
+  ASSERT_NE(trained, nullptr);
+  EXPECT_TRUE(trained->has_sample());
+  // Jitter-free link: every sample equals HopMs(64), so srtt locks onto it.
+  EXPECT_DOUBLE_EQ(trained->srtt_ms(), options.link.HopMs(64.0));
+  const RttEstimator* untouched = transport.rtt_estimator(2);
+  ASSERT_NE(untouched, nullptr);
+  EXPECT_FALSE(untouched->has_sample());
+  EXPECT_EQ(transport.rtt_estimator(99), nullptr);
+}
+
+TEST(UnreliableTransportTest, AdaptiveTimeoutsDriveFailedAttemptLatency) {
+  NetOptions options;
+  options.unreliable = true;
+  options.faults.loss_rate = 1.0;  // nothing arrives: all waits are timeouts
+  options.retry.adaptive = true;
+  sim::Simulator sim;
+  sim::NetworkStats stats;
+  FaultState state(2, options.faults);
+  UnreliableTransport transport(&sim, &stats, &state, options);
+  const HopResult r = transport.SendHop(
+      {MessageType::kInsert, 0, 1, 256, sim::TrafficClass::kInsert});
+  EXPECT_FALSE(r.delivered);
+  // No samples could be observed, so the waits follow the untrained
+  // schedule — computable exactly from the public delay function.
+  double expected = 0.0;
+  const RttEstimator untrained;
+  for (int attempt = 0; attempt < MaxAttempts(options.retry); ++attempt) {
+    expected += AdaptiveRetryDelayMs(options.retry, untrained, attempt);
+  }
+  EXPECT_DOUBLE_EQ(r.latency_ms, expected);
 }
 
 }  // namespace

@@ -42,7 +42,8 @@ struct RunCapture {
   std::vector<std::string> span_names;  // sorted multiset of span names
 };
 
-RunCapture RunWorkload(int num_threads, bool explicit_net_options = false) {
+RunCapture RunWorkload(int num_threads, bool explicit_net_options = false,
+                       bool radio_channel = false) {
   obs::MetricsRegistry::Global().Reset();
   obs::Tracer::Global().Reset();
 
@@ -71,6 +72,23 @@ RunCapture RunWorkload(int num_threads, bool explicit_net_options = false) {
     options.net.unreliable = false;
     options.net.summary_ttl_ms = 500.0;
     options.net.republish_period_ms = 250.0;
+  }
+  if (radio_channel) {
+    // The full stack under the transport: mobile radio field, transmit
+    // queues, adaptive ARQ. Per-message RNG streams are consumed in issue
+    // order and queue state advances with the (single-threaded) simulator,
+    // so every observable must stay bit-identical at any thread count.
+    options.net = net::NetOptions{};
+    options.net.unreliable = true;
+    options.net.retry.adaptive = true;
+    options.net.faults.loss_rate = 0.05;
+    options.net.faults.jitter_ms = 2.0;
+    options.net.republish_period_ms = 250.0;
+    options.channel.enabled = true;
+    options.channel.field.field_size_m = 150.0;
+    options.channel.field.radio_range_m = 70.0;
+    options.channel.speed_m_per_s = 10.0;
+    options.channel.tick_ms = 50.0;
   }
   Result<std::unique_ptr<HyperMNetwork>> net =
       HyperMNetwork::Build(dataset.value(), assignment.value(), options, rng);
@@ -229,6 +247,17 @@ TEST(NetworkParallelTest, ExplicitReliableTransportIsBitIdentical) {
   ExpectRunsIdentical(implicit_seq, explicit_par);
   // The reliable path never reports faults.
   EXPECT_EQ(explicit_seq.range_info.layers_lost, 0);
+}
+
+TEST(NetworkParallelTest, RadioChannelRunsBitIdenticalAcrossThreadCounts) {
+  const RunCapture sequential =
+      RunWorkload(1, /*explicit_net_options=*/false, /*radio_channel=*/true);
+  EXPECT_FALSE(sequential.scores.empty());
+  EXPECT_FALSE(sequential.range_items.empty());
+  EXPECT_GT(sequential.transport_messages, 0u);
+  const RunCapture eight_threads =
+      RunWorkload(8, /*explicit_net_options=*/false, /*radio_channel=*/true);
+  ExpectRunsIdentical(sequential, eight_threads);
 }
 
 }  // namespace
