@@ -1,0 +1,259 @@
+// Partition-tolerance sweep: range-query recall under geometry-driven radio
+// partitions, legacy layer-dropping query path vs the partition-tolerant
+// planner (CAN detour routing + heal-time re-issue), across mobility speeds
+// (partition density) and heal windows. Fully seeded; the JSON report is
+// diffed against bench/baselines/BENCH_partition.json in CI.
+//
+// Method: for each speed, a query-free probe deployment walks the mobility
+// clock and records the first few split onsets. Mobility draws from its own
+// per-tick RNG stream, so every deployment at that speed — probe, legacy,
+// planner — sees the byte-identical split schedule, and the recorded times
+// are split moments in all of them. Each (speed, heal-window) cell then
+// replays the same query batches at those times and scores recall against a
+// flat-scan oracle.
+//
+// The binary fails hard unless (a) every probe found its splits (the field
+// really partitions) and (b) aggregate planner recall strictly exceeds the
+// legacy path's — the repo's executable form of the planner's acceptance
+// criterion.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/markov_generator.h"
+#include "data/peer_assignment.h"
+#include "hyperm/eval.h"
+#include "hyperm/flat_index.h"
+#include "hyperm/network.h"
+#include "obs/metrics.h"
+
+using namespace hyperm;
+
+namespace {
+
+constexpr double kEpsilon = 0.8;
+constexpr int kBatches = 4;           // split moments sampled per speed
+constexpr int kQueriesPerBatch = 8;
+constexpr double kMinBatchGapMs = 10000.0;  // keep heal waits from colliding
+
+struct PartitionBed {
+  data::Dataset dataset;
+  data::PeerAssignment assignment;
+  std::unique_ptr<core::HyperMNetwork> network;
+};
+
+std::unique_ptr<PartitionBed> BuildBed(bool paper, double speed_m_per_s,
+                                       const core::QueryPlanOptions& plan) {
+  Rng rng(4242);
+  data::MarkovOptions data_options;
+  data_options.count = paper ? 2000 : 400;
+  data_options.dim = paper ? 128 : 32;
+  data_options.num_families = 8;
+  Result<data::Dataset> dataset = data::GenerateMarkov(data_options, rng);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", dataset.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto bed = std::make_unique<PartitionBed>();
+  bed->dataset = std::move(dataset).value();
+  data::AssignmentOptions assign_options;
+  assign_options.num_peers = paper ? 50 : 16;
+  assign_options.num_interest_classes = 8;
+  assign_options.min_peers_per_class = 4;
+  assign_options.max_peers_per_class = paper ? 12 : 6;
+  Result<data::PeerAssignment> assignment =
+      data::AssignByInterest(bed->dataset, assign_options, rng);
+  if (!assignment.ok()) {
+    std::fprintf(stderr, "assignment: %s\n", assignment.status().ToString().c_str());
+    std::exit(1);
+  }
+  bed->assignment = std::move(assignment).value();
+  core::HyperMOptions options;
+  options.net.unreliable = true;
+  options.net.retry.adaptive = true;
+  options.net.summary_ttl_ms = 1500.0;
+  options.net.republish_period_ms = 400.0;
+  options.channel.enabled = true;
+  // Sparse enough that mobility splits the field; scaled with the peer count
+  // so the paper bed keeps roughly the per-peer area of the default one.
+  options.channel.field.field_size_m = paper ? 460.0 : 260.0;
+  options.channel.field.radio_range_m = 60.0;
+  options.channel.field.max_placement_attempts = 5000;
+  options.channel.tick_ms = 100.0;
+  options.channel.speed_m_per_s = speed_m_per_s;
+  options.plan = plan;
+  Result<std::unique_ptr<core::HyperMNetwork>> network =
+      core::HyperMNetwork::Build(bed->dataset, bed->assignment, options, rng);
+  if (!network.ok()) {
+    std::fprintf(stderr, "network: %s\n", network.status().ToString().c_str());
+    std::exit(1);
+  }
+  bed->network = std::move(network).value();
+  return bed;
+}
+
+/// Walks a query-free deployment's clock and returns the first kBatches
+/// split onsets at least kMinBatchGapMs apart (empty on a field that never
+/// splits within the walk budget).
+std::vector<double> ProbeSplitTimes(bool paper, double speed_m_per_s) {
+  auto probe = BuildBed(paper, speed_m_per_s, core::QueryPlanOptions{});
+  const channel::RadioChannel* radio = probe->network->radio_channel();
+  const double tick = radio->tick_ms();
+  std::vector<double> times;
+  double t = radio->DrainedAtMs() + 1.0;
+  probe->network->AdvanceTo(t);
+  constexpr int kMaxTicks = 6000;
+  for (int step = 0; step < kMaxTicks && static_cast<int>(times.size()) < kBatches;
+       ++step) {
+    t += tick;
+    probe->network->AdvanceTo(t);
+    if (radio->connected()) continue;
+    if (!times.empty() && t - times.back() < kMinBatchGapMs) continue;
+    times.push_back(t);
+  }
+  return times;
+}
+
+struct CellResult {
+  double mean_recall = 0.0;
+  double mean_latency_ms = 0.0;
+};
+
+/// Replays the recorded query batches on a fresh deployment and scores them.
+CellResult RunCell(bool paper, double speed_m_per_s,
+                   const core::QueryPlanOptions& plan,
+                   const std::vector<double>& batch_times,
+                   const core::FlatIndex& oracle) {
+  auto bed = BuildBed(paper, speed_m_per_s, plan);
+  const size_t n = bed->dataset.size();
+  const int num_peers = bed->network->num_peers();
+  std::vector<core::PrecisionRecall> results;
+  double latency_sum = 0.0;
+  int query_count = 0;
+  for (size_t b = 0; b < batch_times.size(); ++b) {
+    // Heal waits from the previous batch may already have advanced the clock
+    // past this batch's split; never rewind the simulator.
+    bed->network->AdvanceTo(std::max(batch_times[b], bed->network->now()));
+    for (int q = 0; q < kQueriesPerBatch; ++q) {
+      const int i = static_cast<int>(b) * kQueriesPerBatch + q;
+      const Vector& center = bed->dataset.items[(static_cast<size_t>(i) * 17) % n];
+      core::RangeQueryInfo info;
+      Result<std::vector<core::ItemId>> r = bed->network->RangeQuery(
+          center, kEpsilon, /*querying_peer=*/i % num_peers,
+          /*max_peers_contacted=*/-1, &info);
+      if (!r.ok()) {
+        std::fprintf(stderr, "query: %s\n", r.status().ToString().c_str());
+        std::exit(1);
+      }
+      results.push_back(core::Evaluate(*r, oracle.RangeSearch(center, kEpsilon)));
+      latency_sum += info.latency_ms;
+      ++query_count;
+    }
+  }
+  CellResult cell;
+  cell.mean_recall = core::Summarize(results).mean_recall;
+  cell.mean_latency_ms = latency_sum / query_count;
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool paper = bench::PaperScale(argc, argv);
+  bench::PrintHeader("Partition", "split-time recall: legacy path vs planner sweep",
+                     paper);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+
+  const std::vector<double> speeds = {15.0, 25.0};
+  const std::vector<double> heal_windows_ms = {0.0, 300.0, 900.0};
+
+  std::printf("%-12s", "speed (m/s)");
+  for (double heal : heal_windows_ms) {
+    char head[32];
+    if (heal == 0.0) {
+      std::snprintf(head, sizeof(head), "legacy");
+    } else {
+      std::snprintf(head, sizeof(head), "heal %.0fms", heal);
+    }
+    std::printf(" %14s", head);
+  }
+  std::printf("\n");
+
+  double legacy_recall_sum = 0.0;
+  double planner_recall_sum = 0.0;
+  double legacy_latency_sum = 0.0;
+  double planner_latency_sum = 0.0;
+  int total_batches = 0;
+  for (double speed : speeds) {
+    const std::vector<double> batch_times = ProbeSplitTimes(paper, speed);
+    if (static_cast<int>(batch_times.size()) < kBatches) {
+      std::fprintf(stderr,
+                   "FAIL: %zu/%d splits at %.0f m/s; the field is not "
+                   "partitioning\n",
+                   batch_times.size(), kBatches, speed);
+      return 1;
+    }
+    total_batches += static_cast<int>(batch_times.size());
+
+    // The oracle only needs the dataset, identical across beds by seeding.
+    auto oracle_bed = BuildBed(paper, speed, core::QueryPlanOptions{});
+    const core::FlatIndex oracle(oracle_bed->dataset);
+
+    std::printf("%-12.0f", speed);
+    for (double heal : heal_windows_ms) {
+      core::QueryPlanOptions plan;
+      if (heal > 0.0) {
+        plan.route_detours = 4;
+        plan.reissue_budget = 3;
+        plan.heal_window_ms = heal;
+      }
+      const CellResult cell =
+          RunCell(paper, speed, plan, batch_times, oracle);
+      std::printf(" %14.3f", cell.mean_recall);
+      char key[64];
+      std::snprintf(key, sizeof(key), "benchp.v%.0f_h%.0f_recall", speed, heal);
+      reg.GetGauge(key).Set(cell.mean_recall);
+      if (heal == 0.0) {
+        legacy_recall_sum += cell.mean_recall;
+        legacy_latency_sum += cell.mean_latency_ms;
+      } else if (heal == heal_windows_ms.back()) {
+        planner_recall_sum += cell.mean_recall;
+        planner_latency_sum += cell.mean_latency_ms;
+      }
+    }
+    std::printf("\n");
+  }
+
+  const double num_speeds = static_cast<double>(speeds.size());
+  const double legacy_recall = legacy_recall_sum / num_speeds;
+  const double planner_recall = planner_recall_sum / num_speeds;
+  std::printf("\nsplit batches sampled: %d (x%d queries each)\n", total_batches,
+              kQueriesPerBatch);
+  std::printf("aggregate split-time recall: legacy %.3f, planner %.3f\n",
+              legacy_recall, planner_recall);
+  std::printf("mean latency: legacy %.1f ms, planner %.1f ms (heal waits bill "
+              "to the query)\n",
+              legacy_latency_sum / num_speeds, planner_latency_sum / num_speeds);
+
+  reg.GetGauge("benchp.legacy_recall").Set(legacy_recall);
+  reg.GetGauge("benchp.planner_recall").Set(planner_recall);
+  reg.GetGauge("benchp.legacy_latency_ms").Set(legacy_latency_sum / num_speeds);
+  reg.GetGauge("benchp.planner_latency_ms").Set(planner_latency_sum / num_speeds);
+  reg.GetGauge("benchp.split_batches").Set(static_cast<double>(total_batches));
+
+  if (planner_recall <= legacy_recall) {
+    std::fprintf(stderr,
+                 "FAIL: planner recall %.3f not above the legacy path's %.3f "
+                 "under active partitions\n",
+                 planner_recall, legacy_recall);
+    return 1;
+  }
+  std::printf("planner strictly above legacy under partitions: yes\n");
+
+  bench::WriteBenchReport(argc, argv, "bench_partition");
+  return 0;
+}

@@ -200,7 +200,7 @@ net::HopResult CanOverlay::SendMessage(net::MessageType type, NodeId src,
 
 Result<RouteResult> CanOverlay::Route(const Vector& key, NodeId origin,
                                       sim::TrafficClass cls, uint64_t message_bytes,
-                                      net::MessageType type) {
+                                      net::MessageType type, int max_detours) {
   if (origin < 0 || origin >= num_nodes() ||
       !nodes_[static_cast<size_t>(origin)].active) {
     return InvalidArgumentError("Route: bad origin node");
@@ -213,8 +213,20 @@ Result<RouteResult> CanOverlay::Route(const Vector& key, NodeId origin,
   // greedy could oscillate between them; two safeguards prevent that:
   // deliver directly when a neighbour owns the target (half-open test), and
   // prefer zones this message has not traversed yet.
+  //
+  // With a detour budget, neighbours whose forward failed (or that the
+  // transport knows are unreachable) go into `dead` and the next-closest one
+  // is tried; a zone whose viable neighbours are exhausted is itself marked
+  // dead and the walk backs out along `stack` — bounded depth-first search
+  // ordered by greedy preference, degenerating to the classic single-path
+  // walk at budget 0.
   std::unordered_set<NodeId> visited;
+  std::unordered_set<NodeId> dead;
+  std::vector<NodeId> stack;
   visited.insert(current);
+  stack.push_back(current);
+  result.trail.push_back(current);
+  int detours_left = max_detours;
   const int ttl = 4 * num_nodes() + 16;
   while (!nodes_[static_cast<size_t>(current)].zone.ContainsHalfOpen(target)) {
     if (result.hops > ttl) return InternalError("Route: TTL exceeded (topology bug)");
@@ -222,6 +234,7 @@ Result<RouteResult> CanOverlay::Route(const Vector& key, NodeId origin,
     double best_sq = std::numeric_limits<double>::max();
     bool best_visited = true;
     for (NodeId n : nodes_[static_cast<size_t>(current)].neighbors) {
+      if (dead.contains(n)) continue;
       if (nodes_[static_cast<size_t>(n)].zone.ContainsHalfOpen(target)) {
         best = n;
         best_visited = false;
@@ -236,21 +249,79 @@ Result<RouteResult> CanOverlay::Route(const Vector& key, NodeId origin,
         best_visited = seen;
       }
     }
-    HM_CHECK_NE(best, overlay::kInvalidNode);
+    if (best == overlay::kInvalidNode) {
+      // Every neighbour of this zone is dead — a pocket the greedy walk can
+      // only leave the way it came (possible only once detours emptied the
+      // candidate list; a consistent topology always has neighbours).
+      if (detours_left <= 0 || stack.size() < 2) {
+        result.delivered = false;
+        if (result.outcome == net::DeliveryOutcome::kDelivered) {
+          result.outcome = net::DeliveryOutcome::kLostUnreachable;
+        }
+        return result;
+      }
+      dead.insert(current);
+      stack.pop_back();
+      current = stack.back();
+      result.trail.push_back(current);
+      --detours_left;
+      ++result.detours;
+      continue;
+    }
+    if (max_detours > 0 && best_visited) {
+      // Every live candidate has already been traversed: greedy is cycling
+      // inside a pocket (e.g. two island-mates whose other neighbours are all
+      // dead would bounce between each other until the TTL). Back out
+      // DFS-style instead of re-walking old ground; budget 0 keeps the
+      // classic revisit-tolerant walk.
+      if (detours_left <= 0 || stack.size() < 2) {
+        result.delivered = false;
+        if (result.outcome == net::DeliveryOutcome::kDelivered) {
+          result.outcome = net::DeliveryOutcome::kLostUnreachable;
+        }
+        return result;
+      }
+      dead.insert(current);
+      stack.pop_back();
+      current = stack.back();
+      result.trail.push_back(current);
+      --detours_left;
+      ++result.detours;
+      continue;
+    }
+    if (detours_left > 0 && transport_ != nullptr &&
+        !transport_->ReachableHint(current, best)) {
+      // The transport already knows this forward cannot arrive (crashed peer,
+      // partition window, different radio island): spend budget, not airtime.
+      dead.insert(best);
+      result.outcome = net::DeliveryOutcome::kLostUnreachable;
+      --detours_left;
+      ++result.detours;
+      continue;
+    }
     const net::HopResult hop = SendMessage(type, current, best, message_bytes, cls);
     result.latency_ms += hop.latency_ms;
+    ++result.hops;
     if (!hop.delivered) {
-      // Retries exhausted mid-route: the message dies here. The walk is not
-      // an error — the caller decides what an undelivered route means.
-      result.delivered = false;
-      ++result.hops;
-      return result;
+      result.outcome = hop.outcome;
+      if (detours_left <= 0) {
+        // Retries exhausted mid-route: the message dies here. The walk is not
+        // an error — the caller decides what an undelivered route means.
+        result.delivered = false;
+        return result;
+      }
+      dead.insert(best);
+      --detours_left;
+      ++result.detours;
+      continue;
     }
     current = best;
     visited.insert(current);
-    ++result.hops;
+    stack.push_back(current);
+    result.trail.push_back(current);
   }
   result.destination = current;
+  result.outcome = net::DeliveryOutcome::kDelivered;
   HM_OBS_HISTOGRAM("can.route_hops", obs::Buckets::Exponential(1, 2.0, 12),
                    result.hops);
   return result;
@@ -335,10 +406,13 @@ Result<RangeQueryResult> CanOverlay::RangeQuery(const geom::Sphere& query,
   HM_ASSIGN_OR_RETURN(RouteResult route, Route(query.center, origin,
                                                sim::TrafficClass::kQuery,
                                                KeyMessageBytes(),
-                                               net::MessageType::kRoute));
+                                               net::MessageType::kRoute,
+                                               route_detours_));
   RangeQueryResult result;
   result.routing_hops = route.hops;
   result.latency_ms = route.latency_ms;
+  result.route_detours = route.detours;
+  result.outcome = route.outcome;
   if (!route.delivered) {
     // The query died on the way to the flood start; no node evaluated it.
     result.delivered = false;

@@ -40,6 +40,18 @@ struct RouteResult {
   /// `destination` is then kInvalidNode. Always true without a transport.
   bool delivered = true;
   double latency_ms = 0.0;  ///< accumulated per-hop link latency
+
+  /// Every zone the message occupied, in visit order, starting at the origin.
+  /// A backtracked walk re-records the zone it retreats to, so the trail is
+  /// the message's true path, not just the surviving route.
+  std::vector<overlay::NodeId> trail;
+
+  /// Detour budget spent: failed forwards retried via an alternate neighbour,
+  /// hint-skipped doomed neighbours, and dead-end pocket backtracks.
+  int detours = 0;
+
+  /// Cause of the walk's fate (kDelivered iff `delivered`).
+  net::DeliveryOutcome outcome = net::DeliveryOutcome::kDelivered;
 };
 
 /// CAN overlay implementation. Construct with Build().
@@ -66,6 +78,7 @@ class CanOverlay : public overlay::Overlay {
   int RemoveByOwner(int owner_peer) override;
   void set_replicate_spheres(bool enabled) override { replicate_spheres_ = enabled; }
   void set_transport(net::Transport* transport) override { transport_ = transport; }
+  void set_route_detours(int budget) override { route_detours_ = budget; }
   int ExpireBefore(double now) override;
   int ClearNode(overlay::NodeId node) override;
 
@@ -83,13 +96,20 @@ class CanOverlay : public overlay::Overlay {
 
   /// Greedy-routes from `origin` toward `key`, sending one message of
   /// `message_bytes` under `cls` per forward (through the transport when one
-  /// is set, else straight into NetworkStats). A transport-level delivery
-  /// failure ends the walk with result.delivered == false (Ok status).
-  /// Fails with Internal if the greedy walk exceeds its TTL (cannot happen
-  /// on a consistent topology).
+  /// is set, else straight into NetworkStats).
+  ///
+  /// With `max_detours` == 0 (the default) a transport-level delivery failure
+  /// ends the walk with result.delivered == false (Ok status) — the classic
+  /// single-path greedy walk. A positive budget buys k-alternative routing:
+  /// a failed (or hint-unreachable) best neighbour is marked dead and the
+  /// next-closest one tried instead, backtracking out of a zone whose viable
+  /// neighbours are exhausted; each alternate forward, hint skip or backtrack
+  /// costs one unit of budget. Fails with Internal if the walk exceeds its
+  /// TTL (cannot happen on a consistent topology).
   Result<RouteResult> Route(const Vector& key, overlay::NodeId origin,
                             sim::TrafficClass cls, uint64_t message_bytes,
-                            net::MessageType type = net::MessageType::kRoute);
+                            net::MessageType type = net::MessageType::kRoute,
+                            int max_detours = 0);
 
   /// Clusters currently stored at `node` (including replicas).
   const std::vector<overlay::PublishedCluster>& stored(overlay::NodeId node) const;
@@ -169,6 +189,7 @@ class CanOverlay : public overlay::Overlay {
   sim::NetworkStats* stats_;      // not owned
   net::Transport* transport_ = nullptr;  // not owned; nullptr = direct stats
   bool replicate_spheres_ = true;
+  int route_detours_ = 0;  // query-routing detour budget (set_route_detours)
   std::vector<Node> nodes_;
 };
 

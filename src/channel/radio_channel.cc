@@ -80,6 +80,18 @@ bool RadioChannel::connected() const {
          std::all_of(island_.begin(), island_.end(), [](int l) { return l == 0; });
 }
 
+int RadioChannel::island(int node) const {
+  if (node < 0 || static_cast<size_t>(node) >= island_.size()) return -1;
+  return island_[static_cast<size_t>(node)];
+}
+
+int RadioChannel::num_islands() const {
+  // Labels are densely numbered by RelabelIslands, so max + 1 is the count.
+  int max_label = -1;
+  for (int label : island_) max_label = std::max(max_label, label);
+  return max_label + 1;
+}
+
 bool RadioChannel::Reachable(int src, int dst) const {
   if (src < 0 || dst < 0 || static_cast<size_t>(src) >= island_.size() ||
       static_cast<size_t>(dst) >= island_.size()) {

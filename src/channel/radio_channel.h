@@ -108,6 +108,15 @@ class RadioChannel : public net::PhysicalChannel {
   /// leak into query latency.
   sim::TimeMs DrainedAtMs() const;
 
+  /// Island (connected-component) label of `node`, densely numbered from 0
+  /// in ascending-node discovery order; -1 for out-of-range nodes. Two peers
+  /// are mutually reachable iff their labels match — the hint detour routing
+  /// and the partition benches key off.
+  int island(int node) const;
+
+  /// Number of distinct radio islands right now (1 when connected()).
+  int num_islands() const;
+
   int num_nodes() const { return topology_.num_nodes(); }
   double tick_ms() const { return options_.tick_ms; }
   double step_m() const { return options_.speed_m_per_s * options_.tick_ms / 1000.0; }

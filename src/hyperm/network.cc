@@ -1,16 +1,15 @@
 #include "hyperm/network.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <optional>
+#include <string>
 #include <unordered_set>
 #include <utility>
 
 #include "can/can_overlay.h"
 #include "common/check.h"
 #include "common/math_util.h"
-#include "geom/radius_estimator.h"
 #include "obs/trace.h"
 #include "overlay/ring_overlay.h"
 #include "overlay/tree_overlay.h"
@@ -39,31 +38,13 @@ void RecordQueryInfoMetrics(const RangeQueryInfo& info) {
                    info.candidate_peers);
   HM_OBS_HISTOGRAM("query.peers_contacted", obs::Buckets::Exponential(1, 2.0, 12),
                    info.peers_contacted);
+  HM_OBS_COUNTER_ADD("query.levels_detoured", info.layers_detoured);
+  HM_OBS_COUNTER_ADD("query.levels_deferred", info.layers_deferred);
+  HM_OBS_COUNTER_ADD("query.reissues", info.reissues);
 #ifdef HYPERM_OBS_DISABLED
   (void)info;
 #endif
 }
-
-double ElapsedUs(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
-                                                   start)
-      .count();
-}
-
-// Slot filled by one per-layer query task. Workers write only their own slot
-// (plus atomic NetworkStats / obs counters); everything that must stay
-// ordered — spans, info accounting, score aggregation — happens on the
-// calling thread when the slots are drained in layer order.
-struct LayerQueryOutcome {
-  Status status = OkStatus();
-  std::unordered_map<int, double> scores;
-  double level_radius = 0.0;  // k-NN only
-  int routing_hops = 0;
-  int flood_hops = 0;
-  double wall_us = 0.0;
-  double latency_ms = 0.0;  // simulated; layers run in parallel, max wins
-  bool delivered = true;    // false: the layer lookup died in transit
-};
 
 }  // namespace
 
@@ -85,6 +66,48 @@ void HyperMNetwork::QueryFanOut(size_t n, const std::function<void(size_t)>& fn)
     return;
   }
   PoolRun(n, fn);
+}
+
+QueryPlanner HyperMNetwork::MakePlanner() const {
+  return QueryPlanner(&levels_, &mappers_, options_.wavelet_kind,
+                      num_detail_levels_, options_.score_policy, options_.plan);
+}
+
+QueryExecutor HyperMNetwork::MakeExecutor() {
+  return QueryExecutor(&overlays_, sim_.get(),
+                       [this](size_t n, const std::function<void(size_t)>& fn) {
+                         QueryFanOut(n, fn);
+                       });
+}
+
+Status HyperMNetwork::DrainLevelOutcomes(
+    std::vector<LevelOutcome>& outcomes, RangeQueryInfo* info,
+    std::vector<std::unordered_map<int, double>>* level_scores) {
+  level_scores->reserve(outcomes.size());
+  for (size_t layer = 0; layer < outcomes.size(); ++layer) {
+    LevelOutcome& out = outcomes[layer];
+    HM_OBS_SPAN_COMPLETED("query/layer" + std::to_string(layer), out.wall_us);
+    if (!out.status.ok()) return out.status;
+    if (info != nullptr) {
+      info->overlay_routing_hops += out.routing_hops;
+      info->overlay_flood_hops += out.flood_hops;
+      info->latency_ms = std::max(info->latency_ms, out.latency_ms);
+      info->reissues += out.reissues;
+      if (out.delivery == LevelDelivery::kDetoured) ++info->layers_detoured;
+      // A level that healed through a re-issue ends kDelivered/kDetoured but
+      // still counts as deferred-at-least-once (reissues records the rounds).
+      if (out.delivery == LevelDelivery::kDeferred || out.reissues > 0) {
+        ++info->layers_deferred;
+      }
+      if (out.delivery == LevelDelivery::kDeferred ||
+          out.delivery == LevelDelivery::kLost) {
+        ++info->layers_lost;
+      }
+      info->level_outcomes.push_back(out.delivery);
+    }
+    level_scores->push_back(std::move(out.scores));
+  }
+  return OkStatus();
 }
 
 Status HyperMNetwork::InitTransport() {
@@ -149,7 +172,10 @@ Status HyperMNetwork::InitTransport() {
       ScheduleExpirySweep(period);
     }
   }
-  for (auto& ov : overlays_) ov->set_transport(transport_.get());
+  for (auto& ov : overlays_) {
+    ov->set_transport(transport_.get());
+    ov->set_route_detours(options_.plan.route_detours);
+  }
   return OkStatus();
 }
 
@@ -221,6 +247,14 @@ Result<std::unique_ptr<HyperMNetwork>> HyperMNetwork::Build(
   const int m = Log2Exact(static_cast<int64_t>(dataset.dim()));
   if (options.num_layers > m + 1) {
     return InvalidArgumentError("Build: num_layers exceeds available wavelet levels");
+  }
+  if (options.plan.route_detours < 0 || options.plan.reissue_budget < 0 ||
+      options.plan.heal_window_ms < 0.0) {
+    return InvalidArgumentError("Build: negative query-plan budget");
+  }
+  if (options.plan.reissue_budget > 0 && options.plan.heal_window_ms <= 0.0) {
+    return InvalidArgumentError(
+        "Build: plan.reissue_budget needs a positive plan.heal_window_ms");
   }
 
   HM_OBS_SPAN("build");
@@ -466,50 +500,16 @@ Result<std::vector<PeerScore>> HyperMNetwork::ScorePeers(const Vector& query,
     return InvalidArgumentError("ScorePeers: bad querying peer");
   }
   HM_OBS_SPAN("query/score");
-  // Per-layer range searches are independent (read-only overlays, atomic
-  // stats), so they fan out across the pool; scores and info accounting are
-  // drained in layer order below, preserving the sequential merge exactly.
-  const size_t num_layers = levels_.size();
-  std::vector<LayerQueryOutcome> outcomes(num_layers);
-  QueryFanOut(num_layers, [&](size_t layer) {
-    const auto start = std::chrono::steady_clock::now();
-    LayerQueryOutcome& out = outcomes[layer];
-    const Vector projection = ProjectToLevel(query, static_cast<int>(layer));
-    const double level_epsilon = epsilon * LevelRadiusScale(static_cast<int>(layer));
-    geom::Sphere key_sphere = mappers_[layer].ToKeySphere(projection, level_epsilon);
-    // Guard the Theorem 4.1 boundary against floating-point rounding in the
-    // key mapping: a cluster's farthest member sits exactly on its sphere, and
-    // one ulp of per-coordinate error must not turn into a false dismissal.
-    // The key cube has unit extent, so absolute slack is safe and negligible.
-    key_sphere.radius += 1e-9;
-    Result<overlay::RangeQueryResult> result =
-        overlays_[layer]->RangeQuery(key_sphere, querying_peer);
-    if (!result.ok()) {
-      out.status = result.status();
-    } else {
-      out.routing_hops = result.value().routing_hops;
-      out.flood_hops = result.value().flood_hops;
-      out.latency_ms = result.value().latency_ms;
-      out.delivered = result.value().delivered;
-      out.scores = ComputeLevelScores(static_cast<int>(levels_[layer].dim()),
-                                      result.value().matches, key_sphere);
-    }
-    out.wall_us = ElapsedUs(start);
-  });
+  // Plan, then execute. The planner compiles the Theorem 4.1 probe spheres on
+  // the calling thread (pure wavelet math); the executor fans the per-level
+  // range searches out — they are independent (read-only overlays, atomic
+  // stats) — and re-issues deferred levels when so configured. Scores and
+  // info accounting are drained in layer order below, preserving the
+  // sequential merge exactly.
+  const QueryPlan plan = MakePlanner().PlanRange(query, epsilon);
+  std::vector<LevelOutcome> outcomes = MakeExecutor().Execute(plan, querying_peer);
   std::vector<std::unordered_map<int, double>> level_scores;
-  level_scores.reserve(num_layers);
-  for (size_t layer = 0; layer < num_layers; ++layer) {
-    LayerQueryOutcome& out = outcomes[layer];
-    HM_OBS_SPAN_COMPLETED("query/layer" + std::to_string(layer), out.wall_us);
-    if (!out.status.ok()) return out.status;
-    if (info != nullptr) {
-      info->overlay_routing_hops += out.routing_hops;
-      info->overlay_flood_hops += out.flood_hops;
-      info->latency_ms = std::max(info->latency_ms, out.latency_ms);
-      if (!out.delivered) ++info->layers_lost;
-    }
-    level_scores.push_back(std::move(out.scores));
-  }
+  HM_RETURN_IF_ERROR(DrainLevelOutcomes(outcomes, info, &level_scores));
   std::vector<PeerScore> aggregated =
       AggregateScores(level_scores, options_.score_policy);
   if (info != nullptr) info->candidate_peers = static_cast<int>(aggregated.size());
@@ -594,93 +594,22 @@ Result<std::vector<ItemId>> HyperMNetwork::KnnQuery(const Vector& query, int k,
   if (info == nullptr) info = &local_info;
   RangeQueryInfo* range_info = &info->range;
 
-  // Per-layer expanding probe + radius estimation, fanned out like
-  // ScorePeers. Each task keeps its hop counts and estimated radius in its
-  // own slot; the double-valued knn.level_radius histogram is observed at
-  // the ordered drain so observation order never depends on scheduling.
-  const size_t num_layers = levels_.size();
-  std::vector<LayerQueryOutcome> outcomes(num_layers);
-  QueryFanOut(num_layers, [&](size_t l) {
-    const auto start = std::chrono::steady_clock::now();
-    LayerQueryOutcome& out = outcomes[l];
-    [&] {
-      const int layer_dim = static_cast<int>(levels_[l].dim());
-      const Vector key_center =
-          mappers_[l].ToKey(ProjectToLevel(query, static_cast<int>(l)));
-
-      // Expanding probe: widen the overlay range query until the discovered
-      // summaries can plausibly supply k items (Fig. 5, step 2 needs the
-      // reachable clusters before Eq. 8 can be inverted).
-      const double max_radius = std::sqrt(static_cast<double>(layer_dim));
-      double probe_radius = 0.05 * max_radius;
-      overlay::RangeQueryResult probe;
-      while (true) {
-        geom::Sphere probe_sphere{key_center, probe_radius};
-        Result<overlay::RangeQueryResult> attempt =
-            overlays_[l]->RangeQuery(probe_sphere, querying_peer);
-        if (!attempt.ok()) {
-          out.status = attempt.status();
-          return;
-        }
-        probe = std::move(attempt).value();
-        out.routing_hops += probe.routing_hops;
-        out.flood_hops += probe.flood_hops;
-        // Probe widenings within a layer are sequential round trips.
-        out.latency_ms += probe.latency_ms;
-        if (!probe.delivered) out.delivered = false;
-        if (probe_radius >= max_radius) break;
-        std::vector<geom::ClusterView> views;
-        views.reserve(probe.matches.size());
-        for (const overlay::PublishedCluster& c : probe.matches) {
-          views.push_back(geom::ClusterView{
-              c.sphere.radius, vec::Distance(c.sphere.center, key_center), c.items});
-        }
-        if (!views.empty() &&
-            geom::ExpectedItems(layer_dim, views, probe_radius) >=
-                static_cast<double>(k)) {
-          break;
-        }
-        probe_radius = std::min(max_radius, probe_radius * 2.0);
-      }
-
-      // Invert Eq. 8 over the discovered clusters for the per-level radius.
-      std::vector<geom::ClusterView> views;
-      views.reserve(probe.matches.size());
-      for (const overlay::PublishedCluster& c : probe.matches) {
-        views.push_back(geom::ClusterView{
-            c.sphere.radius, vec::Distance(c.sphere.center, key_center), c.items});
-      }
-      double level_radius = probe_radius;
-      if (!views.empty()) {
-        Result<double> solved =
-            geom::SolveRadiusForCount(layer_dim, views, static_cast<double>(k));
-        if (solved.ok()) level_radius = std::min(solved.value(), probe_radius);
-      }
-      out.level_radius = level_radius;
-
-      // Score this level against the estimated radius. The probe's matches
-      // are a superset of the refined query's (level_radius <= probe_radius),
-      // so the scores can be computed locally without another flood.
-      const geom::Sphere level_sphere{key_center, level_radius};
-      out.scores = ComputeLevelScores(layer_dim, probe.matches, level_sphere);
-    }();
-    out.wall_us = ElapsedUs(start);
-  });
-
+  // Plan, then execute: one expanding probe per level (Fig. 5), fanned out
+  // like ScorePeers. Each probe keeps its hop counts and estimated radius in
+  // its own outcome slot; the double-valued knn.level_radius histogram is
+  // observed at the ordered drain so observation order never depends on
+  // scheduling.
+  const QueryPlan plan = MakePlanner().PlanKnn(query, k);
+  std::vector<LevelOutcome> outcomes = MakeExecutor().Execute(plan, querying_peer);
   std::vector<std::unordered_map<int, double>> level_scores;
-  level_scores.reserve(num_layers);
-  for (size_t l = 0; l < num_layers; ++l) {
-    LayerQueryOutcome& out = outcomes[l];
-    HM_OBS_SPAN_COMPLETED("query/layer" + std::to_string(l), out.wall_us);
-    if (!out.status.ok()) return out.status;
-    range_info->overlay_routing_hops += out.routing_hops;
-    range_info->overlay_flood_hops += out.flood_hops;
-    range_info->latency_ms = std::max(range_info->latency_ms, out.latency_ms);
-    if (!out.delivered) ++range_info->layers_lost;
+  HM_RETURN_IF_ERROR(DrainLevelOutcomes(outcomes, range_info, &level_scores));
+  for (const LevelOutcome& out : outcomes) {
     info->level_radii.push_back(out.level_radius);
     HM_OBS_HISTOGRAM("knn.level_radius", obs::Buckets::Linear(0.0, 4.0, 32),
                      out.level_radius);
-    level_scores.push_back(std::move(out.scores));
+#ifdef HYPERM_OBS_DISABLED
+    (void)out;
+#endif
   }
 
   std::vector<PeerScore> merged = AggregateScores(level_scores, options_.score_policy);

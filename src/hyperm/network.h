@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "channel/mobility.h"
@@ -30,6 +31,7 @@
 #include "data/peer_assignment.h"
 #include "hyperm/key_mapper.h"
 #include "hyperm/peer.h"
+#include "hyperm/query_plan.h"
 #include "hyperm/score.h"
 #include "net/fault_plan.h"
 #include "net/transport.h"
@@ -79,6 +81,13 @@ struct HyperMOptions {
   /// mobile unit-disk topology and radio islands make peers unreachable;
   /// when disabled (default) the transport keeps the free-channel LinkModel.
   channel::ChannelOptions channel;
+
+  /// Partition-tolerant query planning (detour routing, heal-time re-issue).
+  /// All-zero by default, which reproduces the historical query path bit for
+  /// bit. Detours apply to query routing on any transport; re-issue requires
+  /// net.unreliable (the reliable transport has no simulator and nothing to
+  /// heal) and is silently skipped otherwise.
+  QueryPlanOptions plan;
 };
 
 /// Traffic/effort account of one range query.
@@ -87,9 +96,19 @@ struct RangeQueryInfo {
   int overlay_flood_hops = 0;    ///< zone flooding in all layers
   int candidate_peers = 0;       ///< peers with a positive aggregated score
   int peers_contacted = 0;       ///< peers actually asked for items
-  int layers_lost = 0;           ///< layer lookups lost in transit (faults)
+  int layers_lost = 0;           ///< layer lookups that never answered, even
+                                 ///< after any re-issue rounds (deferred+lost)
+  int layers_detoured = 0;       ///< layers answered only via detour routing
+  int layers_deferred = 0;       ///< layers deferred at least once (partition
+                                 ///< or radio island on the route)
+  int reissues = 0;              ///< re-issue probes sent across all layers
   double latency_ms = 0.0;       ///< simulated end-to-end latency (layers in
-                                 ///< parallel, slowest branch wins)
+                                 ///< parallel, slowest branch wins; re-issued
+                                 ///< layers add their heal-window waits)
+
+  /// Final per-level fate, indexed by layer (empty if the query failed before
+  /// execution).
+  std::vector<LevelDelivery> level_outcomes;
 };
 
 /// Soft-state bookkeeping, deterministic and independent of the obs layer
@@ -245,6 +264,20 @@ class HyperMNetwork {
   /// on the unreliable one, whose per-message RNG stream is consumed in
   /// issue order and must not race.
   void QueryFanOut(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Planner over this network's level/mapper tables and plan options.
+  QueryPlanner MakePlanner() const;
+
+  /// Executor over this network's overlays, fault simulator and QueryFanOut.
+  QueryExecutor MakeExecutor();
+
+  /// Drains executor outcomes in layer order on the calling thread: emits
+  /// the per-layer spans, folds traffic + delivery-fate accounting into
+  /// `info` (ignored when null) and moves the per-level score maps out.
+  /// Returns the first failed level's status.
+  static Status DrainLevelOutcomes(
+      std::vector<LevelOutcome>& outcomes, RangeQueryInfo* info,
+      std::vector<std::unordered_map<int, double>>* level_scores);
 
   /// Wires up the transport (always) and, when net.unreliable, the fault
   /// simulator: crash/rejoin events, republish ticks, TTL expiry sweeps.

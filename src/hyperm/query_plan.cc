@@ -1,0 +1,275 @@
+#include "hyperm/query_plan.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "geom/radius_estimator.h"
+#include "vec/vector.h"
+
+namespace hyperm::core {
+namespace {
+
+double ElapsedUs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                   start)
+      .count();
+}
+
+// Maps an undelivered probe's transport cause onto the level lattice: causes
+// a heal window can plausibly fix become kDeferred, dead ends kLost.
+LevelDelivery ClassifyFailure(net::DeliveryOutcome outcome) {
+  switch (outcome) {
+    case net::DeliveryOutcome::kLostPartition:
+    case net::DeliveryOutcome::kLostUnreachable:
+      return LevelDelivery::kDeferred;
+    default:
+      return LevelDelivery::kLost;
+  }
+}
+
+}  // namespace
+
+const char* LevelDeliveryName(LevelDelivery delivery) {
+  switch (delivery) {
+    case LevelDelivery::kDelivered: return "delivered";
+    case LevelDelivery::kDetoured: return "detoured";
+    case LevelDelivery::kDeferred: return "deferred";
+    case LevelDelivery::kLost: return "lost";
+  }
+  return "unknown";
+}
+
+QueryPlanner::QueryPlanner(const std::vector<wavelet::Level>* levels,
+                           const std::vector<KeyMapper>* mappers,
+                           wavelet::WaveletKind wavelet_kind,
+                           int num_detail_levels, ScorePolicy score_policy,
+                           const QueryPlanOptions& options)
+    : levels_(levels),
+      mappers_(mappers),
+      wavelet_kind_(wavelet_kind),
+      num_detail_levels_(num_detail_levels),
+      score_policy_(score_policy),
+      options_(options) {
+  HM_CHECK(levels != nullptr);
+  HM_CHECK(mappers != nullptr);
+  HM_CHECK_EQ(levels->size(), mappers->size());
+}
+
+QueryPlan QueryPlanner::NewPlan() const {
+  QueryPlan plan;
+  plan.score_policy = score_policy_;
+  plan.reissue_budget = options_.reissue_budget;
+  plan.heal_window_ms = options_.heal_window_ms;
+  return plan;
+}
+
+QueryPlan QueryPlanner::PlanRange(const Vector& query, double epsilon) const {
+  QueryPlan plan = NewPlan();
+  // One decomposition serves every level probe (Project is per-level).
+  // The caller validated the query's dimensionality, so this cannot fail.
+  Result<wavelet::Pyramid> pyramid = wavelet::DecomposeWith(wavelet_kind_, query);
+  HM_CHECK(pyramid.ok()) << pyramid.status().ToString();
+  plan.probes.reserve(levels_->size());
+  for (size_t layer = 0; layer < levels_->size(); ++layer) {
+    const wavelet::Level& level = (*levels_)[layer];
+    LevelProbe probe;
+    probe.layer = static_cast<int>(layer);
+    probe.layer_dim = static_cast<int>(level.dim());
+    const Vector projection = wavelet::Project(pyramid.value(), level);
+    const double level_epsilon =
+        epsilon * wavelet::RadiusScaleFor(wavelet_kind_, num_detail_levels_, level);
+    probe.key_sphere = (*mappers_)[layer].ToKeySphere(projection, level_epsilon);
+    // Guard the Theorem 4.1 boundary against floating-point rounding in the
+    // key mapping: a cluster's farthest member sits exactly on its sphere, and
+    // one ulp of per-coordinate error must not turn into a false dismissal.
+    // The key cube has unit extent, so absolute slack is safe and negligible.
+    probe.key_sphere.radius += 1e-9;
+    plan.probes.push_back(std::move(probe));
+  }
+  return plan;
+}
+
+QueryPlan QueryPlanner::PlanKnn(const Vector& query, int k) const {
+  QueryPlan plan = NewPlan();
+  Result<wavelet::Pyramid> pyramid = wavelet::DecomposeWith(wavelet_kind_, query);
+  HM_CHECK(pyramid.ok()) << pyramid.status().ToString();
+  plan.probes.reserve(levels_->size());
+  for (size_t layer = 0; layer < levels_->size(); ++layer) {
+    const wavelet::Level& level = (*levels_)[layer];
+    LevelProbe probe;
+    probe.layer = static_cast<int>(layer);
+    probe.layer_dim = static_cast<int>(level.dim());
+    probe.expanding = true;
+    probe.knn_k = k;
+    // Fig. 5 widening loop bounds: the probe may grow to the key cube's
+    // diagonal (every cluster is then in range) from a 5% start.
+    probe.max_probe_radius = std::sqrt(static_cast<double>(probe.layer_dim));
+    probe.key_sphere.center =
+        (*mappers_)[layer].ToKey(wavelet::Project(pyramid.value(), level));
+    probe.key_sphere.radius = 0.05 * probe.max_probe_radius;
+    plan.probes.push_back(std::move(probe));
+  }
+  return plan;
+}
+
+QueryExecutor::QueryExecutor(
+    std::vector<std::unique_ptr<overlay::Overlay>>* overlays, sim::Simulator* sim,
+    std::function<void(size_t, const std::function<void(size_t)>&)> fan_out)
+    : overlays_(overlays), sim_(sim), fan_out_(std::move(fan_out)) {
+  HM_CHECK(overlays != nullptr);
+}
+
+void QueryExecutor::RunProbe(const LevelProbe& probe, int querying_peer,
+                             LevelOutcome* out) {
+  const auto start = std::chrono::steady_clock::now();
+  overlay::Overlay& overlay = *(*overlays_)[static_cast<size_t>(probe.layer)];
+  bool delivered = true;
+  net::DeliveryOutcome failure = net::DeliveryOutcome::kDelivered;
+  [&] {
+    if (!probe.expanding) {
+      // Range probe: one threshold range query, scored against the same
+      // sphere the overlay evaluated.
+      Result<overlay::RangeQueryResult> result =
+          overlay.RangeQuery(probe.key_sphere, querying_peer);
+      if (!result.ok()) {
+        out->status = result.status();
+        return;
+      }
+      out->routing_hops = result.value().routing_hops;
+      out->flood_hops = result.value().flood_hops;
+      out->latency_ms = result.value().latency_ms;
+      out->detours = result.value().route_detours;
+      delivered = result.value().delivered;
+      failure = result.value().outcome;
+      out->scores =
+          ComputeLevelScores(probe.layer_dim, result.value().matches, probe.key_sphere);
+      return;
+    }
+
+    // Expanding probe: widen the overlay range query until the discovered
+    // summaries can plausibly supply k items (Fig. 5, step 2 needs the
+    // reachable clusters before Eq. 8 can be inverted).
+    const Vector& key_center = probe.key_sphere.center;
+    const double max_radius = probe.max_probe_radius;
+    double probe_radius = probe.key_sphere.radius;
+    overlay::RangeQueryResult last;
+    while (true) {
+      geom::Sphere probe_sphere{key_center, probe_radius};
+      Result<overlay::RangeQueryResult> attempt =
+          overlay.RangeQuery(probe_sphere, querying_peer);
+      if (!attempt.ok()) {
+        out->status = attempt.status();
+        return;
+      }
+      last = std::move(attempt).value();
+      out->routing_hops += last.routing_hops;
+      out->flood_hops += last.flood_hops;
+      // Probe widenings within a layer are sequential round trips.
+      out->latency_ms += last.latency_ms;
+      out->detours += last.route_detours;
+      if (!last.delivered) {
+        delivered = false;
+        failure = last.outcome;
+      }
+      if (probe_radius >= max_radius) break;
+      std::vector<geom::ClusterView> views;
+      views.reserve(last.matches.size());
+      for (const overlay::PublishedCluster& c : last.matches) {
+        views.push_back(geom::ClusterView{
+            c.sphere.radius, vec::Distance(c.sphere.center, key_center), c.items});
+      }
+      if (!views.empty() &&
+          geom::ExpectedItems(probe.layer_dim, views, probe_radius) >=
+              static_cast<double>(probe.knn_k)) {
+        break;
+      }
+      probe_radius = std::min(max_radius, probe_radius * 2.0);
+    }
+
+    // Invert Eq. 8 over the discovered clusters for the per-level radius.
+    std::vector<geom::ClusterView> views;
+    views.reserve(last.matches.size());
+    for (const overlay::PublishedCluster& c : last.matches) {
+      views.push_back(geom::ClusterView{
+          c.sphere.radius, vec::Distance(c.sphere.center, key_center), c.items});
+    }
+    double level_radius = probe_radius;
+    if (!views.empty()) {
+      Result<double> solved = geom::SolveRadiusForCount(
+          probe.layer_dim, views, static_cast<double>(probe.knn_k));
+      if (solved.ok()) level_radius = std::min(solved.value(), probe_radius);
+    }
+    out->level_radius = level_radius;
+
+    // Score this level against the estimated radius. The probe's matches
+    // are a superset of the refined query's (level_radius <= probe_radius),
+    // so the scores can be computed locally without another flood.
+    const geom::Sphere level_sphere{key_center, level_radius};
+    out->scores = ComputeLevelScores(probe.layer_dim, last.matches, level_sphere);
+  }();
+  if (delivered) {
+    out->delivery =
+        out->detours > 0 ? LevelDelivery::kDetoured : LevelDelivery::kDelivered;
+  } else {
+    out->delivery = ClassifyFailure(failure);
+  }
+  out->wall_us = ElapsedUs(start);
+}
+
+void QueryExecutor::MergeReissue(const LevelOutcome& retry, double heal_wait_ms,
+                                 LevelOutcome* out) {
+  out->status = retry.status;
+  out->routing_hops += retry.routing_hops;
+  out->flood_hops += retry.flood_hops;
+  out->detours += retry.detours;
+  out->wall_us += retry.wall_us;
+  // A re-issued level answered only after the heal wait plus its re-probe.
+  out->latency_ms += heal_wait_ms + retry.latency_ms;
+  ++out->reissues;
+  if (!retry.status.ok()) return;
+  out->delivery = retry.delivery;
+  if (retry.delivery == LevelDelivery::kDelivered ||
+      retry.delivery == LevelDelivery::kDetoured) {
+    // The healed probe's scores supersede the (empty) deferred ones and join
+    // the aggregation under the plan's score policy like any other level.
+    out->scores = retry.scores;
+    out->level_radius = retry.level_radius;
+  }
+}
+
+std::vector<LevelOutcome> QueryExecutor::Execute(const QueryPlan& plan,
+                                                 int querying_peer) {
+  std::vector<LevelOutcome> outcomes(plan.probes.size());
+  fan_out_(plan.probes.size(), [&](size_t i) {
+    RunProbe(plan.probes[i], querying_peer, &outcomes[i]);
+  });
+  if (sim_ == nullptr || plan.reissue_budget <= 0 || plan.heal_window_ms <= 0.0) {
+    return outcomes;
+  }
+  for (int round = 0; round < plan.reissue_budget; ++round) {
+    std::vector<size_t> deferred;
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      if (outcomes[i].status.ok() &&
+          outcomes[i].delivery == LevelDelivery::kDeferred) {
+        deferred.push_back(i);
+      }
+    }
+    if (deferred.empty()) break;
+    // Let the world turn for one heal window — mobility ticks, partition
+    // windows closing, republishes — then re-probe every deferred level,
+    // serially in level order (the unreliable transport's RNG stream is
+    // consumed in issue order).
+    sim_->RunUntil(sim_->now() + plan.heal_window_ms);
+    for (size_t i : deferred) {
+      LevelOutcome retry;
+      RunProbe(plan.probes[i], querying_peer, &retry);
+      MergeReissue(retry, plan.heal_window_ms, &outcomes[i]);
+    }
+  }
+  return outcomes;
+}
+
+}  // namespace hyperm::core

@@ -53,6 +53,13 @@ double UnreliableTransport::RetryWaitMs(int dst, int attempt) const {
   return AdaptiveRetryDelayMs(retry_, rtt_[static_cast<size_t>(dst)], attempt);
 }
 
+bool UnreliableTransport::ReachableHint(int src, int dst) const {
+  if (!state_->up(src) || !state_->up(dst)) return false;
+  if (!state_->Connected(src, dst, sim_->now())) return false;
+  if (channel_ != nullptr && !channel_->Reachable(src, dst)) return false;
+  return true;
+}
+
 HopResult UnreliableTransport::SendHop(const Message& message) {
   HopResult result;
   const int attempts = MaxAttempts(retry_);
@@ -88,18 +95,22 @@ HopResult UnreliableTransport::SendHop(const Message& message) {
     if (!state_->up(message.src) || !state_->up(message.dst)) {
       ++counters_.dropped_down;
       HM_OBS_COUNTER_ADD("net.dropped_down", 1);
+      result.outcome = DeliveryOutcome::kLostDown;
       lost = true;
     } else if (!state_->Connected(message.src, message.dst, sim_->now())) {
       ++counters_.dropped_partition;
       HM_OBS_COUNTER_ADD("net.dropped_partition", 1);
+      result.outcome = DeliveryOutcome::kLostPartition;
       lost = true;
     } else if (!geo_reachable) {
       ++counters_.dropped_unreachable;
       HM_OBS_COUNTER_ADD("net.dropped_unreachable", 1);
+      result.outcome = DeliveryOutcome::kLostUnreachable;
       lost = true;
     } else if (draw.Bernoulli(plan_.loss_rate)) {
       ++counters_.dropped_loss;
       HM_OBS_COUNTER_ADD("net.dropped_loss", 1);
+      result.outcome = DeliveryOutcome::kLostLoss;
       lost = true;
     }
 
@@ -113,6 +124,7 @@ HopResult UnreliableTransport::SendHop(const Message& message) {
         rtt_[static_cast<size_t>(message.dst)].Observe(hop_ms, retry_);
       }
       result.delivered = true;
+      result.outcome = DeliveryOutcome::kDelivered;
       result.latency_ms += hop_ms;
       if (draw.Bernoulli(plan_.duplicate_rate)) {
         // A spurious second copy reaches the receiver: the duplicate burnt

@@ -57,10 +57,26 @@ struct Message {
   sim::TrafficClass cls = sim::TrafficClass::kQuery;  ///< accounting class
 };
 
+/// Why a message exchange ended the way it did. `kDelivered` pairs with
+/// HopResult::delivered == true; the four loss causes mirror the
+/// TransportCounters drop classes and let callers distinguish *transient*
+/// failures a heal window can fix (partition, unreachable island) from dead
+/// ends (random loss after all retries, crashed peer).
+enum class DeliveryOutcome {
+  kDelivered = 0,     ///< the exchange completed
+  kLostLoss,          ///< every attempt fell to the loss_rate draw
+  kLostDown,          ///< src or dst was crashed on the last attempt
+  kLostPartition,     ///< a scripted partition separated the pair
+  kLostUnreachable,   ///< no physical radio path (geometry-derived island)
+};
+
 /// Outcome of one (possibly retried) message exchange.
 struct HopResult {
   bool delivered = false;
   double latency_ms = 0.0;  ///< serialisation + jitter + ack-timeout waits
+
+  /// Cause of the final attempt's fate; kDelivered iff `delivered`.
+  DeliveryOutcome outcome = DeliveryOutcome::kDelivered;
 };
 
 /// Running totals a transport exposes for benches and tests. The reliable
@@ -123,6 +139,18 @@ class Transport {
   /// Availability of `peer` right now (always true for reliable transports).
   virtual bool peer_up(int peer) const { return peer >= 0; }
 
+  /// Best-effort reachability hint: false when the transport already *knows*
+  /// a send from `src` to `dst` cannot be delivered right now (crashed peer,
+  /// active partition window, different radio island). True is not a delivery
+  /// promise — losses and retries still apply. Reliable transports always
+  /// return true. Detour routing consults this to skip doomed neighbours
+  /// without burning a transmission.
+  virtual bool ReachableHint(int src, int dst) const {
+    (void)src;
+    (void)dst;
+    return true;
+  }
+
   /// Current simulated time (0 for transports without a simulator).
   virtual sim::TimeMs now() const { return 0.0; }
 
@@ -182,6 +210,7 @@ class UnreliableTransport : public Transport {
   HopResult SendHop(const Message& message) override;
   bool reliable() const override { return false; }
   bool peer_up(int peer) const override { return state_->up(peer); }
+  bool ReachableHint(int src, int dst) const override;
   sim::TimeMs now() const override { return sim_->now(); }
   TransportCounters counters() const override { return counters_; }
 

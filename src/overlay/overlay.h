@@ -21,11 +21,8 @@
 
 #include "common/result.h"
 #include "geom/shapes.h"
+#include "net/transport.h"
 #include "sim/stats.h"
-
-namespace hyperm::net {
-class Transport;
-}  // namespace hyperm::net
 
 namespace hyperm::overlay {
 
@@ -70,6 +67,15 @@ struct RangeQueryResult {
   /// flood never started and `matches` is empty.
   bool delivered = true;
   double latency_ms = 0.0;  ///< time until the slowest flood branch answered
+
+  /// Cause of the routing phase's fate (kDelivered iff `delivered`). Lets the
+  /// query executor tell transient failures (partition, island split — worth
+  /// deferring and re-issuing) from dead ends (loss, crashed peer).
+  net::DeliveryOutcome outcome = net::DeliveryOutcome::kDelivered;
+
+  /// Alternate-neighbour forwards the routing phase took around unreachable
+  /// next hops (0 unless the overlay's detour budget is set and was needed).
+  int route_detours = 0;
 };
 
 /// Per-node storage snapshot (drives the Fig. 9 distribution analysis).
@@ -125,6 +131,14 @@ class Overlay {
   /// nullptr to restore direct stats recording). Default: ignored —
   /// overlays without transport support keep their inline accounting.
   virtual void set_transport(net::Transport* transport) { (void)transport; }
+
+  /// k-alternative greedy routing budget for *query* routing: when the best
+  /// next hop is unreachable the walk may try up to `budget` alternate
+  /// neighbours (backtracking out of dead-end pockets) before declaring the
+  /// query lost. 0 (the default) keeps the classic single-path greedy walk;
+  /// publication routing always stays single-path. Default: ignored —
+  /// overlays without a routed query phase have nothing to detour.
+  virtual void set_route_detours(int budget) { (void)budget; }
 
   /// Soft state: erases every stored summary with expires_at < `now` and
   /// returns the number of entries erased. Default: no soft state, 0.

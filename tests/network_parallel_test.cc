@@ -181,6 +181,11 @@ void ExpectRunsIdentical(const RunCapture& a, const RunCapture& b) {
   EXPECT_EQ(a.range_info.peers_contacted, b.range_info.peers_contacted);
   EXPECT_EQ(a.range_info.latency_ms, b.range_info.latency_ms);
   EXPECT_EQ(a.range_info.layers_lost, b.range_info.layers_lost);
+  EXPECT_EQ(a.range_info.layers_detoured, b.range_info.layers_detoured);
+  EXPECT_EQ(a.range_info.layers_deferred, b.range_info.layers_deferred);
+  EXPECT_EQ(a.range_info.reissues, b.range_info.reissues);
+  EXPECT_EQ(a.range_info.level_outcomes, b.range_info.level_outcomes);
+  EXPECT_EQ(a.knn_info.range.level_outcomes, b.knn_info.range.level_outcomes);
   EXPECT_EQ(a.knn_info.range.latency_ms, b.knn_info.range.latency_ms);
   EXPECT_EQ(a.transport_messages, b.transport_messages);
   EXPECT_EQ(a.knn_info.range.overlay_routing_hops, b.knn_info.range.overlay_routing_hops);
