@@ -29,6 +29,10 @@ using namespace hyperm;
 
 namespace {
 
+// Flight-recorder time-series period, set from --trace-out in main. The
+// sampling probe only reads state; 0 leaves the simulator queue untouched.
+double g_trace_series_period_ms = 0.0;
+
 struct ChannelBed {
   data::Dataset dataset;
   data::PeerAssignment assignment;
@@ -76,6 +80,7 @@ std::unique_ptr<ChannelBed> BuildBed(bool paper, double speed_m_per_s,
   // readable in milliseconds rather than minutes.
   options.channel.bandwidth_bytes_per_ms = 1000.0;
   options.channel.tx_overhead_ms = 1.0;
+  options.trace_series_period_ms = g_trace_series_period_ms;
   Result<std::unique_ptr<core::HyperMNetwork>> network =
       core::HyperMNetwork::Build(bed->dataset, bed->assignment, options, rng);
   if (!network.ok()) {
@@ -90,6 +95,7 @@ std::unique_ptr<ChannelBed> BuildBed(bool paper, double speed_m_per_s,
 
 int main(int argc, char** argv) {
   const bool paper = bench::PaperScale(argc, argv);
+  g_trace_series_period_ms = bench::ArmFlightRecorder(argc, argv);
   bench::PrintHeader("Channel", "queue-aware latency under load + mobility disruption",
                      paper);
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
@@ -202,6 +208,7 @@ int main(int argc, char** argv) {
   reg.GetGauge("benchc.mobile_energy_mj")
       .Set(mobile->network->stats().total_energy_millijoules());
 
+  bench::WriteTraceArtifacts(argc, argv);
   bench::WriteBenchReport(argc, argv, "bench_channel");
   return 0;
 }

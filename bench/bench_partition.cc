@@ -40,6 +40,11 @@ constexpr int kBatches = 4;           // split moments sampled per speed
 constexpr int kQueriesPerBatch = 8;
 constexpr double kMinBatchGapMs = 10000.0;  // keep heal waits from colliding
 
+// Flight-recorder time-series period, set from --trace-out in main. Sampling
+// probes only read state, so deployments are bit-identical with or without
+// them; 0 keeps the simulator event queue at its historical contents.
+double g_trace_series_period_ms = 0.0;
+
 struct PartitionBed {
   data::Dataset dataset;
   data::PeerAssignment assignment;
@@ -86,6 +91,7 @@ std::unique_ptr<PartitionBed> BuildBed(bool paper, double speed_m_per_s,
   options.channel.tick_ms = 100.0;
   options.channel.speed_m_per_s = speed_m_per_s;
   options.plan = plan;
+  options.trace_series_period_ms = g_trace_series_period_ms;
   Result<std::unique_ptr<core::HyperMNetwork>> network =
       core::HyperMNetwork::Build(bed->dataset, bed->assignment, options, rng);
   if (!network.ok()) {
@@ -164,6 +170,7 @@ CellResult RunCell(bool paper, double speed_m_per_s,
 
 int main(int argc, char** argv) {
   const bool paper = bench::PaperScale(argc, argv);
+  g_trace_series_period_ms = bench::ArmFlightRecorder(argc, argv);
   bench::PrintHeader("Partition", "split-time recall: legacy path vs planner sweep",
                      paper);
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
@@ -254,6 +261,7 @@ int main(int argc, char** argv) {
   }
   std::printf("planner strictly above legacy under partitions: yes\n");
 
+  bench::WriteTraceArtifacts(argc, argv);
   bench::WriteBenchReport(argc, argv, "bench_partition");
   return 0;
 }

@@ -18,6 +18,8 @@
 #include "data/histogram_generator.h"
 #include "data/peer_assignment.h"
 #include "hyperm/network.h"
+#include "obs/chrome_trace.h"
+#include "obs/event_log.h"
 #include "obs/export.h"
 
 namespace hyperm::bench {
@@ -56,6 +58,48 @@ inline void WriteBenchReport(int argc, char** argv, const std::string& bench_nam
     std::exit(1);
   }
   std::printf("\nreport written to %s\n", path.c_str());
+}
+
+/// Value of --trace-out=<path> (Chrome-trace destination for the flight
+/// recorder), or "" when the flag was not passed.
+inline std::string TraceOutPath(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      return std::string(argv[i] + 12);
+    }
+  }
+  return std::string();
+}
+
+/// Arms the global flight recorder when --trace-out was passed; no-op (and
+/// zero recording overhead) otherwise. Call first thing in main, before the
+/// instrumented work. Returns the time-series sampling period the bench
+/// should plumb into HyperMOptions::trace_series_period_ms — 100 simulated
+/// ms under tracing, 0 (probe disabled) otherwise.
+inline double ArmFlightRecorder(int argc, char** argv) {
+  if (TraceOutPath(argc, argv).empty()) return 0.0;
+  obs::EventLog::Global().Arm();
+  return 100.0;
+}
+
+/// Writes the flight recorder's Chrome trace to the --trace-out=<path>
+/// destination plus the raw event log to <path>.jsonl (no-op without the
+/// flag). Exits nonzero on I/O failure so CI notices.
+inline void WriteTraceArtifacts(int argc, char** argv) {
+  const std::string path = TraceOutPath(argc, argv);
+  if (path.empty()) return;
+  const obs::EventLog& log = obs::EventLog::Global();
+  if (!obs::WriteChromeTrace(path, log)) {
+    std::fprintf(stderr, "trace: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  if (!obs::WriteEventsJsonl(path + ".jsonl", log)) {
+    std::fprintf(stderr, "trace: cannot write %s.jsonl\n", path.c_str());
+    std::exit(1);
+  }
+  std::printf("trace written to %s (events: %s.jsonl, dropped: %llu)\n",
+              path.c_str(), path.c_str(),
+              static_cast<unsigned long long>(log.dropped()));
 }
 
 /// Prints the bench header with the resolved configuration.

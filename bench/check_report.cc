@@ -241,6 +241,23 @@ int Run(const std::string& path, const std::string& baseline_path) {
   const obs::Json* dropped = report.Find("dropped_spans");
   CHECK_REPORT(dropped != nullptr && dropped->is_number(),
                "dropped_spans must be a number");
+  // Saturated buffers are a data-quality warning, not a failure: the run
+  // completed, its summaries dropped detail. Surface it so CI logs show when
+  // a bench outgrows the span or flight-recorder capacity.
+  if (dropped->as_number() > 0) {
+    std::fprintf(stderr,
+                 "check_report: warning: %.0f spans dropped (span buffer "
+                 "saturated; deepest traces are incomplete)\n",
+                 dropped->as_number());
+  }
+  const obs::Json* dropped_events = report.Find("dropped_events");
+  if (dropped_events != nullptr && dropped_events->is_number() &&
+      dropped_events->as_number() > 0) {
+    std::fprintf(stderr,
+                 "check_report: warning: %.0f flight-recorder events dropped "
+                 "(event buffer saturated; traces are truncated)\n",
+                 dropped_events->as_number());
+  }
 
 #ifndef HYPERM_OBS_DISABLED
   CHECK_REPORT(named >= 10, "expected >= 10 named metrics");

@@ -1,0 +1,54 @@
+// Chrome-trace validator for the flight recorder's --trace-out artifacts:
+// parses the JSON, then runs obs::ValidateChromeTrace — events sorted by ts,
+// every flow/async id opened and closed, known phases only, required fields
+// present. Exits 0 when the file would load cleanly in Perfetto / Chrome
+// tracing, 1 with a diagnostic otherwise.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/result.h"
+#include "obs/chrome_trace.h"
+#include "obs/json.h"
+
+namespace hyperm {
+namespace {
+
+int Run(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "check_trace: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Result<obs::Json> parsed = obs::Json::Parse(buffer.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "check_trace: %s: %s\n", path.c_str(),
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  const Status status = obs::ValidateChromeTrace(parsed.value());
+  if (!status.ok()) {
+    std::fprintf(stderr, "check_trace: %s: %s\n", path.c_str(),
+                 status.ToString().c_str());
+    return 1;
+  }
+  const obs::Json* events = parsed.value().Find("traceEvents");
+  std::printf("check_trace: %s OK (%zu trace events)\n", path.c_str(),
+              events != nullptr ? events->items().size() : 0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace hyperm
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: check_trace <trace.json>\n");
+    return 2;
+  }
+  return hyperm::Run(argv[1]);
+}

@@ -1,6 +1,7 @@
 #include "channel/mobility.h"
 
 #include "common/check.h"
+#include "obs/event_log.h"
 
 namespace hyperm::channel {
 
@@ -14,12 +15,24 @@ void MobilityProcess::Start() {
   if (started_) return;
   if (channel_->step_m() <= 0.0) return;  // static placement: nothing to drive
   started_ = true;
+  last_islands_ = channel_->num_islands();
   sim_->ScheduleAfter(channel_->tick_ms(), [this] { Tick(); });
 }
 
 void MobilityProcess::Tick() {
+  // A tick can fire inside a query's heal-window RunUntil; its events are
+  // epoch bookkeeping, not part of that query's causal chain.
+  HM_OBS_ROOT_SCOPE();
   channel_->Step();
   ++ticks_;
+  const int islands = channel_->num_islands();
+  HM_OBS_EVENT(.sim_ms = sim_->now(), .kind = obs::EventKind::kMobilityTick,
+               .aux = islands);
+  if (islands != last_islands_) {
+    HM_OBS_EVENT(.sim_ms = sim_->now(), .kind = obs::EventKind::kIslandChange,
+                 .value = static_cast<double>(last_islands_), .aux = islands);
+    last_islands_ = islands;
+  }
   sim_->ScheduleAfter(channel_->tick_ms(), [this] { Tick(); });
 }
 

@@ -42,6 +42,7 @@ class MobilityProcess {
   RadioChannel* channel_;  // not owned
   bool started_ = false;
   uint64_t ticks_ = 0;
+  int last_islands_ = 1;  // island count at the previous tick (change events)
 };
 
 }  // namespace hyperm::channel

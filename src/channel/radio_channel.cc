@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/event_log.h"
 #include "obs/trace.h"
 
 namespace hyperm::channel {
@@ -107,6 +108,10 @@ sim::TimeMs RadioChannel::TransmitOneHop(int node, sim::TimeMs ready_ms,
   if (start > ready_ms) {
     ++counters_.queued_transmissions;
     counters_.queue_wait_ms += start - ready_ms;
+    // Contention stall: the hop sat in `node`'s transmit queue from the
+    // moment its payload was ready until the radio freed up.
+    HM_OBS_EVENT(.sim_ms = ready_ms, .kind = obs::EventKind::kTxQueueWait,
+                 .src = node, .value = start - ready_ms);
   }
   // Neighbourhood contention: every radio neighbour still draining its own
   // queue when this send starts shares the carrier and stretches the send.
@@ -124,6 +129,9 @@ sim::TimeMs RadioChannel::TransmitOneHop(int node, sim::TimeMs ready_ms,
   ++counters_.radio_transmissions;
   stats_->RecordHop(message.cls, message.bytes);
   HM_OBS_COUNTER_ADD("channel.radio_transmissions", 1);
+  HM_OBS_EVENT(.sim_ms = start, .kind = obs::EventKind::kTxAirtime,
+               .src = node, .dst = message.dst, .value = tx_ms,
+               .aux = busy_neighbors);
   return tail;
 }
 
@@ -142,6 +150,9 @@ net::ChannelTransmission RadioChannel::Transmit(const net::Message& message,
     const sim::TimeMs done = TransmitOneHop(message.src, now, message);
     ++counters_.unreachable_transmissions;
     HM_OBS_COUNTER_ADD("channel.unreachable", 1);
+    HM_OBS_EVENT(.sim_ms = now, .kind = obs::EventKind::kTxUnreachable,
+                 .src = message.src, .dst = message.dst,
+                 .value = done - now);
     result.latency_ms = done - now;
     result.radio_hops = 1;
     result.reachable = false;
@@ -168,6 +179,14 @@ void RadioChannel::Step() {
     ++counters_.disconnected_steps;
     HM_OBS_COUNTER_ADD("channel.disconnected_steps", 1);
   }
+}
+
+int RadioChannel::BusyNodesAt(sim::TimeMs now) const {
+  int busy = 0;
+  for (sim::TimeMs t : busy_until_) {
+    if (t > now) ++busy;
+  }
+  return busy;
 }
 
 sim::TimeMs RadioChannel::DrainedAtMs() const {

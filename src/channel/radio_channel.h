@@ -108,6 +108,10 @@ class RadioChannel : public net::PhysicalChannel {
   /// leak into query latency.
   sim::TimeMs DrainedAtMs() const;
 
+  /// Number of nodes whose transmit queue is still busy at `now` — the
+  /// flight recorder's queue-occupancy time-series probe samples this.
+  int BusyNodesAt(sim::TimeMs now) const;
+
   /// Island (connected-component) label of `node`, densely numbered from 0
   /// in ascending-node discovery order; -1 for out-of-range nodes. Two peers
   /// are mutually reachable iff their labels match — the hint detour routing

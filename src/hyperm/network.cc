@@ -10,6 +10,7 @@
 #include "can/can_overlay.h"
 #include "common/check.h"
 #include "common/math_util.h"
+#include "obs/event_log.h"
 #include "obs/trace.h"
 #include "overlay/ring_overlay.h"
 #include "overlay/tree_overlay.h"
@@ -45,6 +46,19 @@ void RecordQueryInfoMetrics(const RangeQueryInfo& info) {
   (void)info;
 #endif
 }
+
+// Tracks the number of queries between entry and return for the flight
+// recorder's probe.inflight_queries gauge (exception-safe on early returns).
+class ScopedInflight {
+ public:
+  explicit ScopedInflight(int* counter) : counter_(counter) { ++*counter_; }
+  ~ScopedInflight() { --*counter_; }
+  ScopedInflight(const ScopedInflight&) = delete;
+  ScopedInflight& operator=(const ScopedInflight&) = delete;
+
+ private:
+  int* counter_;
+};
 
 }  // namespace
 
@@ -88,6 +102,13 @@ Status HyperMNetwork::DrainLevelOutcomes(
     LevelOutcome& out = outcomes[layer];
     HM_OBS_SPAN_COMPLETED("query/layer" + std::to_string(layer), out.wall_us);
     if (!out.status.ok()) return out.status;
+    // Final fate of the level after every re-issue round has settled — the
+    // flight recorder's per-level verdict (cause mirrors LevelDelivery).
+    HM_OBS_EVENT(.sim_ms = sim_ ? sim_->now() : 0.0,
+                 .kind = obs::EventKind::kLevelFinal,
+                 .level = static_cast<int32_t>(layer),
+                 .cause = static_cast<int32_t>(out.delivery),
+                 .value = out.latency_ms, .aux = out.reissues);
     if (info != nullptr) {
       info->overlay_routing_hops += out.routing_hops;
       info->overlay_flood_hops += out.flood_hops;
@@ -146,10 +167,16 @@ Status HyperMNetwork::InitTransport() {
 
     for (const net::PeerEvent& event : net_opts.faults.peer_events) {
       sim_->ScheduleAt(event.at_ms, [this, event] {
+        // Fault events can fire inside a query's heal-window RunUntil; their
+        // flight-recorder events are epoch bookkeeping, not part of that
+        // query's causal chain.
+        HM_OBS_ROOT_SCOPE();
         if (event.up) {
           fault_state_->SetUp(event.peer, true);
           ++soft_.rejoins;
           HM_OBS_COUNTER_ADD("net.rejoins", 1);
+          HM_OBS_EVENT(.sim_ms = sim_->now(),
+                       .kind = obs::EventKind::kPeerRejoin, .src = event.peer);
         } else {
           fault_state_->SetUp(event.peer, false);
           ++soft_.crashes;
@@ -161,6 +188,9 @@ Status HyperMNetwork::InitTransport() {
           for (auto& ov : overlays_) lost += ov->ClearNode(event.peer);
           soft_.summaries_lost += static_cast<uint64_t>(lost);
           HM_OBS_COUNTER_ADD("net.summaries_lost", lost);
+          HM_OBS_EVENT(.sim_ms = sim_->now(),
+                       .kind = obs::EventKind::kPeerCrash, .src = event.peer,
+                       .aux = lost);
         }
       });
     }
@@ -170,6 +200,9 @@ Status HyperMNetwork::InitTransport() {
                                      ? net_opts.expiry_sweep_period_ms
                                      : net_opts.summary_ttl_ms / 2.0;
       ScheduleExpirySweep(period);
+    }
+    if (options_.trace_series_period_ms > 0.0) {
+      ScheduleSeriesProbe(options_.trace_series_period_ms);
     }
   }
   for (auto& ov : overlays_) {
@@ -188,16 +221,37 @@ void HyperMNetwork::ScheduleRepublish() {
 
 void HyperMNetwork::ScheduleExpirySweep(sim::TimeMs period) {
   sim_->ScheduleAfter(period, [this, period] {
+    // Sweeps fire inside heal-window RunUntils too; clear the causal context.
+    HM_OBS_ROOT_SCOPE();
     int expired = 0;
     for (auto& ov : overlays_) expired += ov->ExpireBefore(sim_->now());
     soft_.summaries_expired += static_cast<uint64_t>(expired);
     HM_OBS_COUNTER_ADD("net.summaries_expired", expired);
+    HM_OBS_EVENT(.sim_ms = sim_->now(),
+                 .kind = obs::EventKind::kSummariesExpired, .aux = expired);
     ScheduleExpirySweep(period);
   });
 }
 
+void HyperMNetwork::ScheduleSeriesProbe(sim::TimeMs period) {
+  sim_->ScheduleAfter(period, [this, period] {
+    [[maybe_unused]] const sim::TimeMs now = sim_->now();
+    HM_OBS_SERIES("probe.inflight_queries", now,
+                  static_cast<double>(inflight_queries_));
+    HM_OBS_SERIES("probe.busy_nodes", now,
+                  channel_ != nullptr ? channel_->BusyNodesAt(now) : 0.0);
+    HM_OBS_SERIES("probe.islands", now,
+                  channel_ != nullptr ? channel_->num_islands() : 1.0);
+    ScheduleSeriesProbe(period);
+  });
+}
+
 void HyperMNetwork::RepublishTick() {
+  // Republish rounds are scheduled callbacks: their messages must not
+  // inherit the causal ids of whatever query's RunUntil they interrupt.
+  HM_OBS_ROOT_SCOPE();
   const double ttl = options_.net.summary_ttl_ms;
+  int peers_republished = 0;
   for (int p = 0; p < num_peers(); ++p) {
     if (!fault_state_->up(p)) continue;  // crashed peers cannot republish
     bool any = false;
@@ -215,9 +269,15 @@ void HyperMNetwork::RepublishTick() {
     }
     if (any) {
       ++soft_.republishes;
+      ++peers_republished;
       HM_OBS_COUNTER_ADD("net.republishes", 1);
     }
   }
+  HM_OBS_EVENT(.sim_ms = sim_->now(), .kind = obs::EventKind::kRepublishRound,
+               .aux = peers_republished);
+#ifdef HYPERM_OBS_DISABLED
+  (void)peers_republished;
+#endif
 }
 
 void HyperMNetwork::AdvanceTo(sim::TimeMs t) {
@@ -522,6 +582,10 @@ Result<std::vector<ItemId>> HyperMNetwork::RangeQuery(const Vector& query,
                                                       RangeQueryInfo* info) {
   HM_OBS_SPAN("query/range");
   HM_OBS_COUNTER_ADD("query.range_count", 1);
+  // Root of this query's causal chain: every event below — plan, probes,
+  // messages, retrieves — inherits the fresh query id from ambient context.
+  HM_OBS_QUERY_SCOPE(hm_obs_query_id);
+  ScopedInflight inflight(&inflight_queries_);
   // The registry is the system of record for per-query accounting; the info
   // struct is a thin per-call view, so always accumulate into one and fold it
   // into the metrics at the end even when the caller passed none.
@@ -570,6 +634,11 @@ Result<std::vector<ItemId>> HyperMNetwork::RangeQuery(const Vector& query,
   stats_.RecordQueryServed();
   std::sort(results.begin(), results.end());
   results.erase(std::unique(results.begin(), results.end()), results.end());
+  HM_OBS_EVENT(.sim_ms = sim_ ? sim_->now() : 0.0,
+               .kind = obs::EventKind::kQueryDone,
+               .query_id = hm_obs_query_id, .src = querying_peer,
+               .value = info->latency_ms,
+               .aux = static_cast<int64_t>(results.size()));
   return results;
 }
 
@@ -587,6 +656,9 @@ Result<std::vector<ItemId>> HyperMNetwork::KnnQuery(const Vector& query, int k,
   }
   HM_OBS_SPAN("query/knn");
   HM_OBS_COUNTER_ADD("query.knn_count", 1);
+  // Root of this query's causal chain (see RangeQuery).
+  HM_OBS_QUERY_SCOPE(hm_obs_query_id);
+  ScopedInflight inflight(&inflight_queries_);
 
   // Same thin-view contract as RangeQuery: accumulate locally when the caller
   // passed no info struct so the registry always sees the query's accounting.
@@ -623,6 +695,10 @@ Result<std::vector<ItemId>> HyperMNetwork::KnnQuery(const Vector& query, int k,
   if (merged.empty()) {
     RecordQueryInfoMetrics(*range_info);
     stats_.RecordQueryServed();
+    HM_OBS_EVENT(.sim_ms = sim_ ? sim_->now() : 0.0,
+                 .kind = obs::EventKind::kQueryDone,
+                 .query_id = hm_obs_query_id, .src = querying_peer,
+                 .value = range_info->latency_ms);
     return std::vector<ItemId>{};
   }
 
@@ -698,6 +774,11 @@ Result<std::vector<ItemId>> HyperMNetwork::KnnQuery(const Vector& query, int k,
     result.push_back(item.id);
     if (options.truncate_to_k && result.size() >= static_cast<size_t>(k)) break;
   }
+  HM_OBS_EVENT(.sim_ms = sim_ ? sim_->now() : 0.0,
+               .kind = obs::EventKind::kQueryDone,
+               .query_id = hm_obs_query_id, .src = querying_peer,
+               .value = range_info->latency_ms,
+               .aux = static_cast<int64_t>(result.size()));
   return result;
 }
 

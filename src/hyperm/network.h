@@ -88,6 +88,14 @@ struct HyperMOptions {
   /// net.unreliable (the reliable transport has no simulator and nothing to
   /// heal) and is silently skipped otherwise.
   QueryPlanOptions plan;
+
+  /// Flight-recorder time-series sampling period (simulated ms). When > 0 and
+  /// net.unreliable, a self-rescheduling probe samples queue occupancy
+  /// (probe.busy_nodes), in-flight queries (probe.inflight_queries) and the
+  /// live island count (probe.islands) into the global obs::EventLog's ring
+  /// buffers every period. 0 (default) schedules nothing — zero overhead and
+  /// the historical event-queue contents are preserved bit for bit.
+  double trace_series_period_ms = 0.0;
 };
 
 /// Traffic/effort account of one range query.
@@ -272,10 +280,11 @@ class HyperMNetwork {
   QueryExecutor MakeExecutor();
 
   /// Drains executor outcomes in layer order on the calling thread: emits
-  /// the per-layer spans, folds traffic + delivery-fate accounting into
-  /// `info` (ignored when null) and moves the per-level score maps out.
-  /// Returns the first failed level's status.
-  static Status DrainLevelOutcomes(
+  /// the per-layer spans and kLevelFinal flight-recorder events, folds
+  /// traffic + delivery-fate accounting into `info` (ignored when null) and
+  /// moves the per-level score maps out. Returns the first failed level's
+  /// status.
+  Status DrainLevelOutcomes(
       std::vector<LevelOutcome>& outcomes, RangeQueryInfo* info,
       std::vector<std::unordered_map<int, double>>* level_scores);
 
@@ -291,6 +300,7 @@ class HyperMNetwork {
   /// Self-rescheduling periodic events on the fault simulator.
   void ScheduleRepublish();
   void ScheduleExpirySweep(sim::TimeMs period);
+  void ScheduleSeriesProbe(sim::TimeMs period);
 
   /// Clusters and publishes one peer's summaries into all layers (steps
   /// i2–i3): per-layer k-means fanned out on the pool with RNG streams
@@ -329,6 +339,11 @@ class HyperMNetwork {
   std::unique_ptr<channel::MobilityProcess> mobility_;
   std::unique_ptr<net::Transport> transport_;
   SoftStateCounters soft_;
+  // Queries currently between entry and return (sampled by the flight
+  // recorder's probe.inflight_queries series). The orchestrating thread runs
+  // queries one at a time, but a heal-window RunUntil keeps the owning query
+  // "in flight" while scheduled callbacks observe the gauge.
+  int inflight_queries_ = 0;
   // Last published summaries per [peer][layer]; what RepublishTick re-inserts.
   std::vector<std::vector<std::vector<overlay::PublishedCluster>>> published_cache_;
 };

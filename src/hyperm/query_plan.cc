@@ -7,9 +7,18 @@
 
 #include "common/check.h"
 #include "geom/radius_estimator.h"
+#include "obs/event_log.h"
 #include "vec/vector.h"
 
 namespace hyperm::core {
+
+// The flight recorder's probe/level cause payload mirrors LevelDelivery
+// numerically (obs sits below hyperm in the dependency order).
+static_assert(static_cast<int>(LevelDelivery::kDelivered) == 0);
+static_assert(static_cast<int>(LevelDelivery::kDetoured) == 1);
+static_assert(static_cast<int>(LevelDelivery::kDeferred) == 2);
+static_assert(static_cast<int>(LevelDelivery::kLost) == 3);
+
 namespace {
 
 double ElapsedUs(std::chrono::steady_clock::time_point start) {
@@ -243,9 +252,30 @@ void QueryExecutor::MergeReissue(const LevelOutcome& retry, double heal_wait_ms,
 std::vector<LevelOutcome> QueryExecutor::Execute(const QueryPlan& plan,
                                                  int querying_peer) {
   std::vector<LevelOutcome> outcomes(plan.probes.size());
+  // Flight recorder: plan emission + round-0 probe issues, stamped on the
+  // orchestrating thread before the fan-out so the records are identical
+  // whether the probes below run serially (unreliable mode) or on pool
+  // workers (where the hooks inside RunProbe no-op off the owner thread).
+  [[maybe_unused]] const double plan_ms = sim_ != nullptr ? sim_->now() : 0.0;
+  HM_OBS_EVENT(.sim_ms = plan_ms, .kind = obs::EventKind::kQueryPlan,
+               .src = querying_peer,
+               .aux = static_cast<int64_t>(plan.probes.size()));
+  for ([[maybe_unused]] const LevelProbe& probe : plan.probes) {
+    HM_OBS_EVENT(.sim_ms = plan_ms, .kind = obs::EventKind::kProbeIssue,
+                 .level = probe.layer, .attempt = 0, .src = querying_peer);
+  }
   fan_out_(plan.probes.size(), [&](size_t i) {
+    HM_OBS_LEVEL_SCOPE(plan.probes[i].layer);
     RunProbe(plan.probes[i], querying_peer, &outcomes[i]);
   });
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    HM_OBS_EVENT(.sim_ms = sim_ != nullptr ? sim_->now() : 0.0,
+                 .kind = obs::EventKind::kProbeOutcome,
+                 .level = plan.probes[i].layer, .attempt = 0,
+                 .src = querying_peer,
+                 .cause = static_cast<int32_t>(outcomes[i].delivery),
+                 .value = outcomes[i].latency_ms);
+  }
   if (sim_ == nullptr || plan.reissue_budget <= 0 || plan.heal_window_ms <= 0.0) {
     return outcomes;
   }
@@ -262,10 +292,25 @@ std::vector<LevelOutcome> QueryExecutor::Execute(const QueryPlan& plan,
     // windows closing, republishes — then re-probe every deferred level,
     // serially in level order (the unreliable transport's RNG stream is
     // consumed in issue order).
+    HM_OBS_EVENT(.sim_ms = sim_->now(), .kind = obs::EventKind::kHealWait,
+                 .src = querying_peer, .value = plan.heal_window_ms,
+                 .aux = static_cast<int64_t>(deferred.size()));
     sim_->RunUntil(sim_->now() + plan.heal_window_ms);
     for (size_t i : deferred) {
+      HM_OBS_EVENT(.sim_ms = sim_->now(), .kind = obs::EventKind::kProbeIssue,
+                   .level = plan.probes[i].layer, .attempt = round + 1,
+                   .src = querying_peer);
       LevelOutcome retry;
-      RunProbe(plan.probes[i], querying_peer, &retry);
+      {
+        HM_OBS_LEVEL_SCOPE(plan.probes[i].layer);
+        RunProbe(plan.probes[i], querying_peer, &retry);
+      }
+      HM_OBS_EVENT(.sim_ms = sim_->now(),
+                   .kind = obs::EventKind::kProbeOutcome,
+                   .level = plan.probes[i].layer, .attempt = round + 1,
+                   .src = querying_peer,
+                   .cause = static_cast<int32_t>(retry.delivery),
+                   .value = retry.latency_ms);
       MergeReissue(retry, plan.heal_window_ms, &outcomes[i]);
     }
   }

@@ -2,9 +2,18 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "obs/event_log.h"
 #include "obs/trace.h"
 
 namespace hyperm::net {
+
+// The flight recorder's cause payload mirrors DeliveryOutcome numerically
+// (obs cannot include this header); keep the two enums in lockstep.
+static_assert(static_cast<int>(DeliveryOutcome::kDelivered) == 0);
+static_assert(static_cast<int>(DeliveryOutcome::kLostLoss) == 1);
+static_assert(static_cast<int>(DeliveryOutcome::kLostDown) == 2);
+static_assert(static_cast<int>(DeliveryOutcome::kLostPartition) == 3);
+static_assert(static_cast<int>(DeliveryOutcome::kLostUnreachable) == 4);
 
 ReliableTransport::ReliableTransport(sim::NetworkStats* stats,
                                      const sim::LinkModel& link)
@@ -62,6 +71,13 @@ bool UnreliableTransport::ReachableHint(int src, int dst) const {
 
 HopResult UnreliableTransport::SendHop(const Message& message) {
   HopResult result;
+  // Flight recorder: one exchange id per logical send; the channel hooks
+  // fired inside Transmit() inherit it through the ambient message context.
+  HM_OBS_MSG_SCOPE(hm_obs_msg_id);
+  HM_OBS_EVENT(.sim_ms = sim_->now(), .kind = obs::EventKind::kMsgSend,
+               .src = message.src, .dst = message.dst,
+               .value = static_cast<double>(message.bytes),
+               .aux = static_cast<int64_t>(message.type));
   const int attempts = MaxAttempts(retry_);
   for (int attempt = 0; attempt < attempts; ++attempt) {
     // One independent randomness stream per physical transmission: the draw
@@ -126,6 +142,9 @@ HopResult UnreliableTransport::SendHop(const Message& message) {
       result.delivered = true;
       result.outcome = DeliveryOutcome::kDelivered;
       result.latency_ms += hop_ms;
+      HM_OBS_EVENT(.sim_ms = sim_->now(), .kind = obs::EventKind::kMsgDeliver,
+                   .attempt = attempt, .src = message.src, .dst = message.dst,
+                   .cause = 0, .value = result.latency_ms);
       if (draw.Bernoulli(plan_.duplicate_rate)) {
         // A spurious second copy reaches the receiver: the duplicate burnt
         // air time and energy but carries no new information.
@@ -138,15 +157,27 @@ HopResult UnreliableTransport::SendHop(const Message& message) {
         }
         ++counters_.duplicates;
         HM_OBS_COUNTER_ADD("net.duplicates", 1);
+        HM_OBS_EVENT(.sim_ms = sim_->now(),
+                     .kind = obs::EventKind::kMsgDuplicate, .attempt = attempt,
+                     .src = message.src, .dst = message.dst);
       }
       return result;
     }
     // The sender learns of the failure only by ack timeout; the wait is real
     // latency whether or not another attempt follows.
-    result.latency_ms += RetryWaitMs(message.dst, attempt);
+    const double wait_ms = RetryWaitMs(message.dst, attempt);
+    HM_OBS_EVENT(.sim_ms = sim_->now(), .kind = obs::EventKind::kMsgDrop,
+                 .attempt = attempt, .src = message.src, .dst = message.dst,
+                 .cause = static_cast<int32_t>(result.outcome),
+                 .value = wait_ms);
+    result.latency_ms += wait_ms;
   }
   ++counters_.dead_letters;
   HM_OBS_COUNTER_ADD("net.dead_letters", 1);
+  HM_OBS_EVENT(.sim_ms = sim_->now(), .kind = obs::EventKind::kMsgDeadLetter,
+               .attempt = attempts - 1, .src = message.src, .dst = message.dst,
+               .cause = static_cast<int32_t>(result.outcome),
+               .value = result.latency_ms);
   return result;
 }
 

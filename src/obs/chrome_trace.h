@@ -1,0 +1,50 @@
+// Chrome trace-event exporter for the flight recorder (event_log.h).
+//
+// Produces the JSON object format of the Trace Event spec, loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing:
+//
+//   - one "thread" track per peer (tid = peer id + 1) plus a "sim" track
+//     (tid 0) for global mobility / soft-state events,
+//   - "X" complete slices for radio airtime and queue waits,
+//   - async "b"/"e" pairs spanning each query and each probe round,
+//   - "s"/"f" flow events following a delivered message from its source
+//     peer's track to its destination peer's track,
+//   - "C" counter events for every ring-buffered time series,
+//   - "i" instants for drops (cause-tagged), dead letters, island changes,
+//     crashes/rejoins and soft-state sweeps.
+//
+// Timestamps are simulated time: ts = sim_ms * 1000 (the format wants
+// microseconds), so one trace millisecond is one simulated millisecond.
+// Events are emitted sorted by ts; ValidateChromeTrace() checks that plus
+// flow/async pairing and is shared by the unit test and the check_trace
+// bench-fixture tool.
+
+#ifndef HYPERM_OBS_CHROME_TRACE_H_
+#define HYPERM_OBS_CHROME_TRACE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/event_log.h"
+#include "obs/json.h"
+
+namespace hyperm::obs {
+
+/// Builds the full trace document ({"traceEvents": [...], ...}) from the
+/// log's events and time series. Flows are only emitted for messages whose
+/// send and delivery both survived buffer saturation, so the output always
+/// validates even from a truncated log.
+Json ChromeTraceFromLog(const EventLog& log);
+
+/// Serializes ChromeTraceFromLog(log) to `path`. False on I/O failure.
+bool WriteChromeTrace(const std::string& path, const EventLog& log);
+
+/// Structural well-formedness check: traceEvents array present, required
+/// fields per phase, timestamps non-decreasing, non-negative "X" durations,
+/// every flow start ("s") matched by exactly one finish ("f") and every
+/// async begin ("b") by an end ("e") per (cat, id).
+Status ValidateChromeTrace(const Json& doc);
+
+}  // namespace hyperm::obs
+
+#endif  // HYPERM_OBS_CHROME_TRACE_H_

@@ -22,6 +22,10 @@ Json HistogramToJson(const HistogramSnapshot& h) {
   // the conventional empty value (count==0 disambiguates).
   out.Set("min", Json(h.count == 0 ? 0.0 : h.min));
   out.Set("max", Json(h.count == 0 ? 0.0 : h.max));
+  // Tail quantiles (bucket interpolation); mean alone hides tail latency.
+  out.Set("p50", Json(h.Quantile(0.50)));
+  out.Set("p95", Json(h.Quantile(0.95)));
+  out.Set("p99", Json(h.Quantile(0.99)));
   return out;
 }
 
@@ -66,7 +70,8 @@ Result<HistogramSnapshot> HistogramFromJson(const Json& json) {
 }  // namespace
 
 Json ReportToJson(const RunMeta& meta, const MetricsSnapshot& metrics,
-                  const std::vector<SpanRecord>& spans, uint64_t dropped_spans) {
+                  const std::vector<SpanRecord>& spans, uint64_t dropped_spans,
+                  uint64_t dropped_events) {
   Json report = Json::Object();
   report.Set("schema_version", Json(kReportSchemaVersion));
 
@@ -103,6 +108,9 @@ Json ReportToJson(const RunMeta& meta, const MetricsSnapshot& metrics,
   }
   report.Set("spans", std::move(spans_json));
   report.Set("dropped_spans", Json(dropped_spans));
+  // Flight-recorder saturation (event_log.h); check_report warns when a
+  // report was produced from a saturated buffer.
+  report.Set("dropped_events", Json(dropped_events));
   return report;
 }
 
@@ -170,8 +178,10 @@ std::string SpansToCsv(const std::vector<SpanRecord>& spans) {
 
 Status WriteReportFile(const std::string& path, const RunMeta& meta,
                        const MetricsSnapshot& metrics,
-                       const std::vector<SpanRecord>& spans, uint64_t dropped_spans) {
-  const std::string text = ReportToJson(meta, metrics, spans, dropped_spans).Dump(2);
+                       const std::vector<SpanRecord>& spans, uint64_t dropped_spans,
+                       uint64_t dropped_events) {
+  const std::string text =
+      ReportToJson(meta, metrics, spans, dropped_spans, dropped_events).Dump(2);
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return InternalError("cannot open report file: " + path);
   const size_t written = std::fwrite(text.data(), 1, text.size(), f);
@@ -184,7 +194,8 @@ Status WriteReportFile(const std::string& path, const RunMeta& meta,
 
 Status WriteGlobalReport(const std::string& path, const RunMeta& meta) {
   return WriteReportFile(path, meta, MetricsRegistry::Global().Snapshot(),
-                         Tracer::Global().spans(), Tracer::Global().dropped());
+                         Tracer::Global().spans(), Tracer::Global().dropped(),
+                         EventLog::Global().dropped());
 }
 
 }  // namespace hyperm::obs

@@ -82,6 +82,26 @@ void Histogram::Reset() {
   snap_.max = -std::numeric_limits<double>::infinity();
 }
 
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(count);
+  double cum = static_cast<double>(underflow);
+  if (rank <= cum) return min;  // target lands below the first edge
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const double bucket = static_cast<double>(counts[i]);
+    if (bucket > 0.0 && rank <= cum + bucket) {
+      const double lo = edges[i];
+      const double hi = edges[i + 1];
+      const double estimate = lo + (hi - lo) * (rank - cum) / bucket;
+      // Observations cluster inside [min, max] even when the bucket is wider.
+      return std::min(max, std::max(min, estimate));
+    }
+    cum += bucket;
+  }
+  return max;  // target lands in the overflow bucket
+}
+
 bool MetricsSnapshot::Merge(const MetricsSnapshot& other) {
   bool ok = true;
   for (const auto& [name, value] : other.counters) counters[name] += value;
@@ -95,6 +115,11 @@ bool MetricsSnapshot::Merge(const MetricsSnapshot& other) {
     HistogramSnapshot& mine = it->second;
     if (mine.edges != theirs.edges) {
       ok = false;  // incompatible layouts: keep ours, flag the conflict
+      // Callers historically ignored the return value, silently dropping the
+      // other run's data; the counter makes the conflict visible in every
+      // exported report. Registered lazily so conflict-free runs don't grow
+      // a new metric.
+      MetricsRegistry::Global().GetCounter("obs.merge_mismatch").Add(1);
       continue;
     }
     for (size_t i = 0; i < mine.counts.size(); ++i) mine.counts[i] += theirs.counts[i];

@@ -94,6 +94,13 @@ struct HistogramSnapshot {
   double max = -std::numeric_limits<double>::infinity();
 
   double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+
+  /// Quantile estimate (q in [0, 1]) by linear interpolation inside the
+  /// bucket containing the target rank, clamped to the observed [min, max].
+  /// Ranks landing in the underflow bucket report min, in the overflow
+  /// bucket max. 0 for an empty histogram. The JSON exporter surfaces
+  /// p50/p95/p99 through this.
+  double Quantile(double q) const;
 };
 
 /// Fixed-bucket histogram with explicit underflow/overflow buckets.
@@ -121,8 +128,10 @@ struct MetricsSnapshot {
 
   /// Element-wise accumulation (counters add, gauges take the other's value,
   /// histograms add per-bucket). Histograms present in both snapshots must
-  /// share bucket edges; mismatching entries keep this snapshot's value and
-  /// Merge returns false.
+  /// share bucket edges; mismatching entries keep this snapshot's value,
+  /// bump the global `obs.merge_mismatch` counter (registered lazily, only
+  /// on the first conflict) and make Merge return false — callers that
+  /// ignore the return value still leave an audit trail in exported reports.
   bool Merge(const MetricsSnapshot& other);
 
   bool empty() const {

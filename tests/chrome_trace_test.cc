@@ -1,0 +1,209 @@
+// Chrome trace-event exporter tests (obs/chrome_trace.h): a synthetic flight
+// recorder log exports to a Perfetto-loadable document that its own validator
+// accepts; saturated logs (missing pair endpoints) degrade pairs to instants
+// instead of emitting dangling flows; the validator rejects the malformed
+// documents CI must catch.
+
+#include "obs/chrome_trace.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/event_log.h"
+#include "obs/json.h"
+
+namespace hyperm::obs {
+namespace {
+
+class ChromeTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { EventLog::Global().Reset(); }
+  void TearDown() override { EventLog::Global().Reset(); }
+};
+
+// One query: plan, a probe round whose message is dropped once (partition)
+// then delivered on retry, outcome, level final, done — plus channel and
+// mobility colour.
+void RecordCompleteQuery(EventLog& log) {
+  log.Arm();
+  HM_OBS_QUERY_SCOPE(qid);
+  HM_OBS_EVENT(.sim_ms = 100.0, .kind = EventKind::kQueryPlan, .src = 0,
+               .aux = 1);
+  HM_OBS_EVENT(.sim_ms = 100.0, .kind = EventKind::kProbeIssue, .level = 0,
+               .attempt = 0, .src = 0);
+  {
+    HM_OBS_LEVEL_SCOPE(0);
+    HM_OBS_MSG_SCOPE(mid);
+    (void)mid;
+    HM_OBS_EVENT(.sim_ms = 101.0, .kind = EventKind::kMsgSend, .src = 0,
+                 .dst = 3, .value = 64.0);
+    HM_OBS_EVENT(.sim_ms = 101.5, .kind = EventKind::kTxAirtime, .src = 0,
+                 .dst = 3, .value = 0.6, .aux = 1);
+    HM_OBS_EVENT(.sim_ms = 103.0, .kind = EventKind::kMsgDrop, .attempt = 0,
+                 .src = 0, .dst = 3, .cause = 3, .value = 8.0);
+    HM_OBS_EVENT(.sim_ms = 112.0, .kind = EventKind::kMsgDeliver, .attempt = 1,
+                 .src = 0, .dst = 3, .cause = 0, .value = 11.0);
+  }
+  HM_OBS_EVENT(.sim_ms = 113.0, .kind = EventKind::kProbeOutcome, .level = 0,
+               .attempt = 0, .src = 0, .cause = 0, .value = 13.0);
+  HM_OBS_EVENT(.sim_ms = 113.0, .kind = EventKind::kLevelFinal, .level = 0,
+               .cause = 0, .value = 13.0);
+  HM_OBS_EVENT(.sim_ms = 150.0, .kind = EventKind::kMobilityTick, .aux = 2);
+  HM_OBS_EVENT(.sim_ms = 160.0, .kind = EventKind::kQueryDone,
+               .query_id = qid, .src = 0, .value = 13.0, .aux = 4);
+  HM_OBS_SERIES("probe.islands", 150.0, 2.0);
+}
+
+TEST_F(ChromeTraceTest, ExportValidatesAndCarriesStructure) {
+  EventLog& log = EventLog::Global();
+  RecordCompleteQuery(log);
+  const Json doc = ChromeTraceFromLog(log);
+  EXPECT_TRUE(ValidateChromeTrace(doc).ok())
+      << ValidateChromeTrace(doc).ToString();
+
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.Find("displayTimeUnit")->as_string(), "ms");
+  const Json* other = doc.Find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->Find("recorded_events")->as_number(), 10.0);
+  EXPECT_EQ(other->Find("dropped_events")->as_number(), 0.0);
+
+  const Json* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  int metadata = 0, flows_s = 0, flows_f = 0, asyncs_b = 0, asyncs_e = 0;
+  int counters = 0, slices = 0;
+  bool peer_track_named = false;
+  for (const Json& e : events->items()) {
+    const std::string& ph = e.Find("ph")->as_string();
+    if (ph == "M") {
+      ++metadata;
+      const Json* args = e.Find("args");
+      if (args != nullptr && args->Find("name") != nullptr &&
+          args->Find("name")->as_string() == "peer 0") {
+        peer_track_named = true;
+      }
+    }
+    if (ph == "s") ++flows_s;
+    if (ph == "f") ++flows_f;
+    if (ph == "b") ++asyncs_b;
+    if (ph == "e") ++asyncs_e;
+    if (ph == "C") ++counters;
+    if (ph == "X") ++slices;
+  }
+  EXPECT_GE(metadata, 3);  // process_name + sim + at least one peer track
+  EXPECT_TRUE(peer_track_named);
+  EXPECT_EQ(flows_s, 1);  // the delivered message's flow, sent...
+  EXPECT_EQ(flows_f, 1);  // ...and received on the dst peer's track
+  EXPECT_EQ(asyncs_b, 2);  // query span + probe round span
+  EXPECT_EQ(asyncs_e, 2);
+  EXPECT_EQ(counters, 2);  // islands tick + probe.islands series sample
+  EXPECT_EQ(slices, 1);    // the airtime X slice
+}
+
+TEST_F(ChromeTraceTest, IncompletePairsDegradeToInstants) {
+  EventLog& log = EventLog::Global();
+  log.Arm();
+  // A send whose deliver fell out of the buffer, a plan whose done is
+  // missing, a probe issue with no outcome: none may emit dangling pairs.
+  HM_OBS_EVENT(.sim_ms = 1.0, .kind = EventKind::kQueryPlan, .query_id = 7,
+               .src = 0, .aux = 1);
+  HM_OBS_EVENT(.sim_ms = 2.0, .kind = EventKind::kProbeIssue, .query_id = 7,
+               .level = 0, .attempt = 0, .src = 0);
+  HM_OBS_EVENT(.sim_ms = 3.0, .kind = EventKind::kMsgSend, .msg_id = 5,
+               .src = 0, .dst = 1, .value = 64.0);
+  const Json doc = ChromeTraceFromLog(log);
+  EXPECT_TRUE(ValidateChromeTrace(doc).ok())
+      << ValidateChromeTrace(doc).ToString();
+  for (const Json& e : doc.Find("traceEvents")->items()) {
+    const std::string& ph = e.Find("ph")->as_string();
+    EXPECT_TRUE(ph == "M" || ph == "i") << "unexpected phase " << ph;
+  }
+}
+
+TEST_F(ChromeTraceTest, ValidatorRejectsUnsortedTimestamps) {
+  Json doc = Json::Object();
+  Json events = Json::Array();
+  Json a = Json::Object();
+  a.Set("ph", Json("i"));
+  a.Set("name", Json("later"));
+  a.Set("tid", Json(0));
+  a.Set("ts", Json(200.0));
+  a.Set("s", Json("t"));
+  events.Append(std::move(a));
+  Json b = Json::Object();
+  b.Set("ph", Json("i"));
+  b.Set("name", Json("earlier"));
+  b.Set("tid", Json(0));
+  b.Set("ts", Json(100.0));
+  b.Set("s", Json("t"));
+  events.Append(std::move(b));
+  doc.Set("traceEvents", std::move(events));
+  const Status status = ValidateChromeTrace(doc);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("not sorted"), std::string::npos);
+}
+
+TEST_F(ChromeTraceTest, ValidatorRejectsUnpairedFlow) {
+  Json doc = Json::Object();
+  Json events = Json::Array();
+  Json s = Json::Object();
+  s.Set("ph", Json("s"));
+  s.Set("name", Json("msg 1"));
+  s.Set("cat", Json("msg"));
+  s.Set("tid", Json(0));
+  s.Set("ts", Json(1.0));
+  s.Set("id", Json(1));
+  events.Append(std::move(s));
+  doc.Set("traceEvents", std::move(events));
+  const Status status = ValidateChromeTrace(doc);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("unpaired flow"), std::string::npos);
+}
+
+TEST_F(ChromeTraceTest, ValidatorRejectsFinishBeforeStartAndUnknownPhase) {
+  {
+    Json doc = Json::Object();
+    Json events = Json::Array();
+    Json f = Json::Object();
+    f.Set("ph", Json("f"));
+    f.Set("name", Json("msg 1"));
+    f.Set("cat", Json("msg"));
+    f.Set("tid", Json(0));
+    f.Set("ts", Json(1.0));
+    f.Set("id", Json(1));
+    events.Append(std::move(f));
+    doc.Set("traceEvents", std::move(events));
+    EXPECT_FALSE(ValidateChromeTrace(doc).ok());
+  }
+  {
+    Json doc = Json::Object();
+    Json events = Json::Array();
+    Json z = Json::Object();
+    z.Set("ph", Json("Z"));
+    z.Set("name", Json("what"));
+    z.Set("tid", Json(0));
+    z.Set("ts", Json(1.0));
+    events.Append(std::move(z));
+    doc.Set("traceEvents", std::move(events));
+    const Status status = ValidateChromeTrace(doc);
+    EXPECT_FALSE(status.ok());
+    EXPECT_NE(status.ToString().find("unexpected phase"), std::string::npos);
+  }
+}
+
+TEST_F(ChromeTraceTest, ValidatorRejectsXWithoutDuration) {
+  Json doc = Json::Object();
+  Json events = Json::Array();
+  Json x = Json::Object();
+  x.Set("ph", Json("X"));
+  x.Set("name", Json("tx"));
+  x.Set("tid", Json(0));
+  x.Set("ts", Json(1.0));
+  events.Append(std::move(x));
+  doc.Set("traceEvents", std::move(events));
+  EXPECT_FALSE(ValidateChromeTrace(doc).ok());
+}
+
+}  // namespace
+}  // namespace hyperm::obs

@@ -1,0 +1,241 @@
+// Flight-recorder acceptance test (ISSUE 6): a partitioned, healed range
+// query must be reconstructible end to end from the event log ALONE — plan,
+// per-level probe rounds, per-message transmission attempts with drop
+// causes, the heal-window re-issue, and the final per-level lattice outcome
+// — with no causal-chain gaps. And the log must be bit-identical at 1 and 8
+// pool threads (events are recorded only from the orchestrating thread).
+//
+// The scenario mirrors query_partition_test: peer 0 is cut off during
+// [1s, 2s), the query runs mid-partition at t=1200 with a 400 ms heal
+// window and a re-issue budget of 2, so the second round crosses the
+// partition's end and every deferred level heals.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/markov_generator.h"
+#include "data/peer_assignment.h"
+#include "hyperm/network.h"
+#include "obs/event_log.h"
+#include "obs/timeline.h"
+
+namespace hyperm::core {
+namespace {
+
+constexpr int kNumPeers = 16;
+constexpr int kNumItems = 400;
+constexpr double kSplitStartMs = 1000.0;
+constexpr double kSplitEndMs = 2000.0;
+constexpr double kQueryTimeMs = kSplitStartMs + 200.0;
+constexpr double kEpsilon = 0.8;
+
+struct Bed {
+  data::Dataset dataset;
+  data::PeerAssignment assignment;
+  std::unique_ptr<HyperMNetwork> network;
+};
+
+Bed MakeBed(const HyperMOptions& options) {
+  Rng rng(4242);
+  data::MarkovOptions data_options;
+  data_options.count = kNumItems;
+  data_options.dim = 32;
+  data_options.num_families = 8;
+  Result<data::Dataset> ds = data::GenerateMarkov(data_options, rng);
+  EXPECT_TRUE(ds.ok());
+  Bed bed;
+  bed.dataset = std::move(ds).value();
+  data::AssignmentOptions assign_options;
+  assign_options.num_peers = kNumPeers;
+  assign_options.num_interest_classes = 8;
+  assign_options.min_peers_per_class = 4;
+  assign_options.max_peers_per_class = 6;
+  Result<data::PeerAssignment> assignment =
+      data::AssignByInterest(bed.dataset, assign_options, rng);
+  EXPECT_TRUE(assignment.ok());
+  bed.assignment = std::move(assignment).value();
+  Result<std::unique_ptr<HyperMNetwork>> net =
+      HyperMNetwork::Build(bed.dataset, bed.assignment, options, rng);
+  EXPECT_TRUE(net.ok()) << net.status().ToString();
+  bed.network = std::move(net).value();
+  return bed;
+}
+
+HyperMOptions HealingOptions(int num_threads = 0) {
+  HyperMOptions options;
+  options.num_layers = 3;
+  options.clusters_per_peer = 6;
+  options.num_threads = num_threads;
+  options.net.unreliable = true;
+  net::Partition split;
+  split.start_ms = kSplitStartMs;
+  split.end_ms = kSplitEndMs;
+  split.group = {0};
+  options.net.faults.partitions.push_back(split);
+  options.plan.reissue_budget = 2;
+  options.plan.heal_window_ms = 400.0;
+  return options;
+}
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::EventLog::Global().Reset(); }
+  void TearDown() override { obs::EventLog::Global().Reset(); }
+};
+
+// Builds the bed un-armed (keeping publication traffic out of the log), arms
+// the recorder, then runs the canonical partitioned-and-healed query.
+std::vector<ItemId> RunHealedQuery(const HyperMOptions& options,
+                                   RangeQueryInfo* info) {
+  Bed bed = MakeBed(options);
+  obs::EventLog::Global().Arm();
+  bed.network->AdvanceTo(kQueryTimeMs);
+  const Vector& center = bed.dataset.items[3];
+  Result<std::vector<ItemId>> retrieved = bed.network->RangeQuery(
+      center, kEpsilon, /*querying_peer=*/0, /*max_peers_contacted=*/-1, info);
+  EXPECT_TRUE(retrieved.ok()) << retrieved.status().ToString();
+  EXPECT_GE(bed.network->now(), kSplitEndMs);  // the heal waits really ran
+  return retrieved.value();
+}
+
+TEST_F(FlightRecorderTest, PartitionedQueryReconstructsEndToEnd) {
+  RangeQueryInfo info;
+  const std::vector<ItemId> retrieved = RunHealedQuery(HealingOptions(), &info);
+  ASSERT_GT(info.reissues, 0);  // the scenario exercised the heal path
+  ASSERT_EQ(info.layers_lost, 0);
+  ASSERT_FALSE(retrieved.empty());
+
+  const obs::EventLog& log = obs::EventLog::Global();
+  EXPECT_EQ(log.dropped(), 0u);
+  const std::vector<obs::Event>& events = log.events();
+
+  const std::vector<int64_t> ids = obs::QueryIdsInLog(events);
+  ASSERT_EQ(ids.size(), 1u);
+  Result<obs::QueryTimeline> reconstructed =
+      obs::ReconstructQueryTimeline(events, ids[0]);
+  ASSERT_TRUE(reconstructed.ok()) << reconstructed.status().ToString();
+  const obs::QueryTimeline& timeline = reconstructed.value();
+
+  // No gaps anywhere in the causal chain — the acceptance criterion.
+  const Status chain = obs::ValidateCausalChain(timeline);
+  EXPECT_TRUE(chain.ok()) << chain.ToString();
+
+  // Plan: emitted at query time, by the querying peer, covering every layer.
+  EXPECT_EQ(timeline.querying_peer, 0);
+  EXPECT_DOUBLE_EQ(timeline.plan_ms, kQueryTimeMs);
+  EXPECT_EQ(timeline.levels_planned, 3);
+  ASSERT_EQ(timeline.levels.size(), 3u);
+
+  // Done: after the partition closed, reporting the returned result count.
+  EXPECT_GE(timeline.done_ms, kSplitEndMs);
+  EXPECT_EQ(timeline.results, static_cast<int64_t>(retrieved.size()));
+
+  // Heal: the executor parked at least once for the configured window, and
+  // the re-issued rounds it merged match the query's own accounting.
+  ASSERT_FALSE(timeline.heal_waits.empty());
+  EXPECT_DOUBLE_EQ(timeline.heal_waits[0].value, 400.0);
+  int64_t reissues = 0;
+  bool saw_reissued_round = false;
+  bool saw_partition_drop = false;
+  bool saw_healed_level = false;
+  for (const obs::LevelTrace& level : timeline.levels) {
+    EXPECT_TRUE(level.has_final);
+    reissues += level.reissues;
+    for (const obs::ProbeRound& round : level.rounds) {
+      EXPECT_TRUE(round.closed);
+      if (round.attempt > 0) saw_reissued_round = true;
+      for (const obs::MessageTrace& message : round.messages) {
+        for (const obs::Event& attempt : message.attempts) {
+          if ((attempt.kind == obs::EventKind::kMsgDrop ||
+               attempt.kind == obs::EventKind::kMsgDeadLetter) &&
+              attempt.cause == 3) {
+            saw_partition_drop = true;  // cause mirrors kLostPartition
+          }
+        }
+      }
+    }
+    // A level that needed re-issues must end delivered (fate 0) or detoured
+    // (fate 1): the second round crossed the partition's end.
+    if (level.reissues > 0) {
+      saw_healed_level = true;
+      EXPECT_LE(level.final_fate, 1) << obs::LevelFateName(level.final_fate);
+      EXPECT_GE(level.rounds.size(), 2u);
+    }
+  }
+  EXPECT_EQ(reissues, static_cast<int64_t>(info.reissues));
+  EXPECT_TRUE(saw_reissued_round);
+  EXPECT_TRUE(saw_partition_drop)
+      << "no per-attempt partition drop cause in the reconstructed trace";
+  EXPECT_TRUE(saw_healed_level);
+
+  // Retrieve traffic ran after the heal, under the query id but outside any
+  // level probe, and reached its peers (the partition was over).
+  ASSERT_FALSE(timeline.retrievals.empty());
+  for (const obs::MessageTrace& message : timeline.retrievals) {
+    EXPECT_TRUE(message.delivered);
+    EXPECT_EQ(message.final_cause, 0);
+  }
+}
+
+TEST_F(FlightRecorderTest, DeadLettersCarryCausesWithoutReissueBudget) {
+  // Same partition, no heal budget: levels defer for good, and the chain —
+  // including the dead letters' partition causes — must still be complete.
+  HyperMOptions options = HealingOptions();
+  options.plan = QueryPlanOptions{};
+  Bed bed = MakeBed(options);
+  obs::EventLog::Global().Arm();
+  bed.network->AdvanceTo(kQueryTimeMs);
+  RangeQueryInfo info;
+  Result<std::vector<ItemId>> retrieved = bed.network->RangeQuery(
+      bed.dataset.items[3], kEpsilon, /*querying_peer=*/0, -1, &info);
+  ASSERT_TRUE(retrieved.ok());
+  ASSERT_GT(info.layers_deferred, 0);
+  EXPECT_EQ(info.reissues, 0);
+
+  const std::vector<obs::Event>& events = obs::EventLog::Global().events();
+  const std::vector<int64_t> ids = obs::QueryIdsInLog(events);
+  ASSERT_EQ(ids.size(), 1u);
+  Result<obs::QueryTimeline> timeline =
+      obs::ReconstructQueryTimeline(events, ids[0]);
+  ASSERT_TRUE(timeline.ok()) << timeline.status().ToString();
+  const Status chain = obs::ValidateCausalChain(timeline.value());
+  EXPECT_TRUE(chain.ok()) << chain.ToString();
+
+  EXPECT_TRUE(timeline.value().heal_waits.empty());
+  bool saw_dead_letter = false;
+  for (const obs::LevelTrace& level : timeline.value().levels) {
+    EXPECT_EQ(level.rounds.size(), 1u);  // no re-issues without a budget
+    for (const obs::MessageTrace& message : level.rounds[0].messages) {
+      if (!message.delivered) {
+        EXPECT_EQ(message.final_cause, 3);  // partition, never random loss
+        saw_dead_letter = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_dead_letter);
+}
+
+TEST_F(FlightRecorderTest, LogIsBitIdenticalAcrossThreadCounts) {
+  RangeQueryInfo info_1;
+  const std::vector<ItemId> retrieved_1 =
+      RunHealedQuery(HealingOptions(/*num_threads=*/1), &info_1);
+  const obs::EventLog& log = obs::EventLog::Global();
+  const std::string jsonl_1 = obs::EventsToJsonl(log.events(), log.dropped());
+
+  obs::EventLog::Global().Reset();
+
+  RangeQueryInfo info_8;
+  const std::vector<ItemId> retrieved_8 =
+      RunHealedQuery(HealingOptions(/*num_threads=*/8), &info_8);
+  const std::string jsonl_8 = obs::EventsToJsonl(log.events(), log.dropped());
+
+  EXPECT_EQ(retrieved_1, retrieved_8);
+  ASSERT_GT(jsonl_1.size(), 100u);  // a real log, not two empty trailers
+  EXPECT_EQ(jsonl_1, jsonl_8);
+}
+
+}  // namespace
+}  // namespace hyperm::core

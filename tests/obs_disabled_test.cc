@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/event_log.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -40,6 +41,46 @@ TEST(ObsDisabledTest, MacrosAreInertAndDoNotEvaluateArguments) {
   EXPECT_EQ(snap.counters.count("disabled.counter"), 0u);
   EXPECT_EQ(snap.gauges.count("disabled.gauge"), 0u);
   EXPECT_EQ(snap.histograms.count("disabled.hist"), 0u);
+}
+
+TEST(ObsDisabledTest, FlightRecorderMacrosAreInert) {
+  EventLog::Global().Reset();
+  EventLog::Global().Arm();  // even armed, the disabled macros record nothing
+  int calls = 0;
+  {
+    // Scope macros must still declare their id variables (call sites read
+    // them), but as -1 and without drawing from the id counters.
+    HM_OBS_QUERY_SCOPE(qid);
+    EXPECT_EQ(qid, -1);
+    HM_OBS_MSG_SCOPE(mid);
+    EXPECT_EQ(mid, -1);
+    HM_OBS_LEVEL_SCOPE(SideEffect(&calls));
+    HM_OBS_ROOT_SCOPE();
+    HM_OBS_EVENT(.sim_ms = 1.0, .kind = EventKind::kMsgSend,
+                 .src = SideEffect(&calls));
+    HM_OBS_SERIES("disabled.series", 1.0, SideEffect(&calls));
+  }
+  EXPECT_EQ(calls, 0);
+  EXPECT_TRUE(EventLog::Global().events().empty());
+  EXPECT_TRUE(EventLog::Global().series().empty());
+  EventLog::Global().Reset();
+}
+
+TEST(ObsDisabledTest, EventLogClassStaysUsableUnderKillSwitch) {
+  // Direct (non-macro) use keeps working: exporters and offline tooling that
+  // reconstruct timelines from saved logs must not depend on the macros.
+  EventLog::Global().Reset();
+  EventLog::Global().Arm(/*capacity=*/8);
+  Event event;
+  event.sim_ms = 2.0;
+  event.kind = EventKind::kQueryPlan;
+  event.query_id = 11;
+  EventLog::Global().Record(event);
+  ASSERT_EQ(EventLog::Global().events().size(), 1u);
+  const std::string jsonl = EventsToJsonl(EventLog::Global().events(),
+                                          EventLog::Global().dropped());
+  EXPECT_NE(jsonl.find("\"kind\":\"query_plan\""), std::string::npos);
+  EventLog::Global().Reset();
 }
 
 TEST(ObsDisabledTest, ClassesStayUsableUnderKillSwitch) {

@@ -106,6 +106,20 @@ TEST(ExportTest, MetricsRoundTripThroughJson) {
   EXPECT_DOUBLE_EQ(h.max, o.max);
 }
 
+TEST(ExportTest, HistogramJsonCarriesTailQuantiles) {
+  // Satellite of the flight-recorder PR: exported histograms surface
+  // p50/p95/p99 so reports expose tail latency, not just the mean.
+  const Json report = ReportToJson(RunMeta{}, SampleSnapshot(), {}, 0);
+  const Json* h =
+      report.Find("metrics")->Find("histograms")->Find("can.route_hops");
+  ASSERT_NE(h, nullptr);
+  // Observations 1, 3, 100 (overflow): the median interpolates inside the
+  // [2,4) bucket; the tail ranks land in the overflow bucket and report max.
+  EXPECT_DOUBLE_EQ(h->Find("p50")->as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(h->Find("p95")->as_number(), 100.0);
+  EXPECT_DOUBLE_EQ(h->Find("p99")->as_number(), 100.0);
+}
+
 TEST(ExportTest, EmptyHistogramRoundTripsInfiniteMinMax) {
   MetricsRegistry registry;
   registry.GetHistogram("empty", Buckets::Linear(0.0, 1.0, 1));

@@ -139,6 +139,43 @@ TEST(SnapshotTest, MergeAccumulates) {
   EXPECT_EQ(merged.histograms.at("h").count, 2u);
 }
 
+TEST(QuantileTest, InterpolatesInsideBuckets) {
+  // 100 uniform observations over [0, 100): quantiles land on the exact
+  // interpolated rank positions.
+  Histogram h(Buckets::Linear(0.0, 100.0, 10));
+  for (int i = 0; i < 100; ++i) h.Observe(static_cast<double>(i) + 0.5);
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.99), 99.0);
+}
+
+TEST(QuantileTest, EmptyHistogramReportsZero) {
+  Histogram h(Buckets::Linear(0.0, 1.0, 2));
+  EXPECT_DOUBLE_EQ(h.Snapshot().Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Snapshot().Quantile(0.99), 0.0);
+}
+
+TEST(QuantileTest, UnderflowAndOverflowRanksReportMinAndMax) {
+  Histogram h(Buckets::Explicit({10.0, 20.0}));
+  h.Observe(5.0);    // underflow; becomes min
+  h.Observe(15.0);   // inner bucket
+  h.Observe(100.0);  // overflow; becomes max
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 5.0);    // rank in the underflow bucket
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 100.0);  // rank in the overflow bucket
+}
+
+TEST(QuantileTest, EstimateIsClampedToObservedRange) {
+  // One observation at 0.25 in a [0, 1) bucket: naive interpolation would
+  // report 0.5, but no observed value exceeds 0.25.
+  Histogram h(Buckets::Linear(0.0, 1.0, 1));
+  h.Observe(0.25);
+  EXPECT_DOUBLE_EQ(h.Snapshot().Quantile(0.5), 0.25);
+  // Out-of-range q is clamped rather than extrapolated.
+  EXPECT_DOUBLE_EQ(h.Snapshot().Quantile(2.0), 0.25);
+}
+
 TEST(SnapshotTest, MergeRejectsMismatchedEdges) {
   MetricsRegistry a, b;
   a.GetHistogram("h", Buckets::Linear(0.0, 1.0, 1)).Observe(0.5);
@@ -148,6 +185,31 @@ TEST(SnapshotTest, MergeRejectsMismatchedEdges) {
   // Mismatching entry keeps the original value.
   EXPECT_EQ(merged.histograms.at("h").count, 1u);
   EXPECT_DOUBLE_EQ(merged.histograms.at("h").edges.back(), 1.0);
+}
+
+TEST(SnapshotTest, MergeMismatchBumpsGlobalAuditCounter) {
+  // Regression for silently-dropped merges: callers that ignore Merge's
+  // return value still leave `obs.merge_mismatch` behind in the global
+  // registry, one bump per conflicting histogram.
+  MetricsRegistry::Global().Reset();
+  const uint64_t before =
+      MetricsRegistry::Global().GetCounter("obs.merge_mismatch").value();
+  MetricsRegistry a, b;
+  a.GetHistogram("h", Buckets::Linear(0.0, 1.0, 1)).Observe(0.5);
+  b.GetHistogram("h", Buckets::Explicit({0.0, 0.5, 1.0})).Observe(0.5);
+  MetricsSnapshot merged = a.Snapshot();
+  EXPECT_FALSE(merged.Merge(b.Snapshot()));
+  EXPECT_EQ(
+      MetricsRegistry::Global().GetCounter("obs.merge_mismatch").value(),
+      before + 1);
+  // A compatible merge leaves the audit counter alone.
+  MetricsRegistry c;
+  c.GetHistogram("h", Buckets::Linear(0.0, 1.0, 1)).Observe(0.5);
+  EXPECT_TRUE(merged.Merge(c.Snapshot()));
+  EXPECT_EQ(
+      MetricsRegistry::Global().GetCounter("obs.merge_mismatch").value(),
+      before + 1);
+  MetricsRegistry::Global().Reset();
 }
 
 }  // namespace
