@@ -13,11 +13,14 @@
 // geometry-driven disruption counters (disconnected ticks, unreachable
 // drops, ARQ retries) and the recall the soft-state machinery sustains.
 
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "channel/radio_channel.h"
+#include "sim/stats.h"
 #include "data/markov_generator.h"
 #include "data/peer_assignment.h"
 #include "hyperm/eval.h"
@@ -91,11 +94,144 @@ std::unique_ptr<ChannelBed> BuildBed(bool paper, double speed_m_per_s,
   return bed;
 }
 
+// --- Scale-out tier ---------------------------------------------------------
+//
+// --scale-smoke / --scale replace the default sweep with a channel-only
+// large-deployment run: build a 1k-node (10k under --scale) radio topology,
+// walk the mobility clock, and route a deterministic stream of messages
+// through the epoch-cached BFS routes. This isolates the spatial-hash
+// rebuild and route-cache hot paths from the overlay stack; every counter is
+// seeded and deterministic, wall/throughput/RSS gauges are checked with
+// wide or absolute tolerances from the baseline's "check" object.
+
+double ScaleFieldSide(int num_nodes) {
+  constexpr double kRange = 50.0;
+  constexpr double kTargetDegree = 12.0;
+  return std::sqrt(static_cast<double>(num_nodes) * 3.14159265358979323846 *
+                   kRange * kRange / kTargetDegree);
+}
+
+void RunScaleDeployment(int num_nodes, int num_messages, int mobility_ticks,
+                        const char* prefix) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  std::printf("\n--- scale deployment: %d nodes, %d messages, %d ticks ---\n",
+              num_nodes, num_messages, mobility_ticks);
+
+  bench::PhaseTimer build_timer;
+  sim::NetworkStats stats;
+  channel::ChannelOptions options;
+  options.field.field_size_m = ScaleFieldSide(num_nodes);
+  options.field.radio_range_m = 50.0;
+  options.field.max_placement_attempts = 5000;
+  options.tick_ms = 100.0;
+  options.speed_m_per_s = 15.0;
+  options.bandwidth_bytes_per_ms = 1000.0;
+  options.tx_overhead_ms = 1.0;
+  options.seed = 4242;
+  Result<std::unique_ptr<channel::RadioChannel>> radio_result =
+      channel::RadioChannel::Create(num_nodes, options, &stats);
+  if (!radio_result.ok()) {
+    std::fprintf(stderr, "channel: %s\n",
+                 radio_result.status().ToString().c_str());
+    std::exit(1);
+  }
+  const std::unique_ptr<channel::RadioChannel> radio =
+      std::move(radio_result).value();
+  const double build_ms = build_timer.ElapsedMs();
+
+  // Interleave mobility with routed traffic: every tick invalidates the
+  // route cache, then the next message burst repopulates it lazily — the
+  // exact rebuild-amortisation pattern the cache exists for.
+  bench::PhaseTimer route_timer;
+  Rng traffic(MixSeed(options.seed, 7));
+  const int messages_per_tick =
+      std::max(1, num_messages / std::max(1, mobility_ticks));
+  sim::TimeMs now = 0.0;
+  int sent = 0;
+  uint64_t reachable = 0;
+  double latency_sum_ms = 0.0;
+  for (int tick = 0; sent < num_messages; ++tick) {
+    if (tick > 0 && tick <= mobility_ticks) {
+      radio->Step();
+      now += options.tick_ms;
+    }
+    for (int m = 0; m < messages_per_tick && sent < num_messages; ++m, ++sent) {
+      net::Message message;
+      message.src = static_cast<int>(traffic.UniformInt(0, num_nodes - 1));
+      message.dst = static_cast<int>(traffic.UniformInt(0, num_nodes - 1));
+      message.bytes = 256;
+      message.cls = sim::TrafficClass::kQuery;
+      const net::ChannelTransmission tx = radio->Transmit(message, now);
+      if (tx.reachable) ++reachable;
+      latency_sum_ms += tx.latency_ms;
+    }
+  }
+  const double route_ms = route_timer.ElapsedMs();
+
+  const channel::ChannelCounters& ch = radio->counters();
+  const manet::RouteCacheCounters& rc =
+      radio->topology().route_cache_counters();
+  const double messages_per_sec =
+      route_ms > 0.0 ? 1000.0 * num_messages / route_ms : 0.0;
+  const double rss_mb = bench::PeakRssMb();
+  std::printf("  build:    %10.1f ms\n", build_ms);
+  std::printf("  routing:  %10.1f ms (%d messages, %.0f msg/s)\n", route_ms,
+              num_messages, messages_per_sec);
+  std::printf("  reachable: %llu/%d, mean latency %.2f ms\n",
+              static_cast<unsigned long long>(reachable), num_messages,
+              latency_sum_ms / num_messages);
+  std::printf("  radio tx: %llu, route cache: %llu hits / %llu misses / "
+              "%llu invalidations\n",
+              static_cast<unsigned long long>(ch.radio_transmissions),
+              static_cast<unsigned long long>(rc.hits),
+              static_cast<unsigned long long>(rc.misses),
+              static_cast<unsigned long long>(rc.invalidations));
+  std::printf("  peak RSS: %9.1f MiB\n", rss_mb);
+
+  char key[96];
+  std::snprintf(key, sizeof(key), "scale.%s.build_wall_ms", prefix);
+  reg.GetGauge(key).Set(build_ms);
+  std::snprintf(key, sizeof(key), "scale.%s.route_wall_ms", prefix);
+  reg.GetGauge(key).Set(route_ms);
+  std::snprintf(key, sizeof(key), "scale.%s.messages_per_sec", prefix);
+  reg.GetGauge(key).Set(messages_per_sec);
+  std::snprintf(key, sizeof(key), "scale.%s.reachable_messages", prefix);
+  reg.GetGauge(key).Set(static_cast<double>(reachable));
+  std::snprintf(key, sizeof(key), "scale.%s.radio_transmissions", prefix);
+  reg.GetGauge(key).Set(static_cast<double>(ch.radio_transmissions));
+  std::snprintf(key, sizeof(key), "scale.%s.route_cache_hits", prefix);
+  reg.GetGauge(key).Set(static_cast<double>(rc.hits));
+  std::snprintf(key, sizeof(key), "scale.%s.route_cache_misses", prefix);
+  reg.GetGauge(key).Set(static_cast<double>(rc.misses));
+  std::snprintf(key, sizeof(key), "scale.%s.peak_rss_mb", prefix);
+  reg.GetGauge(key).Set(rss_mb);
+}
+
+int RunScaleTier(bench::ScaleMode mode, int argc, char** argv) {
+  bench::PrintHeader("Channel --scale",
+                     "large-topology mobility + routed-message throughput",
+                     /*paper_scale=*/false);
+  if (mode == bench::ScaleMode::kSmoke) {
+    RunScaleDeployment(/*num_nodes=*/1000, /*num_messages=*/50000,
+                       /*mobility_ticks=*/100, "c1000");
+  } else {
+    RunScaleDeployment(/*num_nodes=*/1000, /*num_messages=*/200000,
+                       /*mobility_ticks=*/200, "c1000");
+    RunScaleDeployment(/*num_nodes=*/10000, /*num_messages=*/100000,
+                       /*mobility_ticks=*/100, "c10000");
+  }
+  bench::WriteTraceArtifacts(argc, argv);
+  bench::WriteBenchReport(argc, argv, "bench_channel");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool paper = bench::PaperScale(argc, argv);
   g_trace_series_period_ms = bench::ArmFlightRecorder(argc, argv);
+  const bench::ScaleMode scale = bench::ScaleTier(argc, argv);
+  if (scale != bench::ScaleMode::kNone) return RunScaleTier(scale, argc, argv);
   bench::PrintHeader("Channel", "queue-aware latency under load + mobility disruption",
                      paper);
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();

@@ -18,6 +18,7 @@
 // criterion.
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -84,9 +85,12 @@ std::unique_ptr<PartitionBed> BuildBed(bool paper, double speed_m_per_s,
   options.net.republish_period_ms = 400.0;
   options.channel.enabled = true;
   // Sparse enough that mobility splits the field; scaled with the peer count
-  // so the paper bed keeps roughly the per-peer area of the default one.
+  // so the paper bed keeps roughly the per-peer area of the default one. The
+  // paper field needs the slightly longer radio range: at 60 m the 460 m
+  // field sits below the connectivity threshold and no seed in the placement
+  // budget yields a connected start.
   options.channel.field.field_size_m = paper ? 460.0 : 260.0;
-  options.channel.field.radio_range_m = 60.0;
+  options.channel.field.radio_range_m = paper ? 72.0 : 60.0;
   options.channel.field.max_placement_attempts = 5000;
   options.channel.tick_ms = 100.0;
   options.channel.speed_m_per_s = speed_m_per_s;
@@ -166,14 +170,157 @@ CellResult RunCell(bool paper, double speed_m_per_s,
   return cell;
 }
 
+// --- Scale-out tier ---------------------------------------------------------
+//
+// --scale-smoke / --scale replace the recall sweep with a large-deployment
+// throughput run: generate the dataset, build the full stack (CAN overlay +
+// radio channel + spatial-hash topology) at 1k peers (and 10k under --scale),
+// run a query burst, and gauge per-phase wall time, throughput and peak RSS.
+// Counters stay deterministic (seeded); wall/throughput gauges are checked
+// with wide or absolute tolerances from the baseline's "check" object.
+
+/// Field side (m) that keeps mean radio degree ~12 at 50 m range:
+/// side = sqrt(n * pi * r^2 / 12).
+double ScaleFieldSide(int num_peers) {
+  constexpr double kRange = 50.0;
+  constexpr double kTargetDegree = 12.0;
+  return std::sqrt(static_cast<double>(num_peers) * 3.14159265358979323846 *
+                   kRange * kRange / kTargetDegree);
+}
+
+void RunScaleDeployment(int num_peers, int num_items, int num_queries,
+                        const char* prefix) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  std::printf("\n--- scale deployment: %d peers, %d items ---\n", num_peers,
+              num_items);
+
+  bench::PhaseTimer dataset_timer;
+  Rng rng(4242);
+  data::MarkovOptions data_options;
+  data_options.count = num_items;
+  data_options.dim = 64;
+  data_options.num_families = 8;
+  Result<data::Dataset> dataset_result = data::GenerateMarkov(data_options, rng);
+  if (!dataset_result.ok()) {
+    std::fprintf(stderr, "dataset: %s\n",
+                 dataset_result.status().ToString().c_str());
+    std::exit(1);
+  }
+  // The network points into the dataset; keep it alive for the whole run.
+  const data::Dataset dataset = std::move(dataset_result).value();
+  const double dataset_ms = dataset_timer.ElapsedMs();
+
+  bench::PhaseTimer build_timer;
+  data::AssignmentOptions assign_options;
+  assign_options.num_peers = num_peers;
+  assign_options.num_interest_classes = 64;
+  assign_options.min_peers_per_class = 4;
+  assign_options.max_peers_per_class = std::max(8, num_peers / 32);
+  Result<data::PeerAssignment> assignment =
+      data::AssignByInterest(dataset, assign_options, rng);
+  if (!assignment.ok()) {
+    std::fprintf(stderr, "assignment: %s\n",
+                 assignment.status().ToString().c_str());
+    std::exit(1);
+  }
+  core::HyperMOptions options;
+  options.net.unreliable = true;
+  options.net.retry.adaptive = true;
+  options.net.summary_ttl_ms = 1500.0;
+  options.net.republish_period_ms = 400.0;
+  options.channel.enabled = true;
+  options.channel.field.field_size_m = ScaleFieldSide(num_peers);
+  options.channel.field.radio_range_m = 50.0;
+  options.channel.field.max_placement_attempts = 5000;
+  options.channel.tick_ms = 100.0;
+  options.channel.speed_m_per_s = 15.0;
+  options.trace_series_period_ms = g_trace_series_period_ms;
+  Result<std::unique_ptr<core::HyperMNetwork>> network_result =
+      core::HyperMNetwork::Build(dataset, assignment.value(), options, rng);
+  if (!network_result.ok()) {
+    std::fprintf(stderr, "network: %s\n",
+                 network_result.status().ToString().c_str());
+    std::exit(1);
+  }
+  const std::unique_ptr<core::HyperMNetwork> network =
+      std::move(network_result).value();
+  const double build_ms = build_timer.ElapsedMs();
+
+  bench::PhaseTimer query_timer;
+  const size_t n = dataset.size();
+  uint64_t results_returned = 0;
+  for (int q = 0; q < num_queries; ++q) {
+    const Vector& center = dataset.items[(static_cast<size_t>(q) * 131) % n];
+    Result<std::vector<core::ItemId>> r = network->RangeQuery(
+        center, kEpsilon, /*querying_peer=*/q % num_peers, -1);
+    if (!r.ok()) {
+      std::fprintf(stderr, "query: %s\n", r.status().ToString().c_str());
+      std::exit(1);
+    }
+    results_returned += r->size();
+  }
+  const double query_ms = query_timer.ElapsedMs();
+
+  const double build_items_per_sec =
+      build_ms > 0.0 ? 1000.0 * num_items / build_ms : 0.0;
+  const double queries_per_sec =
+      query_ms > 0.0 ? 1000.0 * num_queries / query_ms : 0.0;
+  const double rss_mb = bench::PeakRssMb();
+  std::printf("  dataset: %10.1f ms\n", dataset_ms);
+  std::printf("  build:   %10.1f ms (%.0f items/s)\n", build_ms,
+              build_items_per_sec);
+  std::printf("  queries: %10.1f ms (%d queries, %.1f q/s, %llu results)\n",
+              query_ms, num_queries, queries_per_sec,
+              static_cast<unsigned long long>(results_returned));
+  std::printf("  peak RSS: %9.1f MiB\n", rss_mb);
+
+  char key[96];
+  std::snprintf(key, sizeof(key), "scale.%s.dataset_wall_ms", prefix);
+  reg.GetGauge(key).Set(dataset_ms);
+  std::snprintf(key, sizeof(key), "scale.%s.build_wall_ms", prefix);
+  reg.GetGauge(key).Set(build_ms);
+  std::snprintf(key, sizeof(key), "scale.%s.query_wall_ms", prefix);
+  reg.GetGauge(key).Set(query_ms);
+  std::snprintf(key, sizeof(key), "scale.%s.build_items_per_sec", prefix);
+  reg.GetGauge(key).Set(build_items_per_sec);
+  std::snprintf(key, sizeof(key), "scale.%s.queries_per_sec", prefix);
+  reg.GetGauge(key).Set(queries_per_sec);
+  std::snprintf(key, sizeof(key), "scale.%s.results_returned", prefix);
+  reg.GetGauge(key).Set(static_cast<double>(results_returned));
+  std::snprintf(key, sizeof(key), "scale.%s.peak_rss_mb", prefix);
+  reg.GetGauge(key).Set(rss_mb);
+}
+
+int RunScaleTier(bench::ScaleMode mode, int argc, char** argv) {
+  bench::PrintHeader("Partition --scale",
+                     "large-deployment build/query throughput + peak RSS",
+                     /*paper_scale=*/false);
+  if (mode == bench::ScaleMode::kSmoke) {
+    // CI tier: 1k peers, trimmed items — completes in minutes under TSan.
+    RunScaleDeployment(/*num_peers=*/1000, /*num_items=*/20000,
+                       /*num_queries=*/16, "p1000");
+  } else {
+    RunScaleDeployment(/*num_peers=*/1000, /*num_items=*/100000,
+                       /*num_queries=*/32, "p1000");
+    RunScaleDeployment(/*num_peers=*/10000, /*num_items=*/100000,
+                       /*num_queries=*/16, "p10000");
+  }
+  bench::WriteTraceArtifacts(argc, argv);
+  bench::WriteBenchReport(argc, argv, "bench_partition");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool paper = bench::PaperScale(argc, argv);
   g_trace_series_period_ms = bench::ArmFlightRecorder(argc, argv);
+  const bench::ScaleMode scale = bench::ScaleTier(argc, argv);
+  if (scale != bench::ScaleMode::kNone) return RunScaleTier(scale, argc, argv);
   bench::PrintHeader("Partition", "split-time recall: legacy path vs planner sweep",
                      paper);
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  bench::PhaseTimer sweep_timer;  // whole-sweep wall clock, reported below
 
   const std::vector<double> speeds = {15.0, 25.0};
   const std::vector<double> heal_windows_ms = {0.0, 300.0, 900.0};
@@ -251,6 +398,10 @@ int main(int argc, char** argv) {
   reg.GetGauge("benchp.legacy_latency_ms").Set(legacy_latency_sum / num_speeds);
   reg.GetGauge("benchp.planner_latency_ms").Set(planner_latency_sum / num_speeds);
   reg.GetGauge("benchp.split_batches").Set(static_cast<double>(total_batches));
+  // Wall time of the whole sweep ("wall" keys are exempt from baseline
+  // diffs); this is the number the scale-out PR's 2x acceptance is read from.
+  reg.GetGauge("benchp.sweep_wall_ms").Set(sweep_timer.ElapsedMs());
+  std::printf("sweep wall time: %.1f s\n", sweep_timer.ElapsedMs() / 1000.0);
 
   if (planner_recall <= legacy_recall) {
     std::fprintf(stderr,

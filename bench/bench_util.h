@@ -9,6 +9,9 @@
 #ifndef HYPERM_BENCH_BENCH_UTIL_H_
 #define HYPERM_BENCH_BENCH_UTIL_H_
 
+#include <sys/resource.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +35,51 @@ inline bool PaperScale(int argc, char** argv) {
   return false;
 }
 
+/// Scale-out tier selection. The scale tier replaces a bench's default
+/// workload with a large-deployment throughput run (peers in the thousands,
+/// items in the hundred-thousands): kNone runs the bench's normal sweep,
+/// kSmoke is the CI-sized 1k-peer tier (trimmed items, minutes under TSan),
+/// kFull additionally runs the 10k-peer configuration.
+enum class ScaleMode { kNone, kSmoke, kFull };
+
+/// Parses --scale (full tier) / --scale-smoke (CI tier) from argv.
+inline ScaleMode ScaleTier(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scale") == 0) return ScaleMode::kFull;
+    if (std::strcmp(argv[i], "--scale-smoke") == 0) return ScaleMode::kSmoke;
+  }
+  return ScaleMode::kNone;
+}
+
+/// Peak resident set size of this process in MiB (getrusage; ru_maxrss is
+/// KiB on Linux, bytes on macOS). The scale tier gauges this so a memory
+/// blow-up in the spatial hash / route cache / SoA matrices fails the
+/// baseline check even when wall time stays green.
+inline double PeakRssMb() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+#endif
+}
+
+/// Wall-clock phase timer for the scale tier's per-phase gauges. Gauge names
+/// must contain "wall" — check_report skips wall-derived keys when diffing
+/// against a baseline.
+class PhaseTimer {
+ public:
+  PhaseTimer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double, std::milli>(elapsed).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
 /// Value of --json=<path> (machine-readable report destination), or "" when
 /// the flag was not passed.
 inline std::string JsonPath(int argc, char** argv) {
@@ -50,7 +98,17 @@ inline void WriteBenchReport(int argc, char** argv, const std::string& bench_nam
   if (path.empty()) return;
   obs::RunMeta meta;
   meta.bench = bench_name;
-  meta.scale = PaperScale(argc, argv) ? "paper" : "default";
+  switch (ScaleTier(argc, argv)) {
+    case ScaleMode::kFull:
+      meta.scale = "scale";
+      break;
+    case ScaleMode::kSmoke:
+      meta.scale = "scale-smoke";
+      break;
+    case ScaleMode::kNone:
+      meta.scale = PaperScale(argc, argv) ? "paper" : "default";
+      break;
+  }
   meta.extra = std::move(extra);
   const Status status = obs::WriteGlobalReport(path, meta);
   if (!status.ok()) {

@@ -66,14 +66,20 @@ const char* PlatformTag() {
 //     "counter_tolerance": 0.10,
 //     "gauge_tolerance": 0.05,
 //     "keys": { "benchq.range_recall": 0.02 },         // per-key override
+//     "abs_keys": { "scale.p1000.peak_rss_mb": 512 },  // absolute |a-e| bound
 //     "platforms": { "linux-aarch64": { "gauge_tolerance": 0.08 } }
 //   }
 //
-// A matching platforms entry is applied on top of the file-level values.
+// "abs_keys" entries switch the named key from relative to absolute
+// tolerance (|actual - expected| <= bound) — the right shape for peak-RSS
+// gauges, where a small baseline would make any relative band either
+// meaninglessly wide or flaky against allocator noise. A matching platforms
+// entry is applied on top of the file-level values.
 struct CheckConfig {
   double counter_tolerance = 0.10;
   double gauge_tolerance = 0.05;
   std::map<std::string, double> key_tolerances;
+  std::map<std::string, double> abs_tolerances;
 
   double ForCounter(const std::string& key) const {
     const auto it = key_tolerances.find(key);
@@ -82,6 +88,12 @@ struct CheckConfig {
   double ForGauge(const std::string& key) const {
     const auto it = key_tolerances.find(key);
     return it != key_tolerances.end() ? it->second : gauge_tolerance;
+  }
+  /// Absolute tolerance for `key`, or a negative value when the key uses the
+  /// relative policy.
+  double AbsoluteFor(const std::string& key) const {
+    const auto it = abs_tolerances.find(key);
+    return it != abs_tolerances.end() ? it->second : -1.0;
   }
 };
 
@@ -98,6 +110,12 @@ void ApplyCheckObject(const obs::Json& check, CheckConfig* config) {
   if (keys != nullptr && keys->is_object()) {
     for (const auto& [key, value] : keys->members()) {
       if (value.is_number()) config->key_tolerances[key] = value.as_number();
+    }
+  }
+  const obs::Json* abs_keys = check.Find("abs_keys");
+  if (abs_keys != nullptr && abs_keys->is_object()) {
+    for (const auto& [key, value] : abs_keys->members()) {
+      if (value.is_number()) config->abs_tolerances[key] = value.as_number();
     }
   }
 }
@@ -133,9 +151,22 @@ int DiffAgainstBaseline(const obs::MetricsSnapshot& actual,
       ++violations;
       continue;
     }
+    const double actual_value = static_cast<double>(it->second);
+    const double expected_value = static_cast<double>(expected);
+    const double abs_tolerance = config.AbsoluteFor(key);
+    if (abs_tolerance >= 0.0) {
+      if (std::abs(actual_value - expected_value) > abs_tolerance) {
+        std::fprintf(stderr,
+                     "check_report: counter '%s' = %llu, baseline %llu "
+                     "(>|%g| absolute)\n",
+                     key.c_str(), static_cast<unsigned long long>(it->second),
+                     static_cast<unsigned long long>(expected), abs_tolerance);
+        ++violations;
+      }
+      continue;
+    }
     const double tolerance = config.ForCounter(key);
-    if (!WithinRelativeTolerance(static_cast<double>(it->second),
-                                 static_cast<double>(expected), tolerance)) {
+    if (!WithinRelativeTolerance(actual_value, expected_value, tolerance)) {
       std::fprintf(stderr,
                    "check_report: counter '%s' = %llu, baseline %llu (>%g%%)\n",
                    key.c_str(), static_cast<unsigned long long>(it->second),
@@ -150,6 +181,17 @@ int DiffAgainstBaseline(const obs::MetricsSnapshot& actual,
       std::fprintf(stderr, "check_report: gauge '%s' missing from report\n",
                    key.c_str());
       ++violations;
+      continue;
+    }
+    const double abs_tolerance = config.AbsoluteFor(key);
+    if (abs_tolerance >= 0.0) {
+      if (std::abs(it->second - expected) > abs_tolerance) {
+        std::fprintf(stderr,
+                     "check_report: gauge '%s' = %g, baseline %g "
+                     "(>|%g| absolute)\n",
+                     key.c_str(), it->second, expected, abs_tolerance);
+        ++violations;
+      }
       continue;
     }
     const double tolerance = config.ForGauge(key);
@@ -261,16 +303,24 @@ int Run(const std::string& path, const std::string& baseline_path) {
 
 #ifndef HYPERM_OBS_DISABLED
   CHECK_REPORT(named >= 10, "expected >= 10 named metrics");
-  const obs::Json* build = FindSpan(*spans, "build");
-  CHECK_REPORT(build != nullptr, "missing 'build' span");
-  const obs::Json* publish = FindSpan(*spans, "build/publish");
-  CHECK_REPORT(publish != nullptr, "missing 'build/publish' span");
-  const obs::Json* parent = publish->Find("parent");
-  const obs::Json* build_id = build->Find("id");
-  CHECK_REPORT(parent != nullptr && build_id != nullptr &&
-                   static_cast<int>(parent->as_number()) ==
-                       static_cast<int>(build_id->as_number()),
-               "'build/publish' must nest under 'build'");
+  // Build spans come from HyperMNetwork::Build, which always gauges
+  // build.total_items. Channel-only runs (bench_channel --scale) never build
+  // a network and legitimately carry no build span.
+  const obs::Json* gauges_group = metrics->Find("gauges");
+  const bool built_network =
+      gauges_group != nullptr && gauges_group->Find("build.total_items") != nullptr;
+  if (built_network) {
+    const obs::Json* build = FindSpan(*spans, "build");
+    CHECK_REPORT(build != nullptr, "missing 'build' span");
+    const obs::Json* publish = FindSpan(*spans, "build/publish");
+    CHECK_REPORT(publish != nullptr, "missing 'build/publish' span");
+    const obs::Json* parent = publish->Find("parent");
+    const obs::Json* build_id = build->Find("id");
+    CHECK_REPORT(parent != nullptr && build_id != nullptr &&
+                     static_cast<int>(parent->as_number()) ==
+                         static_cast<int>(build_id->as_number()),
+                 "'build/publish' must nest under 'build'");
+  }
   // Build-only benches legitimately have no query spans; demand them exactly
   // when the run's counters say queries were served.
   const obs::Json* counters = metrics->Find("counters");

@@ -18,6 +18,8 @@
 #include "data/markov_generator.h"
 #include "geom/radius_estimator.h"
 #include "geom/sphere_volume.h"
+#include "vec/matrix.h"
+#include "vec/vector.h"
 #include "wavelet/haar.h"
 #include "wavelet/transform.h"
 
@@ -107,6 +109,55 @@ void BM_KMeansNaive(benchmark::State& state) {
 }
 BENCHMARK(BM_KMeansNaive)->Args({200, 4})->Args({1000, 4})->Args({1000, 64});
 
+// AoS reference for the distance scan: one vec::SquaredDistance call per
+// heap-allocated row of a std::vector<Vector>. The ratio against
+// BM_SquaredDistanceBatch on the same Args is the SoA-layout speedup that
+// peer scoring / k-means assignment / the flat oracle inherited.
+void BM_SquaredDistanceAoS(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const size_t dim = static_cast<size_t>(state.range(1));
+  Rng rng(10);
+  std::vector<Vector> rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) rows.push_back(RandomVector(dim, rng));
+  const Vector query = RandomVector(dim, rng);
+  std::vector<double> out(rows.size());
+  for (auto _ : state) {
+    for (size_t r = 0; r < rows.size(); ++r) {
+      out[r] = vec::SquaredDistance(rows[r], query);
+    }
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetBytesProcessed(state.iterations() * n *
+                          static_cast<int64_t>(dim * sizeof(double)));
+}
+BENCHMARK(BM_SquaredDistanceAoS)->Args({1000, 64})->Args({1000, 512});
+
+// SoA batch kernel over the same values in one contiguous buffer. Results
+// are bit-identical to the AoS loop (see vec/matrix.h's contract).
+void BM_SquaredDistanceBatch(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const size_t dim = static_cast<size_t>(state.range(1));
+  Rng rng(10);
+  std::vector<Vector> rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) rows.push_back(RandomVector(dim, rng));
+  const vec::Matrix m = vec::Matrix::FromRows(rows);
+  const Vector query = RandomVector(dim, rng);
+  std::vector<double> out(m.rows());
+  for (auto _ : state) {
+    vec::SquaredDistanceBatch(m, query, out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetBytesProcessed(state.iterations() * n *
+                          static_cast<int64_t>(dim * sizeof(double)));
+}
+BENCHMARK(BM_SquaredDistanceBatch)->Args({1000, 64})->Args({1000, 512});
+
 // End-to-end Build at a fixed dataset, swept over the pool size. On a
 // single-core host the >1-thread rows only measure coordination overhead;
 // the ratio is meaningful on multi-core hardware.
@@ -189,6 +240,51 @@ void BM_CanRoute(benchmark::State& state) {
 }
 BENCHMARK(BM_CanRoute)->Args({2, 100})->Args({4, 100})->Args({512, 100});
 
+// Self-timed AoS-vs-SoA kernel sample for the exported report: per-row wall
+// gauges (skipped by baseline diffs) plus the speedup ratio, which IS
+// baseline-checked — both loops run in-process seconds apart, so the ratio
+// is robust to machine load where absolute timings are not. A ratio
+// collapsing towards 1.0 means the batch kernel lost its layout win.
+void RunKernelBaselineSample() {
+  constexpr int kRows = 1000;
+  constexpr size_t kDim = 512;
+  constexpr int kReps = 10;
+  Rng rng(10);
+  std::vector<Vector> rows;
+  rows.reserve(kRows);
+  for (int i = 0; i < kRows; ++i) rows.push_back(RandomVector(kDim, rng));
+  const vec::Matrix m = vec::Matrix::FromRows(rows);
+  const Vector query = RandomVector(kDim, rng);
+  std::vector<double> out(rows.size());
+  double checksum = 0.0;
+
+  double aos_best_ns = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    bench::PhaseTimer timer;
+    for (size_t r = 0; r < rows.size(); ++r) {
+      out[r] = vec::SquaredDistance(rows[r], query);
+    }
+    const double ns = timer.ElapsedMs() * 1e6;
+    if (rep == 0 || ns < aos_best_ns) aos_best_ns = ns;
+    checksum += out.front() + out.back();
+  }
+  double soa_best_ns = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    bench::PhaseTimer timer;
+    vec::SquaredDistanceBatch(m, query, out.data());
+    const double ns = timer.ElapsedMs() * 1e6;
+    if (rep == 0 || ns < soa_best_ns) soa_best_ns = ns;
+    checksum += out.front() + out.back();
+  }
+  if (checksum < 0.0) std::abort();  // keep the loops observable
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.GetGauge("kernels.aos_dim512_wall_ns_per_row").Set(aos_best_ns / kRows);
+  reg.GetGauge("kernels.soa_dim512_wall_ns_per_row").Set(soa_best_ns / kRows);
+  reg.GetGauge("kernels.soa_speedup_dim512")
+      .Set(soa_best_ns > 0.0 ? aos_best_ns / soa_best_ns : 0.0);
+}
+
 // One tiny instrumented pipeline pass (Build + range query + k-NN query) so
 // the exported report always carries the Build/query span tree and the full
 // metric set, independent of which BM_* cases ran.
@@ -235,7 +331,8 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   if (!json_path.empty()) {
-    hyperm::RunInstrumentedSample();
+    hyperm::RunInstrumentedSample();  // resets the registry first
+    hyperm::RunKernelBaselineSample();
     hyperm::bench::WriteBenchReport(argc, argv, "micro_kernels");
   }
   return 0;

@@ -23,8 +23,15 @@ void MobilityProcess::Tick() {
   // A tick can fire inside a query's heal-window RunUntil; its events are
   // epoch bookkeeping, not part of that query's causal chain.
   HM_OBS_ROOT_SCOPE();
+  const int cached_routes = channel_->topology().CachedTreeCount();
   channel_->Step();
   ++ticks_;
+  if (cached_routes > 0) {
+    // The step bumped the connectivity epoch, dropping every cached route.
+    HM_OBS_EVENT(.sim_ms = sim_->now(),
+                 .kind = obs::EventKind::kRouteCacheInvalidate,
+                 .value = static_cast<double>(cached_routes));
+  }
   const int islands = channel_->num_islands();
   HM_OBS_EVENT(.sim_ms = sim_->now(), .kind = obs::EventKind::kMobilityTick,
                .aux = islands);

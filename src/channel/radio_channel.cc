@@ -1,7 +1,6 @@
 #include "channel/radio_channel.h"
 
 #include <algorithm>
-#include <deque>
 #include <utility>
 
 #include "common/check.h"
@@ -50,55 +49,41 @@ RadioChannel::RadioChannel(const ChannelOptions& options,
       topology_(std::move(topology)),
       stats_(stats),
       mobility_rng_(MixSeed(options.seed, 1)),
-      busy_until_(static_cast<size_t>(topology_.num_nodes()), 0.0) {
-  RelabelIslands();
-}
+      busy_until_(static_cast<size_t>(topology_.num_nodes()), 0.0) {}
 
-void RadioChannel::RelabelIslands() {
-  const int n = topology_.num_nodes();
-  island_.assign(static_cast<size_t>(n), -1);
-  int label = 0;
-  std::deque<int> frontier;
-  for (int start = 0; start < n; ++start) {
-    if (island_[static_cast<size_t>(start)] >= 0) continue;
-    island_[static_cast<size_t>(start)] = label;
-    frontier.push_back(start);
-    while (!frontier.empty()) {
-      const int node = frontier.front();
-      frontier.pop_front();
-      for (int next : topology_.neighbors(node)) {
-        if (island_[static_cast<size_t>(next)] >= 0) continue;
-        island_[static_cast<size_t>(next)] = label;
-        frontier.push_back(next);
-      }
-    }
-    ++label;
-  }
-}
-
-bool RadioChannel::connected() const {
-  return !island_.empty() &&
-         std::all_of(island_.begin(), island_.end(), [](int l) { return l == 0; });
-}
+bool RadioChannel::connected() const { return topology_.connected(); }
 
 int RadioChannel::island(int node) const {
-  if (node < 0 || static_cast<size_t>(node) >= island_.size()) return -1;
-  return island_[static_cast<size_t>(node)];
+  if (node < 0 || node >= topology_.num_nodes()) return -1;
+  return topology_.island_labels()[static_cast<size_t>(node)];
 }
 
-int RadioChannel::num_islands() const {
-  // Labels are densely numbered by RelabelIslands, so max + 1 is the count.
-  int max_label = -1;
-  for (int label : island_) max_label = std::max(max_label, label);
-  return max_label + 1;
-}
+int RadioChannel::num_islands() const { return topology_.num_islands(); }
 
 bool RadioChannel::Reachable(int src, int dst) const {
-  if (src < 0 || dst < 0 || static_cast<size_t>(src) >= island_.size() ||
-      static_cast<size_t>(dst) >= island_.size()) {
+  if (src < 0 || dst < 0 || src >= topology_.num_nodes() ||
+      dst >= topology_.num_nodes()) {
     return false;
   }
-  return island_[static_cast<size_t>(src)] == island_[static_cast<size_t>(dst)];
+  return topology_.SameIsland(src, dst);
+}
+
+void RadioChannel::PublishRouteCacheObs(sim::TimeMs now, int src, int dst) {
+  const manet::RouteCacheCounters& rc = topology_.route_cache_counters();
+  const uint64_t builds = rc.misses - emitted_route_.misses;
+  if (builds > 0) {
+    HM_OBS_COUNTER_ADD("channel.route_cache.misses", builds);
+    HM_OBS_EVENT(.sim_ms = now, .kind = obs::EventKind::kRouteCacheBuild,
+                 .src = src, .dst = dst, .aux = static_cast<int64_t>(builds));
+  }
+  if (rc.hits > emitted_route_.hits) {
+    HM_OBS_COUNTER_ADD("channel.route_cache.hits", rc.hits - emitted_route_.hits);
+  }
+  if (rc.invalidations > emitted_route_.invalidations) {
+    HM_OBS_COUNTER_ADD("channel.route_cache.invalidations",
+                       rc.invalidations - emitted_route_.invalidations);
+  }
+  emitted_route_ = rc;
 }
 
 sim::TimeMs RadioChannel::TransmitOneHop(int node, sim::TimeMs ready_ms,
@@ -127,8 +112,6 @@ sim::TimeMs RadioChannel::TransmitOneHop(int node, sim::TimeMs ready_ms,
       (1.0 + options_.contention_per_busy_neighbor * busy_neighbors);
   tail = start + tx_ms;
   ++counters_.radio_transmissions;
-  stats_->RecordHop(message.cls, message.bytes);
-  HM_OBS_COUNTER_ADD("channel.radio_transmissions", 1);
   HM_OBS_EVENT(.sim_ms = start, .kind = obs::EventKind::kTxAirtime,
                .src = node, .dst = message.dst, .value = tx_ms,
                .aux = busy_neighbors);
@@ -143,11 +126,13 @@ net::ChannelTransmission RadioChannel::Transmit(const net::Message& message,
   HM_CHECK_LT(message.dst, topology_.num_nodes());
   net::ChannelTransmission result;
   if (message.src == message.dst) return result;  // local delivery, free
-  const std::vector<int> path = topology_.ShortestPath(message.src, message.dst);
-  if (path.empty()) {
-    // No radio path: the source radio still transmits into the void before
-    // the ack timeout reveals the island boundary.
+  if (!topology_.SameIsland(message.src, message.dst)) {
+    // No radio path (an island lookup, so the drop costs no BFS): the source
+    // radio still transmits into the void before the ack timeout reveals the
+    // island boundary.
     const sim::TimeMs done = TransmitOneHop(message.src, now, message);
+    stats_->RecordHop(message.cls, message.bytes);
+    HM_OBS_COUNTER_ADD("channel.radio_transmissions", 1);
     ++counters_.unreachable_transmissions;
     HM_OBS_COUNTER_ADD("channel.unreachable", 1);
     HM_OBS_EVENT(.sim_ms = now, .kind = obs::EventKind::kTxUnreachable,
@@ -158,6 +143,10 @@ net::ChannelTransmission RadioChannel::Transmit(const net::Message& message,
     result.reachable = false;
     return result;
   }
+  topology_.ShortestPathInto(message.src, message.dst, path_scratch_);
+  const std::vector<int>& path = path_scratch_;
+  HM_CHECK(!path.empty());  // same island, so the cached tree reaches dst
+  PublishRouteCacheObs(now, message.src, message.dst);
   // One queued radio transmission per hop, in path order: each relay can
   // only forward once the previous hop's send completes AND its own queue
   // has drained — this is where offered load becomes latency.
@@ -165,15 +154,20 @@ net::ChannelTransmission RadioChannel::Transmit(const net::Message& message,
   for (size_t i = 0; i + 1 < path.size(); ++i) {
     ready = TransmitOneHop(path[i], ready, message);
   }
+  // Hop/byte/energy accounting batched per message: every hop carries the
+  // same payload, so one RecordHops call replaces path-length atomic
+  // round-trips with identical totals.
+  const uint64_t hops = path.size() - 1;
+  stats_->RecordHops(message.cls, message.bytes, hops);
+  HM_OBS_COUNTER_ADD("channel.radio_transmissions", hops);
   result.latency_ms = ready - now;
-  result.radio_hops = static_cast<int>(path.size()) - 1;
+  result.radio_hops = static_cast<int>(hops);
   result.reachable = true;
   return result;
 }
 
 void RadioChannel::Step() {
   topology_.RandomWaypointStep(step_m(), mobility_rng_);
-  RelabelIslands();
   ++counters_.mobility_steps;
   if (!connected()) {
     ++counters_.disconnected_steps;

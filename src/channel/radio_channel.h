@@ -99,7 +99,8 @@ class RadioChannel : public net::PhysicalChannel {
                                     sim::TimeMs now) override;
 
   /// One mobility tick: advance every node speed * tick / 1000 meters toward
-  /// its waypoint, rebuild connectivity and the island labels. Called by
+  /// its waypoint and rebuild connectivity (bumping the topology's
+  /// connectivity epoch, which drops every cached route). Called by
   /// MobilityProcess on the simulator clock.
   void Step();
 
@@ -115,7 +116,8 @@ class RadioChannel : public net::PhysicalChannel {
   /// Island (connected-component) label of `node`, densely numbered from 0
   /// in ascending-node discovery order; -1 for out-of-range nodes. Two peers
   /// are mutually reachable iff their labels match — the hint detour routing
-  /// and the partition benches key off.
+  /// and the partition benches key off. Delegates to the topology's lazily
+  /// cached per-epoch labels.
   int island(int node) const;
 
   /// Number of distinct radio islands right now (1 when connected()).
@@ -134,21 +136,24 @@ class RadioChannel : public net::PhysicalChannel {
 
   /// Queues one single-hop transmission on `node` whose payload arrives at
   /// the radio at `ready_ms`; returns the completion (= next-hop arrival)
-  /// time and records the hop into stats.
+  /// time. Hop/byte/energy accounting is NOT done here — Transmit batches
+  /// it per message (one RecordHops for the whole path).
   sim::TimeMs TransmitOneHop(int node, sim::TimeMs ready_ms,
                              const net::Message& message);
 
-  /// Recomputes the connected-component label of every node (BFS, ascending
-  /// node order, so labels are deterministic).
-  void RelabelIslands();
+  /// Forwards route-cache counter deltas accumulated inside the topology to
+  /// the metrics registry (channel.route_cache.*) and emits one
+  /// kRouteCacheBuild event when this transmission triggered BFS builds.
+  void PublishRouteCacheObs(sim::TimeMs now, int src, int dst);
 
   ChannelOptions options_;
   manet::ManetTopology topology_;
   sim::NetworkStats* stats_;  // not owned
   Rng mobility_rng_;
-  std::vector<int> island_;              // component label per node
   std::vector<sim::TimeMs> busy_until_;  // per-node transmit queue tail
   ChannelCounters counters_;
+  manet::RouteCacheCounters emitted_route_;  // obs high-water mark
+  std::vector<int> path_scratch_;  // reused per Transmit (single-threaded)
 };
 
 }  // namespace hyperm::channel

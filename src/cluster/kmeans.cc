@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "obs/trace.h"
+#include "vec/matrix.h"
 
 namespace hyperm::cluster {
 
@@ -26,46 +27,12 @@ size_t PickWeightedIndex(const std::vector<double>& weights, double target) {
 
 namespace {
 
-// k-means++ seeding: first centroid uniform, subsequent ones proportional to
-// the squared distance to the nearest centroid chosen so far.
-std::vector<Vector> SeedPlusPlus(const std::vector<Vector>& points, int k, Rng& rng) {
-  std::vector<Vector> centroids;
-  centroids.reserve(static_cast<size_t>(k));
-  centroids.push_back(points[rng.NextIndex(points.size())]);
-  std::vector<double> dist_sq(points.size(), std::numeric_limits<double>::max());
-  while (static_cast<int>(centroids.size()) < k) {
-    double total = 0.0;
-    for (size_t i = 0; i < points.size(); ++i) {
-      dist_sq[i] = std::fmin(dist_sq[i], vec::SquaredDistance(points[i], centroids.back()));
-      total += dist_sq[i];
-    }
-    if (total <= 0.0) {
-      // All remaining points coincide with chosen centroids; duplicate one.
-      centroids.push_back(points[rng.NextIndex(points.size())]);
-      continue;
-    }
-    const double target = rng.NextDouble() * total;
-    centroids.push_back(points[internal::PickWeightedIndex(dist_sq, target)]);
-  }
-  return centroids;
-}
-
-std::vector<Vector> SeedUniform(const std::vector<Vector>& points, int k, Rng& rng) {
-  // Sample k distinct indices via partial shuffle.
-  std::vector<size_t> indices(points.size());
-  for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
-  rng.Shuffle(indices);
-  std::vector<Vector> centroids;
-  centroids.reserve(static_cast<size_t>(k));
-  for (int i = 0; i < k; ++i) centroids.push_back(points[indices[static_cast<size_t>(i)]]);
-  return centroids;
-}
-
 // Same operation order as vec::SquaredDistance (ascending j, diff*diff into a
 // running sum) so row-major and Vector-based distances agree bit-for-bit.
 // The norm-expansion trick (|p|^2 + |c|^2 - 2 p.c) would be faster still but
 // rounds differently, so the speedup comes from pruning, not from changing
-// the distance arithmetic.
+// the distance arithmetic. The batch kernels in vec/matrix.h keep the same
+// per-row order, so SquaredDistanceBatch sweeps agree bit-for-bit too.
 double RowSquaredDistance(const double* a, const double* b, size_t dim) {
   double sum = 0.0;
   for (size_t j = 0; j < dim; ++j) {
@@ -87,25 +54,67 @@ struct LloydState {
   std::vector<int> assignment;    // per point, -1 before the first pass
   std::vector<int> counts;        // per cluster, from the latest update step
   std::vector<double> best_sq;    // per point: sq dist to its assigned centroid
+  std::vector<double> cent_sq;    // scratch: k distances for one batch sweep
 
   const double* point(size_t i) const { return points.data() + i * dim; }
   double* centroid(int c) { return centroids.data() + static_cast<size_t>(c) * dim; }
   const double* centroid(int c) const {
     return centroids.data() + static_cast<size_t>(c) * dim;
   }
+  void AppendCentroid(size_t point_index) {
+    const double* p = point(point_index);
+    centroids.insert(centroids.end(), p, p + dim);
+  }
 };
 
-// Exact nearest centroid for point i: ascending scan with strict `<`, so the
-// lowest index wins ties. Also reports the runner-up distance (infinity when
-// k == 1) for the pruned kernel's lower bound.
-int NearestCentroid(const LloydState& s, size_t i, double* best_sq_out,
+// k-means++ seeding over the flat point rows: first centroid uniform,
+// subsequent ones proportional to the squared distance to the nearest
+// centroid chosen so far — each round is one batch sweep against the
+// newest centroid.
+void SeedPlusPlus(LloydState& s, int k, Rng& rng) {
+  s.AppendCentroid(rng.NextIndex(s.n));
+  std::vector<double> dist_sq(s.n, std::numeric_limits<double>::max());
+  std::vector<double> last_sq(s.n);
+  while (static_cast<int>(s.centroids.size() / s.dim) < k) {
+    const double* last = s.centroids.data() + s.centroids.size() - s.dim;
+    vec::SquaredDistanceBatch(s.points.data(), s.n, s.dim, last, s.dim,
+                              last_sq.data());
+    double total = 0.0;
+    for (size_t i = 0; i < s.n; ++i) {
+      dist_sq[i] = std::fmin(dist_sq[i], last_sq[i]);
+      total += dist_sq[i];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with chosen centroids; duplicate one.
+      s.AppendCentroid(rng.NextIndex(s.n));
+      continue;
+    }
+    const double target = rng.NextDouble() * total;
+    s.AppendCentroid(internal::PickWeightedIndex(dist_sq, target));
+  }
+}
+
+void SeedUniform(LloydState& s, int k, Rng& rng) {
+  // Sample k distinct indices via partial shuffle.
+  std::vector<size_t> indices(s.n);
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  rng.Shuffle(indices);
+  for (int i = 0; i < k; ++i) s.AppendCentroid(indices[static_cast<size_t>(i)]);
+}
+
+// Exact nearest centroid for point i: one batch sweep over the centroid
+// rows, then an ascending scan with strict `<`, so the lowest index wins
+// ties. Also reports the runner-up distance (infinity when k == 1) for the
+// pruned kernel's lower bound.
+int NearestCentroid(LloydState& s, size_t i, double* best_sq_out,
                     double* second_sq_out) {
-  const double* p = s.point(i);
+  vec::SquaredDistanceBatch(s.centroids.data(), static_cast<size_t>(s.k),
+                            s.dim, s.point(i), s.dim, s.cent_sq.data());
   int best = 0;
-  double best_sq = RowSquaredDistance(p, s.centroid(0), s.dim);
+  double best_sq = s.cent_sq[0];
   double second_sq = std::numeric_limits<double>::infinity();
   for (int c = 1; c < s.k; ++c) {
-    const double sq = RowSquaredDistance(p, s.centroid(c), s.dim);
+    const double sq = s.cent_sq[static_cast<size_t>(c)];
     if (sq < best_sq) {
       second_sq = best_sq;
       best_sq = sq;
@@ -249,10 +258,6 @@ Result<KMeansResult> KMeans(const std::vector<Vector>& points,
     if (p.size() != dim) return InvalidArgumentError("KMeans: inconsistent dimensionality");
   }
 
-  const std::vector<Vector> seeds = options.plus_plus_seeding
-                                        ? SeedPlusPlus(points, k, rng)
-                                        : SeedUniform(points, k, rng);
-
   LloydState s;
   s.n = points.size();
   s.dim = dim;
@@ -260,10 +265,15 @@ Result<KMeansResult> KMeans(const std::vector<Vector>& points,
   s.points.reserve(s.n * dim);
   for (const Vector& p : points) s.points.insert(s.points.end(), p.begin(), p.end());
   s.centroids.reserve(static_cast<size_t>(k) * dim);
-  for (const Vector& c : seeds) s.centroids.insert(s.centroids.end(), c.begin(), c.end());
+  if (options.plus_plus_seeding) {
+    SeedPlusPlus(s, k, rng);
+  } else {
+    SeedUniform(s, k, rng);
+  }
   s.assignment.assign(s.n, -1);
   s.counts.assign(static_cast<size_t>(k), 0);
   s.best_sq.assign(s.n, 0.0);
+  s.cent_sq.assign(static_cast<size_t>(k), 0.0);
 
   std::vector<double> sums(static_cast<size_t>(k) * dim);
   const double kInf = std::numeric_limits<double>::infinity();

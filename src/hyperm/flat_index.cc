@@ -12,21 +12,22 @@ std::vector<ItemId> FlatIndex::RangeSearch(const Vector& query, double epsilon) 
   HM_CHECK_GE(epsilon, 0.0);
   std::vector<ItemId> hits;
   const double eps_sq = epsilon * epsilon;
-  for (size_t i = 0; i < dataset_.items.size(); ++i) {
-    if (vec::SquaredDistance(dataset_.items[i], query) <= eps_sq) {
-      hits.push_back(static_cast<ItemId>(i));
-    }
+  std::vector<double> dist_sq(items_.rows());
+  vec::SquaredDistanceBatch(items_, query, dist_sq.data());
+  for (size_t i = 0; i < dist_sq.size(); ++i) {
+    if (dist_sq[i] <= eps_sq) hits.push_back(static_cast<ItemId>(i));
   }
   return hits;
 }
 
 std::vector<ItemId> FlatIndex::Knn(const Vector& query, int k) const {
   HM_CHECK_GE(k, 0);
+  std::vector<double> dist_sq(items_.rows());
+  vec::SquaredDistanceBatch(items_, query, dist_sq.data());
   std::vector<std::pair<double, ItemId>> scored;
-  scored.reserve(dataset_.items.size());
-  for (size_t i = 0; i < dataset_.items.size(); ++i) {
-    scored.emplace_back(vec::SquaredDistance(dataset_.items[i], query),
-                        static_cast<ItemId>(i));
+  scored.reserve(items_.rows());
+  for (size_t i = 0; i < dist_sq.size(); ++i) {
+    scored.emplace_back(dist_sq[i], static_cast<ItemId>(i));
   }
   const size_t take = std::min<size_t>(static_cast<size_t>(k), scored.size());
   std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(take),
@@ -39,14 +40,11 @@ std::vector<ItemId> FlatIndex::Knn(const Vector& query, int k) const {
 
 double FlatIndex::KnnRadius(const Vector& query, int k) const {
   HM_CHECK_GE(k, 1);
-  if (dataset_.items.size() < static_cast<size_t>(k)) {
+  if (items_.rows() < static_cast<size_t>(k)) {
     return std::numeric_limits<double>::infinity();
   }
-  std::vector<double> dist_sq;
-  dist_sq.reserve(dataset_.items.size());
-  for (const Vector& item : dataset_.items) {
-    dist_sq.push_back(vec::SquaredDistance(item, query));
-  }
+  std::vector<double> dist_sq(items_.rows());
+  vec::SquaredDistanceBatch(items_, query, dist_sq.data());
   std::nth_element(dist_sq.begin(), dist_sq.begin() + (k - 1), dist_sq.end());
   return std::sqrt(dist_sq[static_cast<size_t>(k - 1)]);
 }

@@ -11,15 +11,18 @@
 
 #include "data/dataset.h"
 #include "hyperm/peer.h"
+#include "vec/matrix.h"
 #include "vec/vector.h"
 
 namespace hyperm::core {
 
-/// Brute-force exact search over a full dataset.
+/// Brute-force exact search over a full dataset. The items are copied into
+/// flat SoA storage at construction so every oracle scan is one batch
+/// distance sweep instead of a pointer chase per item.
 class FlatIndex {
  public:
-  /// Indexes `dataset` by reference; the dataset must outlive the index.
-  explicit FlatIndex(const data::Dataset& dataset) : dataset_(dataset) {}
+  explicit FlatIndex(const data::Dataset& dataset)
+      : items_(vec::Matrix::FromRows(dataset.items)) {}
 
   /// All item ids within `epsilon` of `query` (unordered).
   std::vector<ItemId> RangeSearch(const Vector& query, double epsilon) const;
@@ -32,7 +35,7 @@ class FlatIndex {
   double KnnRadius(const Vector& query, int k) const;
 
  private:
-  const data::Dataset& dataset_;
+  vec::Matrix items_;
 };
 
 }  // namespace hyperm::core

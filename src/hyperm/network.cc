@@ -824,7 +824,10 @@ Status HyperMNetwork::RepublishPeer(int peer, Rng& rng) {
 
   // Fresh per-layer projections of the peer's current collection.
   std::vector<std::vector<Vector>> level_points(levels_.size());
-  for (const Vector& item : target.item_features()) {
+  Vector item;  // reused across rows; assign() keeps the capacity
+  for (size_t r = 0; r < target.item_features().rows(); ++r) {
+    const double* row = target.item_features().row(r);
+    item.assign(row, row + target.item_features().cols());
     HM_ASSIGN_OR_RETURN(wavelet::Pyramid pyramid,
                         wavelet::DecomposeWith(options_.wavelet_kind, item));
     for (size_t layer = 0; layer < levels_.size(); ++layer) {

@@ -6,19 +6,32 @@
 #include "common/check.h"
 
 namespace hyperm::core {
+namespace {
+
+// Per-thread scratch for the batch sweeps: peer stores are small and
+// scanned constantly, so a heap allocation per lookup would dominate.
+std::vector<double>& DistScratch(size_t rows) {
+  thread_local std::vector<double> scratch;
+  if (scratch.size() < rows) scratch.resize(rows);
+  return scratch;
+}
+
+}  // namespace
 
 void Peer::AddItem(ItemId item_id, const Vector& features) {
-  HM_CHECK(features_.empty() || features.size() == features_.front().size());
+  HM_CHECK(features_.empty() || features.size() == features_.cols());
   ids_.push_back(item_id);
-  features_.push_back(features);
+  features_.AppendRow(features);
 }
 
 std::vector<ItemId> Peer::RangeSearch(const Vector& query, double epsilon) const {
   HM_CHECK_GE(epsilon, 0.0);
   std::vector<ItemId> hits;
   const double eps_sq = epsilon * epsilon;
-  for (size_t i = 0; i < features_.size(); ++i) {
-    if (vec::SquaredDistance(features_[i], query) <= eps_sq) hits.push_back(ids_[i]);
+  std::vector<double>& dist_sq = DistScratch(features_.rows());
+  vec::SquaredDistanceBatch(features_, query, dist_sq.data());
+  for (size_t i = 0; i < features_.rows(); ++i) {
+    if (dist_sq[i] <= eps_sq) hits.push_back(ids_[i]);
   }
   return hits;
 }
@@ -33,10 +46,12 @@ std::vector<ItemId> Peer::NearestItems(const Vector& query, int count) const {
 
 std::vector<ScoredItem> Peer::NearestItemsScored(const Vector& query, int count) const {
   HM_CHECK_GE(count, 0);
+  std::vector<double>& dist_sq = DistScratch(features_.rows());
+  vec::SquaredDistanceBatch(features_, query, dist_sq.data());
   std::vector<std::pair<double, ItemId>> scored;
-  scored.reserve(features_.size());
-  for (size_t i = 0; i < features_.size(); ++i) {
-    scored.emplace_back(vec::SquaredDistance(features_[i], query), ids_[i]);
+  scored.reserve(features_.rows());
+  for (size_t i = 0; i < features_.rows(); ++i) {
+    scored.emplace_back(dist_sq[i], ids_[i]);
   }
   const size_t take = std::min<size_t>(static_cast<size_t>(count), scored.size());
   std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(take),

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "vec/matrix.h"
 #include "vec/vector.h"
 
 namespace hyperm::core {
@@ -42,8 +43,9 @@ class Peer {
   /// Stored item ids.
   const std::vector<ItemId>& item_ids() const { return ids_; }
 
-  /// Stored feature vectors, parallel to item_ids().
-  const std::vector<Vector>& item_features() const { return features_; }
+  /// Stored feature vectors (flat row-major storage), rows parallel to
+  /// item_ids().
+  const vec::Matrix& item_features() const { return features_; }
 
   /// Exact local range search: ids of items within `epsilon` of `query`.
   std::vector<ItemId> RangeSearch(const Vector& query, double epsilon) const;
@@ -58,7 +60,7 @@ class Peer {
  private:
   int id_;
   std::vector<ItemId> ids_;
-  std::vector<Vector> features_;
+  vec::Matrix features_;  // SoA: the local scans are batch distance sweeps
 };
 
 }  // namespace hyperm::core

@@ -253,6 +253,17 @@ Json ChromeTraceFromLog(const EventLog& log) {
                               "softstate", 0, ts));
         break;
       }
+      case EventKind::kRouteCacheBuild: {
+        out.push_back(Instant("route_build x" + std::to_string(e.aux),
+                              "channel", tid, ts));
+        break;
+      }
+      case EventKind::kRouteCacheInvalidate: {
+        out.push_back(Instant(
+            "route_invalidate " + std::to_string(static_cast<int64_t>(e.value)),
+            "mobility", 0, ts));
+        break;
+      }
     }
   }
 

@@ -28,6 +28,8 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kPeerRejoin: return "peer_rejoin";
     case EventKind::kSummariesExpired: return "summaries_expired";
     case EventKind::kRepublishRound: return "republish_round";
+    case EventKind::kRouteCacheBuild: return "route_cache_build";
+    case EventKind::kRouteCacheInvalidate: return "route_cache_invalidate";
   }
   return "unknown";
 }
@@ -50,6 +52,8 @@ Subsystem SubsystemOf(EventKind kind) {
     case EventKind::kTxQueueWait:
     case EventKind::kTxAirtime:
     case EventKind::kTxUnreachable:
+    case EventKind::kRouteCacheBuild:
+    case EventKind::kRouteCacheInvalidate:
       return Subsystem::kChannel;
     case EventKind::kMobilityTick:
     case EventKind::kIslandChange:

@@ -62,6 +62,9 @@ enum class EventKind : int32_t {
   kPeerRejoin,      ///< peer rejoined; src=peer
   kSummariesExpired,///< TTL sweep; aux=#summaries expired
   kRepublishRound,  ///< periodic republish; aux=#summaries pushed
+  // radio route cache (appended to keep earlier kinds' numeric values stable)
+  kRouteCacheBuild,      ///< BFS trees built for a transmit; src/dst=message, aux=#builds
+  kRouteCacheInvalidate, ///< mobility dropped cached trees; value=#trees dropped
 };
 
 /// Which layer of the stack emitted the event.

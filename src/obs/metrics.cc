@@ -44,19 +44,22 @@ Histogram::Histogram(const Buckets& buckets) {
   snap_.counts.assign(snap_.edges.size() - 1, 0);
 }
 
-void Histogram::Observe(double value) {
+void Histogram::Observe(double value) { ObserveN(value, 1); }
+
+void Histogram::ObserveN(double value, uint64_t n) {
+  if (n == 0) return;
   std::lock_guard<std::mutex> lock(mu_);
   if (value < snap_.edges.front()) {
-    ++snap_.underflow;
+    snap_.underflow += n;
   } else if (value >= snap_.edges.back()) {
-    ++snap_.overflow;
+    snap_.overflow += n;
   } else {
     // First edge strictly greater than value; the bucket is the one before.
     const auto it = std::upper_bound(snap_.edges.begin(), snap_.edges.end(), value);
-    ++snap_.counts[static_cast<size_t>(it - snap_.edges.begin()) - 1];
+    snap_.counts[static_cast<size_t>(it - snap_.edges.begin()) - 1] += n;
   }
-  ++snap_.count;
-  snap_.sum += value;
+  snap_.count += n;
+  snap_.sum += value * static_cast<double>(n);
   snap_.min = std::min(snap_.min, value);
   snap_.max = std::max(snap_.max, value);
 }

@@ -111,6 +111,14 @@ class Histogram {
 
   void Observe(double value);
 
+  /// Records `n` observations of the same value under one lock — the hot
+  /// transmit path batches its per-hop observations per message. For
+  /// integer-valued `value` (all batched call sites) the resulting snapshot
+  /// is bit-identical to `n` repeated Observe calls: count/bucket updates
+  /// are integers, and `sum += value * n` lands on the same exact double as
+  /// `n` exact integer additions while the sum stays below 2^53.
+  void ObserveN(double value, uint64_t n);
+
   HistogramSnapshot Snapshot() const;
   uint64_t count() const;
   void Reset();

@@ -169,6 +169,17 @@ class ScopedTimer {
     hm_obs_h.Observe(static_cast<double>(value));                       \
   } while (0)
 
+/// histogram `name` observes `value` `n` times (one lock; see
+/// Histogram::ObserveN for the bit-identity contract).
+#define HM_OBS_HISTOGRAM_N(name, buckets, value, n)                      \
+  do {                                                                   \
+    static ::hyperm::obs::Histogram& hm_obs_hn =                         \
+        ::hyperm::obs::MetricsRegistry::Global().GetHistogram((name),    \
+                                                             (buckets)); \
+    hm_obs_hn.ObserveN(static_cast<double>(value),                       \
+                       static_cast<uint64_t>(n));                        \
+  } while (0)
+
 /// Observes the wall-clock duration (us) of the rest of the enclosing scope
 /// into histogram `name`.
 #define HM_OBS_TIMER(name, buckets)                                     \
@@ -184,6 +195,7 @@ class ScopedTimer {
 #define HM_OBS_COUNTER_ADD(name, delta) ((void)0)
 #define HM_OBS_GAUGE_SET(name, value) ((void)0)
 #define HM_OBS_HISTOGRAM(name, buckets, value) ((void)0)
+#define HM_OBS_HISTOGRAM_N(name, buckets, value, n) ((void)0)
 #define HM_OBS_TIMER(name, buckets) ((void)0)
 
 #endif  // HYPERM_OBS_DISABLED

@@ -55,17 +55,23 @@ NetworkStats& NetworkStats::operator=(const NetworkStats& other) {
 }
 
 void NetworkStats::RecordHop(TrafficClass cls, uint64_t bytes) {
+  RecordHops(cls, bytes, 1);
+}
+
+void NetworkStats::RecordHops(TrafficClass cls, uint64_t bytes, uint64_t count) {
+  if (count == 0) return;
   const size_t i = Index(cls);
-  hops_[i].fetch_add(1, std::memory_order_relaxed);
-  bytes_[i].fetch_add(bytes, std::memory_order_relaxed);
-  const double delta_nj = model_.HopEnergyNanojoules(bytes);
+  hops_[i].fetch_add(count, std::memory_order_relaxed);
+  bytes_[i].fetch_add(bytes * count, std::memory_order_relaxed);
+  const double delta_nj =
+      model_.HopEnergyNanojoules(bytes) * static_cast<double>(count);
   double current = energy_nj_[i].load(std::memory_order_relaxed);
   while (!energy_nj_[i].compare_exchange_weak(current, current + delta_nj,
                                               std::memory_order_relaxed)) {
   }
-  HM_OBS_COUNTER_ADD("net.hops", 1);
-  HM_OBS_HISTOGRAM("net.bytes_per_message", obs::Buckets::Exponential(16, 2.0, 16),
-                   bytes);
+  HM_OBS_COUNTER_ADD("net.hops", count);
+  HM_OBS_HISTOGRAM_N("net.bytes_per_message",
+                     obs::Buckets::Exponential(16, 2.0, 16), bytes, count);
 }
 
 uint64_t NetworkStats::hops(TrafficClass cls) const {

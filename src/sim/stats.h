@@ -63,6 +63,14 @@ class NetworkStats {
   /// Records one hop (one physical transmission) of `bytes` payload.
   void RecordHop(TrafficClass cls, uint64_t bytes);
 
+  /// Records `count` hops of identical payload size in one accounting
+  /// update — the radio channel batches a multi-hop route's bookkeeping per
+  /// message instead of per hop. Totals are bit-identical to `count`
+  /// RecordHop calls under the integer-nanojoule contract documented on the
+  /// class (the energy addend `count * delta` equals `count` exact integer
+  /// additions while the running sum stays below 2^53).
+  void RecordHops(TrafficClass cls, uint64_t bytes, uint64_t count);
+
   /// Bumps the served-query counter (range/k-NN/point queries answered).
   void RecordQueryServed() { queries_served_.fetch_add(1, std::memory_order_relaxed); }
   uint64_t queries_served() const {

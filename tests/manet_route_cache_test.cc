@@ -1,0 +1,198 @@
+// Bit-identity oracle for the epoch-cached route trees: every ShortestPath,
+// PathHops, island label and MeanPairwiseHops served from the cache must be
+// identical — including the deterministic ascending-neighbour tie-break —
+// to a fresh per-pair BFS, across epochs, partitions and heal/merge cycles.
+
+#include <deque>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "manet/topology.h"
+
+namespace hyperm::manet {
+namespace {
+
+// Reference: the early-exit parent-pointer BFS the topology shipped with.
+std::vector<int> FreshShortestPath(const ManetTopology& t, int from, int to) {
+  if (from == to) return {from};
+  const size_t n = static_cast<size_t>(t.num_nodes());
+  std::vector<int> parent(n, -1);
+  std::deque<int> frontier;
+  parent[static_cast<size_t>(from)] = from;
+  frontier.push_back(from);
+  while (!frontier.empty()) {
+    const int node = frontier.front();
+    frontier.pop_front();
+    if (node == to) break;
+    for (int next : t.neighbors(node)) {
+      if (parent[static_cast<size_t>(next)] >= 0) continue;
+      parent[static_cast<size_t>(next)] = node;
+      frontier.push_back(next);
+    }
+  }
+  if (parent[static_cast<size_t>(to)] < 0) return {};
+  std::vector<int> path;
+  for (int node = to; node != from; node = parent[static_cast<size_t>(node)]) {
+    path.push_back(node);
+  }
+  path.push_back(from);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<int> FreshHops(const ManetTopology& t, int start) {
+  const size_t n = static_cast<size_t>(t.num_nodes());
+  std::vector<int> hops(n, -1);
+  std::deque<int> frontier;
+  hops[static_cast<size_t>(start)] = 0;
+  frontier.push_back(start);
+  while (!frontier.empty()) {
+    const int node = frontier.front();
+    frontier.pop_front();
+    for (int next : t.neighbors(node)) {
+      if (hops[static_cast<size_t>(next)] >= 0) continue;
+      hops[static_cast<size_t>(next)] = hops[static_cast<size_t>(node)] + 1;
+      frontier.push_back(next);
+    }
+  }
+  return hops;
+}
+
+void ExpectAllPairsMatchFreshBfs(const ManetTopology& t) {
+  for (int from = 0; from < t.num_nodes(); ++from) {
+    const std::vector<int> hops = FreshHops(t, from);
+    for (int to = 0; to < t.num_nodes(); ++to) {
+      EXPECT_EQ(t.ShortestPath(from, to), FreshShortestPath(t, from, to))
+          << from << " -> " << to;
+      const int h = hops[static_cast<size_t>(to)];
+      EXPECT_EQ(t.PathHops(from, to), h >= 0 ? h : kUnreachableHops);
+    }
+  }
+}
+
+TopologyOptions SparseOptions() {
+  TopologyOptions options;
+  options.num_nodes = 40;
+  options.field_size_m = 320.0;
+  options.radio_range_m = 60.0;
+  options.max_placement_attempts = 2000;
+  return options;
+}
+
+TEST(RouteCacheTest, PathsMatchFreshBfsAcrossEpochs) {
+  Rng rng(21);
+  Result<ManetTopology> t = ManetTopology::Generate(SparseOptions(), rng);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  // A sparse walk partitions and heals repeatedly; verify full all-pairs
+  // bit-identity at several epochs, querying each epoch twice so the second
+  // round is served entirely from cache.
+  for (int step = 0; step < 60; ++step) {
+    t->RandomWaypointStep(10.0, rng);
+    if (step % 15 == 0) {
+      ExpectAllPairsMatchFreshBfs(*t);
+      ExpectAllPairsMatchFreshBfs(*t);  // cache-hit round
+    }
+  }
+}
+
+TEST(RouteCacheTest, PathsMatchFreshBfsUnderPartition) {
+  TopologyOptions options;
+  options.field_size_m = 1000.0;
+  options.radio_range_m = 50.0;
+  Result<ManetTopology> t = ManetTopology::FromPositions(
+      options, {{10.0, 10.0}, {40.0, 10.0}, {70.0, 10.0},
+                {910.0, 910.0}, {940.0, 910.0}});
+  ASSERT_TRUE(t.ok());
+  ExpectAllPairsMatchFreshBfs(*t);
+  EXPECT_TRUE(t->SameIsland(0, 2));
+  EXPECT_TRUE(t->SameIsland(3, 4));
+  EXPECT_FALSE(t->SameIsland(0, 3));
+  EXPECT_EQ(t->num_islands(), 2);
+  // Island labels are dense, ascending-discovery numbered.
+  EXPECT_EQ(t->island_labels(), (std::vector<int>{0, 0, 0, 1, 1}));
+}
+
+TEST(RouteCacheTest, MeanPairwiseHopsMatchesFreshBfs) {
+  Rng rng(22);
+  Result<ManetTopology> t = ManetTopology::Generate(SparseOptions(), rng);
+  ASSERT_TRUE(t.ok());
+  for (int round = 0; round < 3; ++round) {
+    double total = 0.0;
+    int pairs = 0;
+    for (int i = 0; i < t->num_nodes(); ++i) {
+      const std::vector<int> hops = FreshHops(*t, i);
+      for (int j = 0; j < t->num_nodes(); ++j) {
+        if (i == j || hops[static_cast<size_t>(j)] < 0) continue;
+        total += hops[static_cast<size_t>(j)];
+        ++pairs;
+      }
+    }
+    const double want = pairs == 0 ? 0.0 : total / pairs;
+    EXPECT_DOUBLE_EQ(t->MeanPairwiseHops(), want);
+    t->RandomWaypointStep(12.0, rng);
+  }
+}
+
+TEST(RouteCacheTest, CountersTrackHitsMissesAndInvalidations) {
+  Rng rng(23);
+  Result<ManetTopology> t = ManetTopology::Generate(SparseOptions(), rng);
+  ASSERT_TRUE(t.ok());
+  const RouteCacheCounters& c = t->route_cache_counters();
+  const uint64_t base_misses = c.misses;
+
+  // First lookup from a fresh source: one miss, no hit.
+  t->ShortestPath(0, 1);
+  EXPECT_EQ(c.misses, base_misses + 1);
+  const uint64_t hits_after_build = c.hits;
+  // Same source again, any destination: pure hits.
+  t->ShortestPath(0, 2);
+  t->PathHops(0, 3);
+  EXPECT_EQ(c.hits, hits_after_build + 2);
+  EXPECT_EQ(c.misses, base_misses + 1);
+  EXPECT_EQ(t->CachedTreeCount(), 1);
+
+  // Epoch bump: the cached tree is stale; next lookup counts an
+  // invalidation plus a miss.
+  const uint64_t base_invalidations = c.invalidations;
+  t->RandomWaypointStep(2.0, rng);
+  EXPECT_EQ(t->CachedTreeCount(), 0);
+  t->ShortestPath(0, 1);
+  EXPECT_EQ(c.invalidations, base_invalidations + 1);
+  EXPECT_EQ(c.misses, base_misses + 2);
+}
+
+TEST(RouteCacheTest, IslandLabelsMatchReferenceRelabelAcrossMobility) {
+  // Reference: BFS relabel in ascending start order over the current
+  // neighbour lists (the historical RadioChannel::RelabelIslands).
+  Rng rng(24);
+  Result<ManetTopology> t = ManetTopology::Generate(SparseOptions(), rng);
+  ASSERT_TRUE(t.ok());
+  for (int step = 0; step < 40; ++step) {
+    t->RandomWaypointStep(10.0, rng);
+    const int n = t->num_nodes();
+    std::vector<int> want(static_cast<size_t>(n), -1);
+    int label = 0;
+    for (int start = 0; start < n; ++start) {
+      if (want[static_cast<size_t>(start)] >= 0) continue;
+      std::deque<int> frontier{start};
+      want[static_cast<size_t>(start)] = label;
+      while (!frontier.empty()) {
+        const int node = frontier.front();
+        frontier.pop_front();
+        for (int next : t->neighbors(node)) {
+          if (want[static_cast<size_t>(next)] >= 0) continue;
+          want[static_cast<size_t>(next)] = label;
+          frontier.push_back(next);
+        }
+      }
+      ++label;
+    }
+    EXPECT_EQ(t->island_labels(), want);
+    EXPECT_EQ(t->num_islands(), label);
+    EXPECT_EQ(t->connected(), label == 1);
+  }
+}
+
+}  // namespace
+}  // namespace hyperm::manet

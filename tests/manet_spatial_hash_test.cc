@@ -1,0 +1,129 @@
+// Bit-identity oracle for the spatial-hash connectivity rebuild: the
+// uniform-grid neighbour lists must be byte-equal to the brute-force O(n²)
+// pairwise scan the topology shipped with, across random fields, geometry
+// corner cases and long mobility walks. Any divergence would change BFS
+// tie-breaking and therefore every routing result downstream.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "manet/topology.h"
+
+namespace hyperm::manet {
+namespace {
+
+// The reference implementation: the exact pairwise scan RebuildConnectivity
+// used before the spatial hash (ascending-id lists by construction).
+std::vector<std::vector<int>> BruteForceNeighbors(const ManetTopology& t,
+                                                  double radio_range_m) {
+  const size_t n = static_cast<size_t>(t.num_nodes());
+  std::vector<std::vector<int>> neighbors(n);
+  const double range_sq = radio_range_m * radio_range_m;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (vec::SquaredDistance(t.position(static_cast<int>(i)),
+                               t.position(static_cast<int>(j))) <= range_sq) {
+        neighbors[i].push_back(static_cast<int>(j));
+        neighbors[j].push_back(static_cast<int>(i));
+      }
+    }
+  }
+  return neighbors;
+}
+
+void ExpectNeighborsMatchBruteForce(const ManetTopology& t, double range) {
+  const std::vector<std::vector<int>> want = BruteForceNeighbors(t, range);
+  for (int i = 0; i < t.num_nodes(); ++i) {
+    EXPECT_EQ(t.neighbors(i), want[static_cast<size_t>(i)]) << "node " << i;
+  }
+}
+
+TEST(SpatialHashTest, MatchesBruteForceAcrossRandomFields) {
+  // Sweeps density: many nodes on a small field (everyone in one cell
+  // neighbourhood) through sparse fields spanning many cells.
+  struct Case {
+    int nodes;
+    double field;
+    double range;
+  };
+  const std::vector<Case> cases = {
+      {30, 100.0, 60.0},  {40, 150.0, 50.0},  {60, 400.0, 80.0},
+      {25, 1000.0, 260.0}, {50, 300.0, 55.0},
+  };
+  int seed = 100;
+  for (const Case& c : cases) {
+    Rng rng(static_cast<uint64_t>(seed++));
+    TopologyOptions options;
+    options.num_nodes = c.nodes;
+    options.field_size_m = c.field;
+    options.radio_range_m = c.range;
+    options.max_placement_attempts = 2000;
+    Result<ManetTopology> t = ManetTopology::Generate(options, rng);
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    ExpectNeighborsMatchBruteForce(*t, c.range);
+  }
+}
+
+TEST(SpatialHashTest, MatchesBruteForceWhenRangeExceedsField) {
+  // One grid cell total: the hash degenerates to the full scan.
+  Rng rng(7);
+  TopologyOptions options;
+  options.num_nodes = 20;
+  options.field_size_m = 50.0;
+  options.radio_range_m = 200.0;
+  Result<ManetTopology> t = ManetTopology::Generate(options, rng);
+  ASSERT_TRUE(t.ok());
+  ExpectNeighborsMatchBruteForce(*t, 200.0);
+  for (int i = 0; i < t->num_nodes(); ++i) {
+    EXPECT_EQ(t->neighbors(i).size(), static_cast<size_t>(t->num_nodes() - 1));
+  }
+}
+
+TEST(SpatialHashTest, MatchesBruteForceOnDisconnectedLayouts) {
+  TopologyOptions options;
+  options.field_size_m = 1000.0;
+  options.radio_range_m = 50.0;
+  Result<ManetTopology> t = ManetTopology::FromPositions(
+      options, {{10.0, 10.0}, {40.0, 10.0}, {70.0, 10.0},
+                {910.0, 910.0}, {940.0, 910.0}, {0.0, 1000.0}});
+  ASSERT_TRUE(t.ok());
+  ExpectNeighborsMatchBruteForce(*t, 50.0);
+}
+
+TEST(SpatialHashTest, MatchesBruteForceAcrossMobilitySteps) {
+  // The incremental grid maintenance (nodes migrating between cells) must
+  // stay exact over long walks, including boundary-clamped positions.
+  Rng rng(11);
+  TopologyOptions options;
+  options.num_nodes = 45;
+  options.field_size_m = 300.0;
+  options.radio_range_m = 60.0;
+  options.max_placement_attempts = 2000;
+  Result<ManetTopology> t = ManetTopology::Generate(options, rng);
+  ASSERT_TRUE(t.ok());
+  for (int step = 0; step < 200; ++step) {
+    t->RandomWaypointStep(7.5, rng);
+    if (step % 10 == 0 || step > 190) {
+      ExpectNeighborsMatchBruteForce(*t, 60.0);
+    }
+  }
+}
+
+TEST(SpatialHashTest, EpochBumpsOnEveryRebuild) {
+  Rng rng(12);
+  Result<ManetTopology> t = ManetTopology::Generate(
+      TopologyOptions{.num_nodes = 20, .field_size_m = 120.0, .radio_range_m = 50.0},
+      rng);
+  ASSERT_TRUE(t.ok());
+  const uint64_t epoch0 = t->connectivity_epoch();
+  EXPECT_GT(epoch0, 0u);
+  t->RandomWaypointStep(2.0, rng);
+  EXPECT_EQ(t->connectivity_epoch(), epoch0 + 1);
+  t->RandomWaypointStep(2.0, rng);
+  EXPECT_EQ(t->connectivity_epoch(), epoch0 + 2);
+}
+
+}  // namespace
+}  // namespace hyperm::manet

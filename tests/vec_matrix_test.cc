@@ -1,0 +1,94 @@
+// The SoA batch kernel's bit-identity contract: SquaredDistanceBatch must
+// produce, for every row, the exact double vec::SquaredDistance produces —
+// blocking is across rows only, never within a row's accumulation chain.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "vec/matrix.h"
+
+namespace hyperm::vec {
+namespace {
+
+std::vector<Vector> RandomRows(size_t rows, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vector> out(rows);
+  for (Vector& row : out) {
+    row.resize(dim);
+    for (double& x : row) x = rng.Uniform(-10.0, 10.0);
+  }
+  return out;
+}
+
+TEST(MatrixBatchTest, FromRowsRoundTrips) {
+  const std::vector<Vector> rows = RandomRows(7, 5, 1);
+  const Matrix m = Matrix::FromRows(rows);
+  EXPECT_EQ(m.rows(), 7u);
+  EXPECT_EQ(m.cols(), 5u);
+  EXPECT_EQ(m.stride(), 5u);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    EXPECT_EQ(m.RowVector(r), rows[r]);
+  }
+}
+
+TEST(MatrixBatchTest, AppendRowFixesColumnCount) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  m.AppendRow({1.0, 2.0, 3.0});
+  EXPECT_EQ(m.cols(), 3u);
+  m.AppendRow({4.0, 5.0, 6.0});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.row(1)[2], 6.0);
+}
+
+TEST(MatrixBatchTest, BatchBitIdenticalToScalarKernel) {
+  // Row counts straddle the 4-row blocking boundary; dims cover tiny
+  // through the paper's 128 and the scale tier's padding-free strides.
+  for (size_t rows : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 33u}) {
+    for (size_t dim : {1u, 2u, 31u, 128u}) {
+      const std::vector<Vector> data = RandomRows(rows, dim, 100 + rows * 7 + dim);
+      const Vector query = RandomRows(1, dim, 999 + dim).front();
+      const Matrix m = Matrix::FromRows(data);
+      std::vector<double> got(rows, -1.0);
+      SquaredDistanceBatch(m, query, got.data());
+      for (size_t r = 0; r < rows; ++r) {
+        // Exact double equality: the accumulation order per row is the
+        // contract, not an approximation of it.
+        EXPECT_EQ(got[r], SquaredDistance(data[r], query))
+            << "rows=" << rows << " dim=" << dim << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST(MatrixBatchTest, RawPointerOverloadMatchesMatrixOverload) {
+  const std::vector<Vector> data = RandomRows(10, 16, 42);
+  const Vector query = RandomRows(1, 16, 43).front();
+  const Matrix m = Matrix::FromRows(data);
+  std::vector<double> a(10), b(10);
+  SquaredDistanceBatch(m, query, a.data());
+  SquaredDistanceBatch(m.data(), m.rows(), m.stride(), query.data(),
+                       query.size(), b.data());
+  EXPECT_EQ(a, b);
+}
+
+TEST(MatrixBatchTest, QueryAsRowAndRowAsQueryAgree) {
+  // diff vs -diff square to the same double, so swapping the operand roles
+  // (how the k-means port calls it) cannot change any bit.
+  const std::vector<Vector> data = RandomRows(6, 12, 77);
+  const Vector query = RandomRows(1, 12, 78).front();
+  const Matrix m = Matrix::FromRows(data);
+  std::vector<double> got(6);
+  SquaredDistanceBatch(m, query, got.data());
+  const Matrix q = Matrix::FromRows({query});
+  for (size_t r = 0; r < 6; ++r) {
+    double one = 0.0;
+    SquaredDistanceBatch(q, data[r], &one);
+    EXPECT_EQ(got[r], one);
+  }
+}
+
+}  // namespace
+}  // namespace hyperm::vec
