@@ -1,0 +1,151 @@
+#include "backbone/bloom.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace hyperm::backbone {
+namespace {
+
+// SplitMix64 finalizer — the same mixing family rng.h uses for seed
+// derivation; reproduced here so the filter's bit layout is pinned by this
+// translation unit alone.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+uint32_t GetU32(const unsigned char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t GetU64(const unsigned char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+constexpr char kMagic[4] = {'H', 'M', 'B', 'F'};
+constexpr size_t kHeaderBytes = 4 + 4 + 4 + 8;
+
+}  // namespace
+
+BloomFilter::BloomFilter(int bits, int hashes) : bits_(bits), hashes_(hashes) {
+  HM_CHECK_GT(bits, 0);
+  HM_CHECK_GE(hashes, 1);
+  HM_CHECK_LE(hashes, 16);
+  words_.assign((static_cast<size_t>(bits) + 63) / 64, 0);
+}
+
+void BloomFilter::Insert(uint64_t key) {
+  HM_CHECK_GT(bits_, 0) << "Insert on a geometry-less BloomFilter";
+  const uint64_t h1 = Mix64(key);
+  const uint64_t h2 = Mix64(key ^ 0x9e3779b97f4a7c15ULL) | 1;  // odd stride
+  for (int i = 0; i < hashes_; ++i) {
+    const uint64_t idx = (h1 + static_cast<uint64_t>(i) * h2) %
+                         static_cast<uint64_t>(bits_);
+    words_[idx >> 6] |= 1ULL << (idx & 63);
+  }
+  ++inserted_;
+}
+
+bool BloomFilter::MayContain(uint64_t key) const {
+  if (bits_ == 0) return false;
+  const uint64_t h1 = Mix64(key);
+  const uint64_t h2 = Mix64(key ^ 0x9e3779b97f4a7c15ULL) | 1;
+  for (int i = 0; i < hashes_; ++i) {
+    const uint64_t idx = (h1 + static_cast<uint64_t>(i) * h2) %
+                         static_cast<uint64_t>(bits_);
+    if ((words_[idx >> 6] & (1ULL << (idx & 63))) == 0) return false;
+  }
+  return true;
+}
+
+Status BloomFilter::Merge(const BloomFilter& other) {
+  if (bits_ != other.bits_ || hashes_ != other.hashes_) {
+    return InvalidArgumentError("BloomFilter::Merge geometry mismatch");
+  }
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  inserted_ += other.inserted_;
+  return Status();
+}
+
+void BloomFilter::Clear() {
+  std::fill(words_.begin(), words_.end(), 0);
+  inserted_ = 0;
+}
+
+uint64_t BloomFilter::popcount() const {
+  uint64_t total = 0;
+  for (uint64_t w : words_) total += static_cast<uint64_t>(std::popcount(w));
+  return total;
+}
+
+double BloomFilter::fill_ratio() const {
+  if (bits_ == 0) return 0.0;
+  return static_cast<double>(popcount()) / static_cast<double>(bits_);
+}
+
+double BloomFilter::TheoreticalFpRate() const {
+  if (bits_ == 0 || inserted_ == 0) return 0.0;
+  const double k = static_cast<double>(hashes_);
+  const double exponent = -k * static_cast<double>(inserted_) /
+                          static_cast<double>(bits_);
+  const double p = 1.0 - std::exp(exponent);
+  return std::pow(p, k);
+}
+
+std::string BloomFilter::Serialize() const {
+  std::string out;
+  out.reserve(SerializedBytes());
+  out.append(kMagic, sizeof(kMagic));
+  PutU32(&out, static_cast<uint32_t>(bits_));
+  PutU32(&out, static_cast<uint32_t>(hashes_));
+  PutU64(&out, inserted_);
+  for (uint64_t w : words_) PutU64(&out, w);
+  return out;
+}
+
+Result<BloomFilter> BloomFilter::Deserialize(const std::string& bytes) {
+  if (bytes.size() < kHeaderBytes ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return InvalidArgumentError("BloomFilter::Deserialize bad header");
+  }
+  const auto* p = reinterpret_cast<const unsigned char*>(bytes.data());
+  const uint32_t bits = GetU32(p + 4);
+  const uint32_t hashes = GetU32(p + 8);
+  if (bits == 0 || hashes == 0 || hashes > 16) {
+    return InvalidArgumentError("BloomFilter::Deserialize bad geometry");
+  }
+  BloomFilter filter(static_cast<int>(bits), static_cast<int>(hashes));
+  if (bytes.size() != kHeaderBytes + filter.words_.size() * 8) {
+    return InvalidArgumentError("BloomFilter::Deserialize truncated payload");
+  }
+  filter.inserted_ = GetU64(p + 12);
+  for (size_t i = 0; i < filter.words_.size(); ++i) {
+    filter.words_[i] = GetU64(p + kHeaderBytes + i * 8);
+  }
+  return filter;
+}
+
+size_t BloomFilter::SerializedBytes() const {
+  return kHeaderBytes + words_.size() * 8;
+}
+
+}  // namespace hyperm::backbone

@@ -1,0 +1,77 @@
+// Seeded Bloom filter for supernode domain digests.
+//
+// A supernode summarizes the cluster spheres its domain members publish into
+// a fixed-size bit array, small enough to gossip along the CDS backbone every
+// maintenance round (see digest.h for how spheres map to keys). The filter is
+// deterministic (no process randomness: double hashing over SplitMix64-style
+// mixing) and byte-stable across platforms so digest exchange bytes and
+// serialized snapshots diff cleanly in CI.
+
+#ifndef HYPERM_BACKBONE_BLOOM_H_
+#define HYPERM_BACKBONE_BLOOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hyperm::backbone {
+
+/// Fixed-geometry Bloom filter with double hashing.
+///
+/// `bits` is rounded up to a multiple of 64 internally but indexing uses the
+/// requested modulus, so two filters compare/merge only when both (bits,
+/// hashes) match exactly.
+class BloomFilter {
+ public:
+  /// Empty filter with no geometry: Insert() is illegal, MayContain() is
+  /// always false. Exists so containers can default-construct.
+  BloomFilter() = default;
+
+  /// `bits` > 0, `hashes` in [1, 16].
+  BloomFilter(int bits, int hashes);
+
+  void Insert(uint64_t key);
+  bool MayContain(uint64_t key) const;
+
+  /// Bitwise OR of `other` into this filter. Fails on geometry mismatch.
+  Status Merge(const BloomFilter& other);
+
+  /// Zeroes the bit array and the insert counter; geometry is kept.
+  void Clear();
+
+  int bits() const { return bits_; }
+  int hashes() const { return hashes_; }
+
+  /// Keys inserted since construction / last Clear() (not deduplicated).
+  uint64_t inserted() const { return inserted_; }
+
+  /// Number of set bits.
+  uint64_t popcount() const;
+
+  /// Fraction of set bits, in [0, 1].
+  double fill_ratio() const;
+
+  /// Classic (1 - e^{-kn/m})^k estimate with n = inserted().
+  double TheoreticalFpRate() const;
+
+  /// Byte-stable little-endian encoding: "HMBF" magic, bits, hashes,
+  /// inserted, then the word array. Identical filters serialize to identical
+  /// bytes on every platform.
+  std::string Serialize() const;
+  static Result<BloomFilter> Deserialize(const std::string& bytes);
+
+  /// Size of Serialize()'s output without materializing it (header + words).
+  size_t SerializedBytes() const;
+
+ private:
+  int bits_ = 0;
+  int hashes_ = 0;
+  uint64_t inserted_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace hyperm::backbone
+
+#endif  // HYPERM_BACKBONE_BLOOM_H_

@@ -1,0 +1,199 @@
+#include "backbone/election.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/check.h"
+
+namespace hyperm::backbone {
+namespace {
+
+// (count, -id) candidate ordering: more coverage wins, lower id breaks ties.
+bool Better(int count_a, int a, int count_b, int b) {
+  if (count_a != count_b) return count_a > count_b;
+  return a < b;
+}
+
+}  // namespace
+
+ElectionResult ElectCds(const std::vector<std::vector<int>>& neighbors,
+                        const std::vector<char>& up,
+                        const std::vector<char>* previous) {
+  const int n = static_cast<int>(neighbors.size());
+  HM_CHECK_EQ(static_cast<int>(up.size()), n);
+
+  ElectionResult result;
+  result.is_supernode.assign(n, 0);
+  result.is_connector.assign(n, 0);
+  result.supernode_of.assign(n, -1);
+  result.cds_neighbors.assign(n, {});
+  result.members_of.assign(n, {});
+
+  auto up_ok = [&](int v) { return up[v] != 0; };
+
+  // --- Phase 1: dominating set -------------------------------------------
+  std::vector<char> covered(n, 0);
+  for (int v = 0; v < n; ++v) {
+    if (!up_ok(v)) covered[v] = 1;  // down nodes need no domination
+  }
+  auto cover_by = [&](int s) {
+    covered[s] = 1;
+    for (int w : neighbors[s]) {
+      if (up_ok(w)) covered[w] = 1;
+    }
+  };
+
+  // Sticky seeds: previous supernodes still up keep their role...
+  if (previous != nullptr) {
+    HM_CHECK_EQ(static_cast<int>(previous->size()), n);
+    for (int v = 0; v < n; ++v) {
+      if ((*previous)[v] && up_ok(v)) result.is_supernode[v] = 1;
+    }
+    // ...unless redundant: s retires (ascending id) when every up node in
+    // N[s] is itself a supernode or adjacent to one other than s.
+    for (int s = 0; s < n; ++s) {
+      if (!result.is_supernode[s]) continue;
+      auto dominated_without = [&](int v) {
+        if (v != s && result.is_supernode[v]) return true;
+        for (int w : neighbors[v]) {
+          if (w != s && up_ok(w) && result.is_supernode[w]) return true;
+        }
+        return false;
+      };
+      bool redundant = dominated_without(s);
+      for (int w : neighbors[s]) {
+        if (!redundant) break;
+        if (up_ok(w) && !dominated_without(w)) redundant = false;
+      }
+      if (redundant) result.is_supernode[s] = 0;
+    }
+  }
+  for (int v = 0; v < n; ++v) {
+    if (result.is_supernode[v]) cover_by(v);
+  }
+
+  // Parallel-greedy rounds until every up node is dominated. The nominated
+  // candidate with the globally maximal (count, -id) priority is never beaten
+  // within two hops, so each round adds at least one supernode.
+  auto uncovered_count = [&](int c) {
+    int k = covered[c] ? 0 : 1;
+    for (int w : neighbors[c]) {
+      if (up_ok(w) && !covered[w]) ++k;
+    }
+    return k;
+  };
+  while (true) {
+    std::vector<int> uncovered;
+    for (int v = 0; v < n; ++v) {
+      if (up_ok(v) && !covered[v]) uncovered.push_back(v);
+    }
+    if (uncovered.empty()) break;
+    ++result.rounds;
+
+    std::vector<char> nominated(n, 0);
+    for (int u : uncovered) {
+      int best = -1;
+      int best_count = -1;
+      auto consider = [&](int c) {
+        if (!up_ok(c)) return;
+        const int k = uncovered_count(c);
+        if (best < 0 || Better(k, c, best_count, best)) {
+          best = c;
+          best_count = k;
+        }
+      };
+      consider(u);
+      for (int w : neighbors[u]) consider(w);
+      HM_CHECK_GE(best, 0);
+      nominated[best] = 1;
+    }
+
+    std::vector<int> accepted;
+    for (int c = 0; c < n; ++c) {
+      if (!nominated[c]) continue;
+      const int kc = uncovered_count(c);
+      bool maximal = true;
+      for (int w : neighbors[c]) {
+        if (!maximal) break;
+        if (!up_ok(w)) continue;
+        if (nominated[w] && Better(uncovered_count(w), w, kc, c)) {
+          maximal = false;
+          break;
+        }
+        for (int x : neighbors[w]) {
+          if (!up_ok(x) || x == c) continue;
+          if (nominated[x] && Better(uncovered_count(x), x, kc, c)) {
+            maximal = false;
+            break;
+          }
+        }
+      }
+      if (maximal) accepted.push_back(c);
+    }
+    HM_CHECK(!accepted.empty()) << "greedy DS round made no progress";
+    for (int c : accepted) {
+      result.is_supernode[c] = 1;
+      cover_by(c);
+    }
+  }
+
+  // --- Phase 2: affiliation ----------------------------------------------
+  for (int v = 0; v < n; ++v) {
+    if (!up_ok(v)) continue;
+    if (result.is_supernode[v]) {
+      result.supernode_of[v] = v;
+      continue;
+    }
+    int chosen = -1;
+    for (int w : neighbors[v]) {  // ascending → lowest-id adjacent supernode
+      if (up_ok(w) && result.is_supernode[w]) {
+        chosen = w;
+        break;
+      }
+    }
+    HM_CHECK_GE(chosen, 0) << "up node " << v << " left undominated";
+    result.supernode_of[v] = chosen;
+  }
+  for (int v = 0; v < n; ++v) {
+    if (result.supernode_of[v] >= 0) {
+      result.members_of[result.supernode_of[v]].push_back(v);
+    }
+  }
+
+  // --- Phase 3: CDS edges + connectors (3-hop theorem) -------------------
+  std::vector<int> dist(n), parent(n);
+  std::deque<int> frontier;
+  for (int s = 0; s < n; ++s) {
+    if (!result.is_supernode[s]) continue;
+    ++result.num_supernodes;
+    std::fill(dist.begin(), dist.end(), -1);
+    std::fill(parent.begin(), parent.end(), -1);
+    dist[s] = 0;
+    frontier.clear();
+    frontier.push_back(s);
+    while (!frontier.empty()) {
+      const int v = frontier.front();
+      frontier.pop_front();
+      if (dist[v] == 3) continue;
+      for (int w : neighbors[v]) {
+        if (!up_ok(w) || dist[w] >= 0) continue;
+        dist[w] = dist[v] + 1;
+        parent[w] = v;
+        frontier.push_back(w);
+      }
+    }
+    for (int t = 0; t < n; ++t) {
+      if (t == s || !result.is_supernode[t] || dist[t] < 0) continue;
+      result.cds_neighbors[s].push_back(t);  // ascending by construction of t
+      if (s < t) {
+        // Interior nodes of the discovered shortest path become connectors.
+        for (int v = parent[t]; v >= 0 && v != s; v = parent[v]) {
+          if (!result.is_supernode[v]) result.is_connector[v] = 1;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace hyperm::backbone

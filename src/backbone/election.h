@@ -1,0 +1,53 @@
+// Distributed DS → CDS supernode election over the radio graph.
+//
+// Model: every up node knows its 1-hop up-neighborhood (radio beacons) and,
+// through one extra beacon round, its neighbors' candidate priorities — the
+// classic "parallel greedy" dominating-set construction. Each round, every
+// uncovered node nominates the highest-priority candidate in its closed
+// up-neighborhood (priority = (#uncovered it would cover, lower id)); a
+// nominated candidate accepts iff no nominated candidate within two hops
+// beats it. The globally best nominated candidate always accepts, so every
+// round makes progress and the loop terminates in O(rounds) beacon exchanges.
+//
+// The DS is then lifted to a *connected* DS per radio island by the standard
+// 3-hop theorem: in any connected graph, the graph over dominators with
+// edges between dominators at hop distance <= 3 is connected. Interior nodes
+// of one shortest path per such pair become connectors.
+//
+// Stickiness: a previous supernode that is still up keeps its role unless it
+// is provably redundant (its closed neighborhood is already dominated by
+// other supernodes), which keeps re-elections incremental under mobility.
+//
+// This module is pure graph computation — deterministic, message-free — so
+// it can be unit-tested exhaustively; BackboneManager charges the election's
+// beacon/affiliation message cost to the transport separately.
+
+#ifndef HYPERM_BACKBONE_ELECTION_H_
+#define HYPERM_BACKBONE_ELECTION_H_
+
+#include <vector>
+
+namespace hyperm::backbone {
+
+struct ElectionResult {
+  std::vector<char> is_supernode;          ///< per node
+  std::vector<char> is_connector;          ///< per node (CDS glue, non-supernode)
+  std::vector<int> supernode_of;           ///< affiliation; self for supernodes, -1 for down nodes
+  std::vector<std::vector<int>> cds_neighbors;  ///< per supernode: supernodes within 3 hops, ascending
+  std::vector<std::vector<int>> members_of;     ///< per supernode: affiliated nodes incl. itself, ascending
+  int rounds = 0;                          ///< greedy rounds until full domination
+  int num_supernodes = 0;
+};
+
+/// Elects a CDS over the subgraph induced by `up` nodes.
+///
+/// `neighbors[v]` lists v's radio neighbors in ascending id order (the
+/// ManetTopology contract). `previous`, when non-null, is the prior
+/// election's is_supernode vector for stickiness.
+ElectionResult ElectCds(const std::vector<std::vector<int>>& neighbors,
+                        const std::vector<char>& up,
+                        const std::vector<char>* previous = nullptr);
+
+}  // namespace hyperm::backbone
+
+#endif  // HYPERM_BACKBONE_ELECTION_H_

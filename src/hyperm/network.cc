@@ -88,10 +88,12 @@ QueryPlanner HyperMNetwork::MakePlanner() const {
 }
 
 QueryExecutor HyperMNetwork::MakeExecutor() {
-  return QueryExecutor(&overlays_, sim_.get(),
-                       [this](size_t n, const std::function<void(size_t)>& fn) {
-                         QueryFanOut(n, fn);
-                       });
+  return QueryExecutor(
+      &overlays_, sim_.get(),
+      [this](size_t n, const std::function<void(size_t)>& fn) {
+        QueryFanOut(n, fn);
+      },
+      backbone_.get());
 }
 
 Status HyperMNetwork::DrainLevelOutcomes(
@@ -133,6 +135,12 @@ Status HyperMNetwork::DrainLevelOutcomes(
 
 Status HyperMNetwork::InitTransport() {
   const net::NetOptions& net_opts = options_.net;
+  if (options_.backbone.enabled &&
+      (!net_opts.unreliable || !options_.channel.enabled)) {
+    return InvalidArgumentError(
+        "Build: backbone.enabled requires net.unreliable and channel.enabled "
+        "(the CDS is elected over the live radio graph)");
+  }
   if (!net_opts.unreliable) {
     if (options_.channel.enabled) {
       return InvalidArgumentError(
@@ -203,6 +211,38 @@ Status HyperMNetwork::InitTransport() {
     }
     if (options_.trace_series_period_ms > 0.0) {
       ScheduleSeriesProbe(options_.trace_series_period_ms);
+    }
+    if (options_.backbone.enabled) {
+      HM_RETURN_IF_ERROR(options_.backbone.Validate());
+      // Resolve the piggyback defaults: report cadence rides the soft-state
+      // republish period, digest freshness rides the summary TTL.
+      backbone::BackboneOptions resolved = options_.backbone;
+      if (resolved.report_period_ms <= 0.0) {
+        resolved.report_period_ms = net_opts.republish_period_ms > 0.0
+                                        ? net_opts.republish_period_ms
+                                        : 400.0;
+      }
+      if (resolved.maintenance_period_ms <= 0.0) {
+        resolved.maintenance_period_ms = resolved.report_period_ms;
+      }
+      if (resolved.digest_ttl_ms <= 0.0) {
+        resolved.digest_ttl_ms = net_opts.summary_ttl_ms > 0.0
+                                     ? net_opts.summary_ttl_ms
+                                     : 3.0 * resolved.report_period_ms;
+      }
+      std::vector<int> layer_dims;
+      layer_dims.reserve(levels_.size());
+      for (const wavelet::Level& level : levels_) {
+        layer_dims.push_back(static_cast<int>(level.dim()));
+      }
+      backbone_ = std::make_unique<backbone::BackboneManager>(
+          sim_.get(), transport_.get(), fault_state_.get(),
+          &channel_->topology(), std::move(layer_dims), resolved,
+          [this](int peer, int layer) -> const std::vector<
+              overlay::PublishedCluster>& {
+            return published_cache_[static_cast<size_t>(peer)]
+                                   [static_cast<size_t>(layer)];
+          });
     }
   }
   for (auto& ov : overlays_) {
@@ -473,6 +513,12 @@ Result<std::unique_ptr<HyperMNetwork>> HyperMNetwork::Build(
                              net->stats_.hops(sim::TrafficClass::kReplicate);
       net->publication_hops_[static_cast<size_t>(p)] = after - before;
     }
+  }
+  // The backbone bootstraps against the freshly published summaries: initial
+  // election, member reports, digest build + CDS exchange, periodic timers.
+  if (net->backbone_ != nullptr) {
+    HM_OBS_SPAN("build/backbone");
+    net->backbone_->Start();
   }
   HM_OBS_GAUGE_SET("build.num_peers", num_peers);
   HM_OBS_GAUGE_SET("build.num_layers", num_layers);

@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "backbone/manager.h"
 #include "channel/mobility.h"
 #include "channel/radio_channel.h"
 #include "cluster/kmeans.h"
@@ -88,6 +89,13 @@ struct HyperMOptions {
   /// net.unreliable (the reliable transport has no simulator and nothing to
   /// heal) and is silently skipped otherwise.
   QueryPlanOptions plan;
+
+  /// Supernode backbone (requires net.unreliable and channel.enabled): CDS
+  /// election over the radio graph, per-domain Bloom digests, and a
+  /// backbone-first stage for non-expanding range probes. Disabled by
+  /// default, in which case nothing backbone-related is constructed and the
+  /// whole pipeline is bit-identical to a backbone-less build.
+  backbone::BackboneOptions backbone;
 
   /// Flight-recorder time-series sampling period (simulated ms). When > 0 and
   /// net.unreliable, a self-rescheduling probe samples queue occupancy
@@ -230,6 +238,9 @@ class HyperMNetwork {
   /// The physical radio channel, or nullptr when channel.enabled is false.
   const channel::RadioChannel* radio_channel() const { return channel_.get(); }
 
+  /// The supernode backbone, or nullptr when backbone.enabled is false.
+  const backbone::BackboneManager* backbone() const { return backbone_.get(); }
+
   // Introspection ------------------------------------------------------------
 
   int num_peers() const { return static_cast<int>(peers_.size()); }
@@ -338,6 +349,9 @@ class HyperMNetwork {
   std::unique_ptr<channel::RadioChannel> channel_;
   std::unique_ptr<channel::MobilityProcess> mobility_;
   std::unique_ptr<net::Transport> transport_;
+  // Supernode backbone; only when backbone.enabled (constructed after the
+  // transport/channel it borrows, started after the initial publish).
+  std::unique_ptr<backbone::BackboneManager> backbone_;
   SoftStateCounters soft_;
   // Queries currently between entry and return (sampled by the flight
   // recorder's probe.inflight_queries series). The orchestrating thread runs

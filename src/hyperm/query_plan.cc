@@ -5,6 +5,7 @@
 #include <cmath>
 #include <utility>
 
+#include "backbone/manager.h"
 #include "common/check.h"
 #include "geom/radius_estimator.h"
 #include "obs/event_log.h"
@@ -126,8 +127,12 @@ QueryPlan QueryPlanner::PlanKnn(const Vector& query, int k) const {
 
 QueryExecutor::QueryExecutor(
     std::vector<std::unique_ptr<overlay::Overlay>>* overlays, sim::Simulator* sim,
-    std::function<void(size_t, const std::function<void(size_t)>&)> fan_out)
-    : overlays_(overlays), sim_(sim), fan_out_(std::move(fan_out)) {
+    std::function<void(size_t, const std::function<void(size_t)>&)> fan_out,
+    backbone::BackboneManager* backbone)
+    : overlays_(overlays),
+      sim_(sim),
+      fan_out_(std::move(fan_out)),
+      backbone_(backbone) {
   HM_CHECK(overlays != nullptr);
 }
 
@@ -140,7 +145,9 @@ void QueryExecutor::RunProbe(const LevelProbe& probe, int querying_peer,
   [&] {
     if (!probe.expanding) {
       // Range probe: one threshold range query, scored against the same
-      // sphere the overlay evaluated.
+      // sphere the overlay evaluated. (The backbone-first stage, when it
+      // applies, is served plan-wide in Execute before the fan-out; a probe
+      // reaching here runs the full CAN path.)
       Result<overlay::RangeQueryResult> result =
           overlay.RangeQuery(probe.key_sphere, querying_peer);
       if (!result.ok()) {
@@ -264,10 +271,62 @@ std::vector<LevelOutcome> QueryExecutor::Execute(const QueryPlan& plan,
     HM_OBS_EVENT(.sim_ms = plan_ms, .kind = obs::EventKind::kProbeIssue,
                  .level = probe.layer, .attempt = 0, .src = querying_peer);
   }
-  fan_out_(plan.probes.size(), [&](size_t i) {
-    HM_OBS_LEVEL_SCOPE(plan.probes[i].layer);
-    RunProbe(plan.probes[i], querying_peer, &outcomes[i]);
-  });
+  // Backbone-first stage: a range plan (one non-expanding probe per level,
+  // in level order) is offered to the supernode backbone as a whole — one
+  // CDS walk serves every level, and under min/product aggregation a domain
+  // provably empty at any single level is pruned at every level (a peer
+  // missing from one level scores zero overall, so nothing is lost). Any
+  // fail-soft gate (stale election, partitioned/crashed backbone, lost walk
+  // token) refuses the plan and every probe falls through to the full CAN
+  // fan-out below — recall can never be worse than the digest-less path at
+  // the same fault level. Expanding (k-NN) probes never take this stage:
+  // their widening loop re-derives radii from discovered mass, which the
+  // per-domain digest summaries cannot answer soundly. The serve runs on the
+  // orchestrating thread, so its transport draws and records are identical
+  // at any fan-out thread count.
+  bool backbone_range_plan = backbone_ != nullptr && !plan.probes.empty();
+  if (backbone_range_plan) {
+    for (size_t i = 0; i < plan.probes.size(); ++i) {
+      if (plan.probes[i].expanding ||
+          plan.probes[i].layer != static_cast<int>(i)) {
+        backbone_range_plan = false;
+        break;
+      }
+    }
+  }
+  if (backbone_range_plan) {
+    const auto serve_start = std::chrono::steady_clock::now();
+    std::vector<geom::Sphere> key_spheres;
+    key_spheres.reserve(plan.probes.size());
+    for (const LevelProbe& probe : plan.probes) {
+      key_spheres.push_back(probe.key_sphere);
+    }
+    std::vector<backbone::ProbeServeResult> served;
+    if (backbone_->ServeRangePlan(
+            key_spheres, querying_peer,
+            /*conjunctive=*/plan.score_policy != ScorePolicy::kSum, &served)) {
+      const double serve_us = ElapsedUs(serve_start);
+      for (size_t i = 0; i < plan.probes.size(); ++i) {
+        outcomes[i].routing_hops = served[i].walk_messages;
+        outcomes[i].flood_hops = served[i].descend_messages;
+        outcomes[i].latency_ms = served[i].latency_ms;
+        outcomes[i].scores = ComputeLevelScores(
+            plan.probes[i].layer_dim, served[i].matches,
+            plan.probes[i].key_sphere);
+        outcomes[i].delivery = LevelDelivery::kDelivered;
+        outcomes[i].wall_us = serve_us;
+      }
+      backbone_range_plan = true;
+    } else {
+      backbone_range_plan = false;
+    }
+  }
+  if (!backbone_range_plan) {
+    fan_out_(plan.probes.size(), [&](size_t i) {
+      HM_OBS_LEVEL_SCOPE(plan.probes[i].layer);
+      RunProbe(plan.probes[i], querying_peer, &outcomes[i]);
+    });
+  }
   for (size_t i = 0; i < outcomes.size(); ++i) {
     HM_OBS_EVENT(.sim_ms = sim_ != nullptr ? sim_->now() : 0.0,
                  .kind = obs::EventKind::kProbeOutcome,

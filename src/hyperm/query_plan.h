@@ -38,6 +38,10 @@
 #include "hyperm/key_mapper.h"
 #include "hyperm/score.h"
 #include "overlay/overlay.h"
+
+namespace hyperm::backbone {
+class BackboneManager;  // query_plan.cc includes the real header
+}
 #include "sim/simulator.h"
 #include "wavelet/level.h"
 #include "wavelet/transform.h"
@@ -148,11 +152,15 @@ class QueryExecutor {
  public:
   /// `fan_out(n, fn)` runs fn(0..n-1), parallel or serial per the caller's
   /// determinism rules (HyperMNetwork::QueryFanOut). `sim` may be null (the
-  /// reliable transport) — re-issue rounds are then skipped.
+  /// reliable transport) — re-issue rounds are then skipped. `backbone`, when
+  /// non-null, serves non-expanding range probes backbone-first (digest-pruned
+  /// CDS walk) with full CAN probing as the fail-soft fallback; expanding
+  /// (k-NN) probes always take the CAN path.
   QueryExecutor(std::vector<std::unique_ptr<overlay::Overlay>>* overlays,
                 sim::Simulator* sim,
                 std::function<void(size_t, const std::function<void(size_t)>&)>
-                    fan_out);
+                    fan_out,
+                backbone::BackboneManager* backbone = nullptr);
 
   /// Executes every probe of `plan` from `querying_peer`, then re-issues
   /// deferred levels for up to plan.reissue_budget rounds of
@@ -173,6 +181,7 @@ class QueryExecutor {
   std::vector<std::unique_ptr<overlay::Overlay>>* overlays_;  // not owned
   sim::Simulator* sim_;                                       // not owned
   std::function<void(size_t, const std::function<void(size_t)>&)> fan_out_;
+  backbone::BackboneManager* backbone_;                       // not owned, may be null
 };
 
 }  // namespace hyperm::core

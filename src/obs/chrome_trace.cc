@@ -264,6 +264,32 @@ Json ChromeTraceFromLog(const EventLog& log) {
             "mobility", 0, ts));
         break;
       }
+      case EventKind::kBackboneElect: {
+        out.push_back(Instant("cds_elect sn=" + std::to_string(e.aux),
+                              "backbone", 0, ts));
+        break;
+      }
+      case EventKind::kBackboneReport: {
+        out.push_back(Instant("bb_report", "backbone", tid, ts));
+        break;
+      }
+      case EventKind::kBackboneDigest: {
+        out.push_back(Instant("digest->" + std::to_string(e.dst), "backbone",
+                              tid, ts));
+        break;
+      }
+      case EventKind::kBackboneProbe: {
+        out.push_back(Instant(e.cause == 0 ? "bb_serve" : "bb_fallback",
+                              "backbone", tid, ts));
+        break;
+      }
+      case EventKind::kBackboneDecision: {
+        out.push_back(Instant(e.cause == 1   ? "bb_prune"
+                              : e.cause == 2 ? "bb_stale_descend"
+                                             : "bb_descend",
+                              "backbone", tid, ts));
+        break;
+      }
     }
   }
 

@@ -30,6 +30,11 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kRepublishRound: return "republish_round";
     case EventKind::kRouteCacheBuild: return "route_cache_build";
     case EventKind::kRouteCacheInvalidate: return "route_cache_invalidate";
+    case EventKind::kBackboneElect: return "backbone_elect";
+    case EventKind::kBackboneReport: return "backbone_report";
+    case EventKind::kBackboneDigest: return "backbone_digest";
+    case EventKind::kBackboneProbe: return "backbone_probe";
+    case EventKind::kBackboneDecision: return "backbone_decision";
   }
   return "unknown";
 }
@@ -63,6 +68,12 @@ Subsystem SubsystemOf(EventKind kind) {
     case EventKind::kSummariesExpired:
     case EventKind::kRepublishRound:
       return Subsystem::kSoftState;
+    case EventKind::kBackboneElect:
+    case EventKind::kBackboneReport:
+    case EventKind::kBackboneDigest:
+    case EventKind::kBackboneProbe:
+    case EventKind::kBackboneDecision:
+      return Subsystem::kBackbone;
   }
   return Subsystem::kQuery;
 }
@@ -74,6 +85,7 @@ const char* SubsystemName(Subsystem subsystem) {
     case Subsystem::kChannel: return "channel";
     case Subsystem::kMobility: return "mobility";
     case Subsystem::kSoftState: return "softstate";
+    case Subsystem::kBackbone: return "backbone";
   }
   return "unknown";
 }

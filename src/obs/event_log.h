@@ -65,10 +65,18 @@ enum class EventKind : int32_t {
   // radio route cache (appended to keep earlier kinds' numeric values stable)
   kRouteCacheBuild,      ///< BFS trees built for a transmit; src/dst=message, aux=#builds
   kRouteCacheInvalidate, ///< mobility dropped cached trees; value=#trees dropped
+  // supernode backbone (src/backbone; appended)
+  kBackboneElect,    ///< CDS election settled; value=greedy rounds, aux=#supernodes
+  kBackboneReport,   ///< member summary report delivered; src=member, dst=supernode, aux=#clusters
+  kBackboneDigest,   ///< digest exchanged between CDS neighbors; src/dst=supernodes, value=bytes
+  kBackboneProbe,    ///< backbone probe verdict; cause 0=served 1=fallback, value=latency, aux=#descended
+  kBackboneDecision, ///< per-domain verdict; src=supernode, cause 0=descend 1=prune 2=stale-descend, aux=#matches
 };
 
 /// Which layer of the stack emitted the event.
-enum class Subsystem : int32_t { kQuery = 0, kNet, kChannel, kMobility, kSoftState };
+enum class Subsystem : int32_t {
+  kQuery = 0, kNet, kChannel, kMobility, kSoftState, kBackbone
+};
 
 const char* EventKindName(EventKind kind);
 Subsystem SubsystemOf(EventKind kind);

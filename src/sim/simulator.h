@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_map>
 #include <vector>
 
 namespace hyperm::sim {
@@ -25,6 +26,15 @@ using TimeMs = double;
 ///
 /// Events scheduled for the same instant fire in scheduling order. The clock
 /// only advances inside Run()/RunUntil().
+///
+/// Dispatch drains all events sharing a timestamp in one heap batch: the
+/// same-tick prefix is extracted once (one sift-down per event, no
+/// re-comparison against later timestamps) and executed in seq order.
+/// Because events scheduled *during* a batch always receive a larger seq
+/// than every extracted event, the observable execution order is identical
+/// to one-at-a-time dispatch. Constraint: scheduled callbacks must not call
+/// Run()/RunUntil() re-entrantly (nothing in the tree does — heal-window
+/// waits run from the driving thread between events).
 class Simulator {
  public:
   Simulator() = default;
@@ -41,6 +51,17 @@ class Simulator {
   /// Schedules `fn` at absolute time `when` (>= now()).
   void ScheduleAt(TimeMs when, std::function<void()> fn);
 
+  /// Schedules `fn` under a coalescing key: at most one live callback per
+  /// key. Re-scheduling a key supersedes any still-pending callback for it —
+  /// the stale heap entry fires as a no-op (lazy deletion, counted in
+  /// coalesced()). This is the idiom for per-peer refresh timers where a
+  /// state change should reset the pending timer instead of stacking a
+  /// duplicate.
+  void ScheduleKeyedAfter(uint64_t key, TimeMs delay, std::function<void()> fn);
+
+  /// Drops the pending keyed callback for `key` (if any) without running it.
+  void CancelKeyed(uint64_t key);
+
   /// Drains the queue completely; returns the number of events executed.
   /// `max_events` guards against runaway feedback loops (0 = unlimited).
   uint64_t Run(uint64_t max_events = 0);
@@ -49,11 +70,16 @@ class Simulator {
   /// Returns the number of events executed.
   uint64_t RunUntil(TimeMs until);
 
-  /// Number of pending events.
+  /// Number of pending events (superseded keyed timers still count until
+  /// their heap slot drains).
   size_t pending() const { return queue_.size(); }
 
-  /// Total events executed since construction.
+  /// Total events executed since construction (keyed no-op firings are not
+  /// executions).
   uint64_t executed() const { return executed_; }
+
+  /// Superseded or cancelled keyed callbacks that drained as no-ops.
+  uint64_t coalesced() const { return coalesced_; }
 
  private:
   struct Event {
@@ -68,10 +94,19 @@ class Simulator {
     }
   };
 
+  /// Moves every event sharing the earliest timestamp (or <= `until` when
+  /// bounded) into `batch`, up to `limit` events (0 = unlimited).
+  void ExtractBatch(std::vector<Event>* batch, bool bounded, TimeMs until,
+                    uint64_t limit);
+
   TimeMs now_ = 0.0;
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
+  uint64_t coalesced_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  // Generation per coalescing key; a keyed heap entry only runs if it still
+  // carries the latest generation for its key.
+  std::unordered_map<uint64_t, uint64_t> keyed_gen_;
 };
 
 }  // namespace hyperm::sim

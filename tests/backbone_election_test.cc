@@ -1,0 +1,313 @@
+#include "backbone/election.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hyperm::backbone {
+namespace {
+
+using Graph = std::vector<std::vector<int>>;
+
+void AddEdge(Graph* g, int a, int b) {
+  (*g)[a].push_back(b);
+  (*g)[b].push_back(a);
+}
+
+void SortNeighbors(Graph* g) {
+  for (auto& adjacency : *g) {
+    std::sort(adjacency.begin(), adjacency.end());
+    adjacency.erase(std::unique(adjacency.begin(), adjacency.end()),
+                    adjacency.end());
+  }
+}
+
+// Erdos-Renyi graph with a deterministic seed; ascending neighbor lists to
+// match the ManetTopology contract.
+Graph RandomGraph(int n, double p, uint64_t seed) {
+  Graph g(n);
+  Rng rng(seed);
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      if (rng.NextDouble() < p) AddEdge(&g, a, b);
+    }
+  }
+  SortNeighbors(&g);
+  return g;
+}
+
+// Component labels of the subgraph induced by up nodes (-1 for down nodes).
+std::vector<int> UpComponents(const Graph& g, const std::vector<char>& up) {
+  const int n = static_cast<int>(g.size());
+  std::vector<int> label(n, -1);
+  int next = 0;
+  for (int start = 0; start < n; ++start) {
+    if (!up[start] || label[start] >= 0) continue;
+    std::deque<int> frontier{start};
+    label[start] = next;
+    while (!frontier.empty()) {
+      const int v = frontier.front();
+      frontier.pop_front();
+      for (int w : g[v]) {
+        if (up[w] && label[w] < 0) {
+          label[w] = next;
+          frontier.push_back(w);
+        }
+      }
+    }
+    ++next;
+  }
+  return label;
+}
+
+// Full invariant audit of one election result.
+void CheckInvariants(const Graph& g, const std::vector<char>& up,
+                     const ElectionResult& r) {
+  const int n = static_cast<int>(g.size());
+  ASSERT_EQ(static_cast<int>(r.is_supernode.size()), n);
+
+  // 1. Domination: every up node is a supernode or radio-adjacent to one.
+  for (int v = 0; v < n; ++v) {
+    if (!up[v]) {
+      EXPECT_EQ(r.supernode_of[v], -1) << "down node " << v << " affiliated";
+      continue;
+    }
+    if (r.is_supernode[v]) {
+      EXPECT_EQ(r.supernode_of[v], v);
+      continue;
+    }
+    const int s = r.supernode_of[v];
+    ASSERT_GE(s, 0) << "up node " << v << " undominated";
+    EXPECT_TRUE(r.is_supernode[s]);
+    EXPECT_TRUE(up[s]);
+    EXPECT_TRUE(std::binary_search(g[v].begin(), g[v].end(), s))
+        << "node " << v << " affiliated to non-adjacent supernode " << s;
+  }
+
+  // 2. members_of partitions the up nodes.
+  int member_total = 0;
+  for (int s = 0; s < n; ++s) {
+    for (int m : r.members_of[s]) {
+      EXPECT_EQ(r.supernode_of[m], s);
+      ++member_total;
+    }
+    EXPECT_TRUE(std::is_sorted(r.members_of[s].begin(), r.members_of[s].end()));
+  }
+  const int up_count =
+      static_cast<int>(std::count(up.begin(), up.end(), char{1}));
+  EXPECT_EQ(member_total, up_count);
+
+  // 3. CDS connectivity per up-graph component: the supernodes of a
+  // component must be mutually reachable through cds_neighbors edges, and
+  // every cds edge must be realizable within 3 radio hops.
+  const std::vector<int> component = UpComponents(g, up);
+  std::vector<int> reach(n, -1);
+  for (int root = 0; root < n; ++root) {
+    if (!r.is_supernode[root]) continue;
+    if (reach[root] >= 0) continue;
+    std::deque<int> frontier{root};
+    reach[root] = root;
+    while (!frontier.empty()) {
+      const int s = frontier.front();
+      frontier.pop_front();
+      for (int t : r.cds_neighbors[s]) {
+        EXPECT_TRUE(r.is_supernode[t]);
+        EXPECT_EQ(component[s], component[t]);
+        if (reach[t] < 0) {
+          reach[t] = root;
+          frontier.push_back(t);
+        }
+      }
+    }
+  }
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      if (!r.is_supernode[a] || !r.is_supernode[b]) continue;
+      if (component[a] != component[b]) continue;
+      EXPECT_EQ(reach[a], reach[b])
+          << "supernodes " << a << " and " << b
+          << " share an island but are CDS-disconnected";
+    }
+  }
+
+  // 4. Connectors are up, not supernodes, and the supernode+connector
+  // subgraph is physically connected within each component.
+  for (int v = 0; v < n; ++v) {
+    if (!r.is_connector[v]) continue;
+    EXPECT_TRUE(up[v]);
+    EXPECT_FALSE(r.is_supernode[v]);
+  }
+  std::vector<char> in_backbone(n, 0);
+  for (int v = 0; v < n; ++v) {
+    in_backbone[v] = (r.is_supernode[v] || r.is_connector[v]) ? 1 : 0;
+  }
+  std::vector<int> backbone_reach(n, -1);
+  for (int root = 0; root < n; ++root) {
+    if (!in_backbone[root] || backbone_reach[root] >= 0) continue;
+    std::deque<int> frontier{root};
+    backbone_reach[root] = root;
+    while (!frontier.empty()) {
+      const int v = frontier.front();
+      frontier.pop_front();
+      for (int w : g[v]) {
+        if (in_backbone[w] && up[w] && backbone_reach[w] < 0) {
+          backbone_reach[w] = root;
+          frontier.push_back(w);
+        }
+      }
+    }
+  }
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      if (!r.is_supernode[a] || !r.is_supernode[b]) continue;
+      if (component[a] != component[b]) continue;
+      EXPECT_EQ(backbone_reach[a], backbone_reach[b])
+          << "physical backbone split between supernodes " << a << ", " << b;
+    }
+  }
+
+  // 5. Counts.
+  EXPECT_EQ(r.num_supernodes,
+            static_cast<int>(std::count(r.is_supernode.begin(),
+                                        r.is_supernode.end(), char{1})));
+  if (up_count > 0) {
+    EXPECT_GE(r.num_supernodes, 1);
+  }
+}
+
+TEST(ElectionTest, SingleNode) {
+  Graph g(1);
+  std::vector<char> up{1};
+  const ElectionResult r = ElectCds(g, up);
+  EXPECT_EQ(r.num_supernodes, 1);
+  EXPECT_TRUE(r.is_supernode[0]);
+  CheckInvariants(g, up, r);
+}
+
+TEST(ElectionTest, StarGraphElectsHub) {
+  Graph g(6);
+  for (int leaf = 1; leaf < 6; ++leaf) AddEdge(&g, 0, leaf);
+  SortNeighbors(&g);
+  std::vector<char> up(6, 1);
+  const ElectionResult r = ElectCds(g, up);
+  EXPECT_EQ(r.num_supernodes, 1);
+  EXPECT_TRUE(r.is_supernode[0]);
+  for (int leaf = 1; leaf < 6; ++leaf) EXPECT_EQ(r.supernode_of[leaf], 0);
+  CheckInvariants(g, up, r);
+}
+
+TEST(ElectionTest, PathGraphInvariants) {
+  Graph g(10);
+  for (int v = 0; v + 1 < 10; ++v) AddEdge(&g, v, v + 1);
+  SortNeighbors(&g);
+  std::vector<char> up(10, 1);
+  const ElectionResult r = ElectCds(g, up);
+  CheckInvariants(g, up, r);
+  // A 10-path needs at least ceil(10/3) dominators.
+  EXPECT_GE(r.num_supernodes, 4);
+}
+
+TEST(ElectionTest, RandomGraphsAllInvariants) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    for (double p : {0.05, 0.15, 0.4}) {
+      const Graph g = RandomGraph(40, p, seed);
+      std::vector<char> up(40, 1);
+      const ElectionResult r = ElectCds(g, up);
+      CheckInvariants(g, up, r);
+    }
+  }
+}
+
+TEST(ElectionTest, DisconnectedIslandsElectPerIsland) {
+  // Two cliques with no bridge: each island elects its own supernode and the
+  // CDS never links across.
+  Graph g(8);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) AddEdge(&g, a, b);
+  }
+  for (int a = 4; a < 8; ++a) {
+    for (int b = a + 1; b < 8; ++b) AddEdge(&g, a, b);
+  }
+  SortNeighbors(&g);
+  std::vector<char> up(8, 1);
+  const ElectionResult r = ElectCds(g, up);
+  CheckInvariants(g, up, r);
+  EXPECT_EQ(r.num_supernodes, 2);
+  for (int s = 0; s < 8; ++s) {
+    for (int t : r.cds_neighbors[s]) {
+      EXPECT_EQ(s / 4, t / 4) << "CDS edge crossed islands";
+    }
+  }
+}
+
+TEST(ElectionTest, DeterministicAcrossInvocations) {
+  const Graph g = RandomGraph(50, 0.12, 99);
+  std::vector<char> up(50, 1);
+  const ElectionResult a = ElectCds(g, up);
+  const ElectionResult b = ElectCds(g, up);
+  EXPECT_EQ(a.is_supernode, b.is_supernode);
+  EXPECT_EQ(a.is_connector, b.is_connector);
+  EXPECT_EQ(a.supernode_of, b.supernode_of);
+  EXPECT_EQ(a.cds_neighbors, b.cds_neighbors);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+TEST(ElectionTest, DownNodesAreExcluded) {
+  const Graph g = RandomGraph(30, 0.2, 5);
+  std::vector<char> up(30, 1);
+  up[3] = up[7] = up[21] = 0;
+  const ElectionResult r = ElectCds(g, up);
+  CheckInvariants(g, up, r);
+  EXPECT_FALSE(r.is_supernode[3]);
+  EXPECT_FALSE(r.is_supernode[7]);
+  EXPECT_FALSE(r.is_supernode[21]);
+}
+
+TEST(ElectionTest, StickyReElectionAfterCrash) {
+  const Graph g = RandomGraph(40, 0.15, 17);
+  std::vector<char> up(40, 1);
+  const ElectionResult first = ElectCds(g, up);
+  CheckInvariants(g, up, first);
+
+  // Crash every third supernode, then re-elect with the previous result:
+  // invariants must converge again and surviving supernodes should mostly
+  // keep their roles (stickiness — only provably redundant ones retire).
+  std::vector<char> after = up;
+  int crashed = 0;
+  for (int v = 0; v < 40; ++v) {
+    if (first.is_supernode[v] && (crashed++ % 3 == 0)) after[v] = 0;
+  }
+  const ElectionResult second = ElectCds(g, after, &first.is_supernode);
+  CheckInvariants(g, after, second);
+
+  int kept = 0, survivors = 0;
+  for (int v = 0; v < 40; ++v) {
+    if (first.is_supernode[v] && after[v]) {
+      ++survivors;
+      if (second.is_supernode[v]) ++kept;
+    }
+  }
+  if (survivors > 0) {
+    EXPECT_GE(kept * 2, survivors)
+        << "re-election churned more than half the surviving supernodes";
+  }
+}
+
+TEST(ElectionTest, RejoinConvergesWithStickySeeds) {
+  const Graph g = RandomGraph(30, 0.2, 23);
+  std::vector<char> degraded(30, 1);
+  for (int v = 0; v < 30; v += 5) degraded[v] = 0;
+  const ElectionResult during = ElectCds(g, degraded);
+  CheckInvariants(g, degraded, during);
+
+  std::vector<char> healed(30, 1);
+  const ElectionResult after = ElectCds(g, healed, &during.is_supernode);
+  CheckInvariants(g, healed, after);
+}
+
+}  // namespace
+}  // namespace hyperm::backbone

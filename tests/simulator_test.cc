@@ -159,5 +159,104 @@ TEST(SimulatorTest, ExecutedAccumulates) {
   EXPECT_EQ(sim.executed(), 7u);
 }
 
+TEST(SimulatorTest, BatchDrainPreservesOrderWithSameTickSelfScheduling) {
+  // Same-tick events are extracted in one heap batch; events scheduled
+  // *during* the batch for the same instant must still run after every
+  // pre-existing same-tick event — the exact one-at-a-time total order.
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    sim.ScheduleAfter(1.0, [&order, &sim, i] {
+      order.push_back(i);
+      if (i == 0) {
+        sim.ScheduleAfter(0.0, [&order] { order.push_back(100); });
+      }
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 100}));
+}
+
+TEST(SimulatorTest, BatchDrainRespectsMaxEventsMidTick) {
+  // max_events can split a same-tick batch; the remainder stays queued and a
+  // later run resumes mid-instant without reordering.
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 6; ++i) {
+    sim.ScheduleAfter(1.0, [&order, i] { order.push_back(i); });
+  }
+  EXPECT_EQ(sim.Run(4), 4u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(sim.pending(), 2u);
+  EXPECT_EQ(sim.Run(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(SimulatorTest, RunUntilBatchesAcrossDistinctTicks) {
+  Simulator sim;
+  std::vector<double> at;
+  for (double t : {1.0, 1.0, 2.0, 2.0, 3.0}) {
+    sim.ScheduleAfter(t, [&at, &sim] { at.push_back(sim.now()); });
+  }
+  EXPECT_EQ(sim.RunUntil(2.0), 4u);
+  EXPECT_EQ(at, (std::vector<double>{1.0, 1.0, 2.0, 2.0}));
+  EXPECT_EQ(sim.now(), 2.0);
+}
+
+TEST(SimulatorTest, KeyedReschedulingCoalesces) {
+  // Re-scheduling a key supersedes the pending callback: only the latest
+  // firing runs, the stale heap slot drains as a counted no-op.
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleKeyedAfter(7, 5.0, [&] { fired += 1; });
+  sim.ScheduleKeyedAfter(7, 2.0, [&] { fired += 10; });
+  sim.Run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(sim.coalesced(), 1u);
+  // Keyed no-ops still occupy a heap slot but do not count as executions of
+  // user work any differently — both entries were popped.
+  EXPECT_EQ(sim.executed(), 2u);
+}
+
+TEST(SimulatorTest, KeyedTimersAreIndependentPerKey) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleKeyedAfter(1, 1.0, [&] { order.push_back(1); });
+  sim.ScheduleKeyedAfter(2, 2.0, [&] { order.push_back(2); });
+  sim.ScheduleKeyedAfter(3, 3.0, [&] { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.coalesced(), 0u);
+}
+
+TEST(SimulatorTest, CancelKeyedDropsPendingCallback) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleKeyedAfter(9, 1.0, [&] { ++fired; });
+  sim.CancelKeyed(9);
+  sim.Run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.coalesced(), 1u);
+  // The key is reusable after cancellation.
+  sim.ScheduleKeyedAfter(9, 1.0, [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, KeyedCallbackCanRescheduleItself) {
+  // The periodic-timer idiom: the callback re-arms its own key.
+  Simulator sim;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    if (ticks < 3) sim.ScheduleKeyedAfter(4, 10.0, tick);
+  };
+  sim.ScheduleKeyedAfter(4, 10.0, tick);
+  sim.Run();
+  EXPECT_EQ(ticks, 3);
+  EXPECT_EQ(sim.coalesced(), 0u);
+  EXPECT_EQ(sim.now(), 30.0);
+}
+
 }  // namespace
 }  // namespace hyperm::sim
