@@ -418,7 +418,76 @@ Result<RangeQueryResult> CanOverlay::RangeQuery(const geom::Sphere& query,
     result.delivered = false;
     return result;
   }
+  result.entry_node = route.destination;
+  FloodFrom(query, route.destination, &result);
+  return result;
+}
 
+Result<RangeQueryResult> CanOverlay::RangeQueryVia(const geom::Sphere& query,
+                                                   NodeId origin,
+                                                   NodeId entry_hint) {
+  if (query.center.size() != dim_) {
+    return InvalidArgumentError("RangeQueryVia: dimensionality mismatch");
+  }
+  if (query.radius < 0.0) {
+    return InvalidArgumentError("RangeQueryVia: negative radius");
+  }
+  if (origin < 0 || origin >= num_nodes() ||
+      !nodes_[static_cast<size_t>(origin)].active) {
+    return InvalidArgumentError("RangeQueryVia: bad origin node");
+  }
+  RangeQueryResult result;
+  if (entry_hint < 0 || entry_hint >= num_nodes() ||
+      !nodes_[static_cast<size_t>(entry_hint)].active) {
+    // The mined hint went stale (node left the overlay): report undelivered
+    // without spending airtime so the caller falls back to the plain walk.
+    result.delivered = false;
+    result.outcome = net::DeliveryOutcome::kLostUnreachable;
+    return result;
+  }
+  if (entry_hint != origin) {
+    // One direct overlay message to the mined entry — the transport still
+    // pays the true multi-radio-hop cost, but the greedy zone walk (one
+    // message per zone crossed) is skipped entirely.
+    const net::HopResult hop =
+        SendMessage(net::MessageType::kRoute, origin, entry_hint,
+                    KeyMessageBytes(), sim::TrafficClass::kQuery);
+    result.routing_hops = 1;
+    result.latency_ms = hop.latency_ms;
+    result.outcome = hop.outcome;
+    if (!hop.delivered) {
+      result.delivered = false;
+      return result;
+    }
+  }
+  NodeId entry = entry_hint;
+  if (!nodes_[static_cast<size_t>(entry)].zone.ContainsHalfOpen(
+          ClampKey(query.center))) {
+    // The hint does not own this query's center (the miner's cell straddles a
+    // zone border): resume the greedy walk from the hint. The flood below
+    // still starts at the true zone owner, so recall is unaffected either way.
+    HM_ASSIGN_OR_RETURN(RouteResult route, Route(query.center, entry_hint,
+                                                 sim::TrafficClass::kQuery,
+                                                 KeyMessageBytes(),
+                                                 net::MessageType::kRoute,
+                                                 route_detours_));
+    result.routing_hops += route.hops;
+    result.latency_ms += route.latency_ms;
+    result.route_detours = route.detours;
+    result.outcome = route.outcome;
+    if (!route.delivered) {
+      result.delivered = false;
+      return result;
+    }
+    entry = route.destination;
+  }
+  result.entry_node = entry;
+  FloodFrom(query, entry, &result);
+  return result;
+}
+
+void CanOverlay::FloodFrom(const geom::Sphere& query, NodeId entry,
+                           RangeQueryResult* result) {
   std::unordered_set<NodeId> visited;
   std::unordered_set<uint64_t> seen_clusters;
   std::deque<NodeId> frontier;
@@ -426,17 +495,17 @@ Result<RangeQueryResult> CanOverlay::RangeQuery(const geom::Sphere& query,
   // of flood edges reaching it completes, and the query completes when the
   // slowest branch does.
   std::unordered_map<NodeId, double> arrival;
-  visited.insert(route.destination);
-  frontier.push_back(route.destination);
-  arrival[route.destination] = route.latency_ms;
+  visited.insert(entry);
+  frontier.push_back(entry);
+  arrival[entry] = result->latency_ms;
   while (!frontier.empty()) {
     const NodeId node = frontier.front();
     frontier.pop_front();
-    ++result.nodes_visited;
+    ++result->nodes_visited;
     for (const PublishedCluster& cluster : nodes_[static_cast<size_t>(node)].stored) {
       if (!cluster.sphere.Intersects(query)) continue;
       if (!seen_clusters.insert(cluster.cluster_id).second) continue;
-      result.matches.push_back(cluster);
+      result->matches.push_back(cluster);
     }
     for (NodeId n : nodes_[static_cast<size_t>(node)].neighbors) {
       if (visited.contains(n)) continue;
@@ -447,15 +516,14 @@ Result<RangeQueryResult> CanOverlay::RangeQuery(const geom::Sphere& query,
       if (!hop.delivered) continue;
       visited.insert(n);
       frontier.push_back(n);
-      ++result.flood_hops;
+      ++result->flood_hops;
       const double at = arrival[node] + hop.latency_ms;
       arrival[n] = at;
-      result.latency_ms = std::max(result.latency_ms, at);
+      result->latency_ms = std::max(result->latency_ms, at);
     }
   }
   HM_OBS_HISTOGRAM("can.flood_nodes_visited", obs::Buckets::Exponential(1, 2.0, 12),
-                   result.nodes_visited);
-  return result;
+                   result->nodes_visited);
 }
 
 std::vector<NodeStorage> CanOverlay::StorageDistribution() const {

@@ -73,6 +73,9 @@ class CanOverlay : public overlay::Overlay {
                                         overlay::NodeId origin) override;
   Result<overlay::RangeQueryResult> RangeQuery(const geom::Sphere& query,
                                                overlay::NodeId origin) override;
+  Result<overlay::RangeQueryResult> RangeQueryVia(const geom::Sphere& query,
+                                                  overlay::NodeId origin,
+                                                  overlay::NodeId entry_hint) override;
   std::vector<overlay::NodeStorage> StorageDistribution() const override;
   void ClearStorage() override;
   int RemoveByOwner(int owner_peer) override;
@@ -184,6 +187,13 @@ class CanOverlay : public overlay::Overlay {
   net::HopResult SendMessage(net::MessageType type, overlay::NodeId src,
                              overlay::NodeId dst, uint64_t bytes,
                              sim::TrafficClass cls);
+
+  /// Zone-flood stage shared by RangeQuery/RangeQueryVia: BFS outward from
+  /// `entry` over zones intersecting `query`, accumulating matches and
+  /// per-branch arrival times into `result` (whose latency_ms on entry is the
+  /// time the flood starts).
+  void FloodFrom(const geom::Sphere& query, overlay::NodeId entry,
+                 overlay::RangeQueryResult* result);
 
   size_t dim_;
   sim::NetworkStats* stats_;      // not owned

@@ -93,6 +93,7 @@ sim::TimeMs RadioChannel::TransmitOneHop(int node, sim::TimeMs ready_ms,
   if (start > ready_ms) {
     ++counters_.queued_transmissions;
     counters_.queue_wait_ms += start - ready_ms;
+    queue_high_watermark_ms_ = std::max(queue_high_watermark_ms_, start - ready_ms);
     // Contention stall: the hop sat in `node`'s transmit queue from the
     // moment its payload was ready until the radio freed up.
     HM_OBS_EVENT(.sim_ms = ready_ms, .kind = obs::EventKind::kTxQueueWait,
@@ -187,6 +188,17 @@ sim::TimeMs RadioChannel::DrainedAtMs() const {
   sim::TimeMs latest = 0.0;
   for (sim::TimeMs t : busy_until_) latest = std::max(latest, t);
   return latest;
+}
+
+double RadioChannel::QueueBacklogMs(int node, sim::TimeMs now) const {
+  if (node < 0 || node >= num_nodes()) return 0.0;
+  return std::max(0.0, busy_until_[static_cast<size_t>(node)] - now);
+}
+
+double RadioChannel::MaxQueueBacklogMs(sim::TimeMs now) const {
+  double worst = 0.0;
+  for (sim::TimeMs t : busy_until_) worst = std::max(worst, t - now);
+  return std::max(0.0, worst);
 }
 
 }  // namespace hyperm::channel

@@ -113,6 +113,19 @@ class RadioChannel : public net::PhysicalChannel {
   /// flight recorder's queue-occupancy time-series probe samples this.
   int BusyNodesAt(sim::TimeMs now) const;
 
+  /// Transmit-queue depth of `node` at `now`, in milliseconds of pending
+  /// airtime (0 when the queue is idle). This is the admission-control
+  /// signal: a new transmission enqueued now waits at least this long.
+  double QueueBacklogMs(int node, sim::TimeMs now) const;
+
+  /// Largest per-node queue depth at `now` across all nodes.
+  double MaxQueueBacklogMs(sim::TimeMs now) const;
+
+  /// High-watermark: the largest queue wait any single transmission has
+  /// experienced so far (monotone over the run). The serving layer exports
+  /// it as the channel.queue.high_watermark_ms gauge.
+  double queue_high_watermark_ms() const { return queue_high_watermark_ms_; }
+
   /// Island (connected-component) label of `node`, densely numbered from 0
   /// in ascending-node discovery order; -1 for out-of-range nodes. Two peers
   /// are mutually reachable iff their labels match — the hint detour routing
@@ -151,6 +164,7 @@ class RadioChannel : public net::PhysicalChannel {
   sim::NetworkStats* stats_;  // not owned
   Rng mobility_rng_;
   std::vector<sim::TimeMs> busy_until_;  // per-node transmit queue tail
+  double queue_high_watermark_ms_ = 0.0;  // max single-transmission queue wait
   ChannelCounters counters_;
   manet::RouteCacheCounters emitted_route_;  // obs high-water mark
   std::vector<int> path_scratch_;  // reused per Transmit (single-threaded)

@@ -93,7 +93,16 @@ QueryExecutor HyperMNetwork::MakeExecutor() {
       [this](size_t n, const std::function<void(size_t)>& fn) {
         QueryFanOut(n, fn);
       },
-      backbone_.get());
+      backbone_.get(), shortcut_provider_);
+}
+
+QueryPlan HyperMNetwork::CompileRangePlan(const Vector& query,
+                                          double epsilon) const {
+  return MakePlanner().PlanRange(query, epsilon);
+}
+
+QueryPlan HyperMNetwork::CompileKnnPlan(const Vector& query, int k) const {
+  return MakePlanner().PlanKnn(query, k);
 }
 
 Status HyperMNetwork::DrainLevelOutcomes(
@@ -179,6 +188,11 @@ Status HyperMNetwork::InitTransport() {
         // flight-recorder events are epoch bookkeeping, not part of that
         // query's causal chain.
         HM_OBS_ROOT_SCOPE();
+        // Either direction changes query answers (a down peer neither serves
+        // summaries nor answers retrieves) and leaves state the next
+        // republish tick will repair — epoch-bump now, and again at the tick.
+        ++summary_epoch_;
+        summaries_dirty_ = true;
         if (event.up) {
           fault_state_->SetUp(event.peer, true);
           ++soft_.rejoins;
@@ -266,6 +280,12 @@ void HyperMNetwork::ScheduleExpirySweep(sim::TimeMs period) {
     int expired = 0;
     for (auto& ov : overlays_) expired += ov->ExpireBefore(sim_->now());
     soft_.summaries_expired += static_cast<uint64_t>(expired);
+    if (expired > 0) {
+      // Answers change now (entries gone) and again when the owners'
+      // republish tick restores them.
+      ++summary_epoch_;
+      summaries_dirty_ = true;
+    }
     HM_OBS_COUNTER_ADD("net.summaries_expired", expired);
     HM_OBS_EVENT(.sim_ms = sim_->now(),
                  .kind = obs::EventKind::kSummariesExpired, .aux = expired);
@@ -312,6 +332,14 @@ void HyperMNetwork::RepublishTick() {
       ++peers_republished;
       HM_OBS_COUNTER_ADD("net.republishes", 1);
     }
+  }
+  if (summaries_dirty_) {
+    // This round re-inserted summaries into overlays that had lost them
+    // (crash wipe, TTL expiry or a crashed owner coming back) — an
+    // answer-relevant repair. Plain TTL-refresh rounds leave the flag clear
+    // and bump nothing, so steady-state ticks never invalidate caches.
+    ++summary_epoch_;
+    summaries_dirty_ = false;
   }
   HM_OBS_EVENT(.sim_ms = sim_->now(), .kind = obs::EventKind::kRepublishRound,
                .aux = peers_republished);
@@ -833,6 +861,9 @@ void HyperMNetwork::AddItemWithoutRepublish(int peer, ItemId id, const Vector& f
   HM_CHECK_LT(peer, num_peers());
   HM_CHECK_EQ(features.size(), data_dim_);
   peers_[static_cast<size_t>(peer)].AddItem(id, features);
+  // The peer's local store now answers differently even though its published
+  // summaries are stale — cached results must not hide the new item.
+  ++summary_epoch_;
 }
 
 Result<std::vector<ItemId>> HyperMNetwork::PointQuery(const Vector& point,
@@ -849,6 +880,7 @@ Status HyperMNetwork::RepublishPeer(int peer, Rng& rng) {
   if (target.num_items() == 0) return OkStatus();
   HM_OBS_SPAN("republish");
   HM_OBS_COUNTER_ADD("republish.count", 1);
+  ++summary_epoch_;  // unpublish + fresh clustering changes answers
 
   // Unpublish: every replica holder processes one removal message. Removals
   // stay direct (always delivered) even under an unreliable transport — a

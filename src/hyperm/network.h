@@ -200,6 +200,40 @@ class HyperMNetwork {
   Result<std::vector<ItemId>> PointQuery(const Vector& point, int querying_peer,
                                          RangeQueryInfo* info = nullptr);
 
+  // Serving-layer hooks (src/serve) ------------------------------------------
+
+  /// Compiles a range query into its executable plan without running it.
+  /// The serving layer hashes the plan (PlanSignature) to key its per-peer
+  /// query-result cache: two queries with equal signatures issue identical
+  /// probes and, at a fixed summary state, return identical answers. `query`
+  /// must match data_dim() and epsilon must be >= 0 (same contract as
+  /// RangeQuery — compilation is pure math and does not validate).
+  QueryPlan CompileRangePlan(const Vector& query, double epsilon) const;
+
+  /// Compiles a k-NN query into its expanding-probe plan (see
+  /// CompileRangePlan for the caching contract).
+  QueryPlan CompileKnnPlan(const Vector& query, int k) const;
+
+  /// Monotone generation counter of the answer-relevant network state:
+  /// bumped whenever published summaries or peer local stores change in a
+  /// way that can change a query's answer — post-creation inserts, explicit
+  /// republishes, crash wipes, rejoins, and TTL expiry sweeps that removed
+  /// entries (plus the republish tick that repairs wiped/expired state, via
+  /// a dirty flag — ticks that merely refresh TTLs are answer-idempotent and
+  /// do NOT bump). The serving layer's result cache records the epoch at
+  /// fill time and treats any bump as invalidation, so cached answers never
+  /// outlive the summaries that produced them.
+  uint64_t summary_epoch() const { return summary_epoch_; }
+
+  /// Installs (or, with nullptr, removes) the mined-shortcut table consulted
+  /// by query executors before non-expanding range probes. Borrowed — must
+  /// outlive every subsequent query. Only consulted on simulator-driven
+  /// executions (see core::ShortcutProvider); a stale hint costs airtime,
+  /// never recall.
+  void set_shortcut_provider(ShortcutProvider* provider) {
+    shortcut_provider_ = provider;
+  }
+
   // Post-creation churn (Fig. 10c) ------------------------------------------
 
   /// Adds an item to a peer's local store WITHOUT republishing summaries —
@@ -353,6 +387,13 @@ class HyperMNetwork {
   // transport/channel it borrows, started after the initial publish).
   std::unique_ptr<backbone::BackboneManager> backbone_;
   SoftStateCounters soft_;
+  // Serving-layer state: the mined-shortcut seam handed to every executor,
+  // and the answer-relevant generation counter (see summary_epoch()).
+  // summaries_dirty_ marks wiped/expired summary state whose repair by the
+  // next republish tick is itself an answer-relevant change.
+  ShortcutProvider* shortcut_provider_ = nullptr;  // not owned
+  uint64_t summary_epoch_ = 0;
+  bool summaries_dirty_ = false;
   // Queries currently between entry and return (sampled by the flight
   // recorder's probe.inflight_queries series). The orchestrating thread runs
   // queries one at a time, but a heal-window RunUntil keeps the owning query

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <utility>
 
 #include "backbone/manager.h"
@@ -41,6 +42,35 @@ LevelDelivery ClassifyFailure(net::DeliveryOutcome outcome) {
 }
 
 }  // namespace
+
+uint64_t PlanSignature(const QueryPlan& plan) {
+  // FNV-1a over the plan's canonical bytes. Raw double bits (not rounded
+  // text) so two plans hash equal iff they issue byte-identical probes.
+  uint64_t h = 14695981039346656037ULL;
+  const auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffULL;
+      h *= 1099511628211ULL;
+    }
+  };
+  const auto mix_double = [&mix](double d) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  mix(static_cast<uint64_t>(plan.score_policy));
+  mix(plan.probes.size());
+  for (const LevelProbe& probe : plan.probes) {
+    mix(static_cast<uint64_t>(probe.layer));
+    mix(static_cast<uint64_t>(probe.layer_dim));
+    mix(probe.expanding ? 1 : 0);
+    mix(static_cast<uint64_t>(probe.knn_k));
+    mix_double(probe.max_probe_radius);
+    mix_double(probe.key_sphere.radius);
+    for (double c : probe.key_sphere.center) mix_double(c);
+  }
+  return h;
+}
 
 const char* LevelDeliveryName(LevelDelivery delivery) {
   switch (delivery) {
@@ -128,11 +158,12 @@ QueryPlan QueryPlanner::PlanKnn(const Vector& query, int k) const {
 QueryExecutor::QueryExecutor(
     std::vector<std::unique_ptr<overlay::Overlay>>* overlays, sim::Simulator* sim,
     std::function<void(size_t, const std::function<void(size_t)>&)> fan_out,
-    backbone::BackboneManager* backbone)
+    backbone::BackboneManager* backbone, ShortcutProvider* shortcuts)
     : overlays_(overlays),
       sim_(sim),
       fan_out_(std::move(fan_out)),
-      backbone_(backbone) {
+      backbone_(backbone),
+      shortcuts_(shortcuts) {
   HM_CHECK(overlays != nullptr);
 }
 
@@ -147,19 +178,58 @@ void QueryExecutor::RunProbe(const LevelProbe& probe, int querying_peer,
       // Range probe: one threshold range query, scored against the same
       // sphere the overlay evaluated. (The backbone-first stage, when it
       // applies, is served plan-wide in Execute before the fan-out; a probe
-      // reaching here runs the full CAN path.)
+      // reaching here runs the full CAN path.) The mined-shortcut stage is
+      // simulator-only: the miner is single-threaded, and on the reliable
+      // transport this probe may be running on a pool worker.
+      const bool mine = shortcuts_ != nullptr && sim_ != nullptr;
+      overlay::NodeId hint =
+          mine ? shortcuts_->EntryHint(probe.layer, probe.key_sphere)
+               : overlay::kInvalidNode;
       Result<overlay::RangeQueryResult> result =
-          overlay.RangeQuery(probe.key_sphere, querying_peer);
+          hint != overlay::kInvalidNode
+              ? overlay.RangeQueryVia(probe.key_sphere, querying_peer, hint)
+              : overlay.RangeQuery(probe.key_sphere, querying_peer);
       if (!result.ok()) {
         out->status = result.status();
         return;
       }
-      out->routing_hops = result.value().routing_hops;
+      if (hint != overlay::kInvalidNode && !result.value().delivered) {
+        // Fail-soft: the stale hint's attempt costs its airtime, never
+        // recall — the probe re-runs on the plain greedy walk and the miner
+        // demotes the association.
+        HM_OBS_EVENT(.sim_ms = sim_->now(),
+                     .kind = obs::EventKind::kServeShortcut,
+                     .level = probe.layer, .src = querying_peer, .dst = hint,
+                     .cause = 1, .value = result.value().latency_ms);
+        shortcuts_->Observe(probe.layer, probe.key_sphere,
+                            overlay::kInvalidNode, /*delivered=*/false,
+                            /*via_shortcut=*/true);
+        out->routing_hops = result.value().routing_hops;
+        out->latency_ms = result.value().latency_ms;
+        out->detours = result.value().route_detours;
+        hint = overlay::kInvalidNode;
+        result = overlay.RangeQuery(probe.key_sphere, querying_peer);
+        if (!result.ok()) {
+          out->status = result.status();
+          return;
+        }
+      } else if (hint != overlay::kInvalidNode) {
+        HM_OBS_EVENT(.sim_ms = sim_->now(),
+                     .kind = obs::EventKind::kServeShortcut,
+                     .level = probe.layer, .src = querying_peer, .dst = hint,
+                     .cause = 0, .value = result.value().latency_ms);
+      }
+      out->routing_hops += result.value().routing_hops;
       out->flood_hops = result.value().flood_hops;
-      out->latency_ms = result.value().latency_ms;
-      out->detours = result.value().route_detours;
+      out->latency_ms += result.value().latency_ms;
+      out->detours += result.value().route_detours;
       delivered = result.value().delivered;
       failure = result.value().outcome;
+      if (mine) {
+        shortcuts_->Observe(probe.layer, probe.key_sphere,
+                            result.value().entry_node, delivered,
+                            /*via_shortcut=*/hint != overlay::kInvalidNode);
+      }
       out->scores =
           ComputeLevelScores(probe.layer_dim, result.value().matches, probe.key_sphere);
       return;

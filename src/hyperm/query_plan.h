@@ -103,6 +103,38 @@ struct QueryPlan {
   double heal_window_ms = 0.0;
 };
 
+/// Canonical signature of a compiled plan: a 64-bit FNV-1a hash over the
+/// probes' exact key spheres (raw double bits), expanding/k parameters and
+/// the score policy. Two queries whose compiled plans hash equal issue the
+/// same overlay probes and aggregate them the same way, so — at a fixed
+/// summary state — they return the same answer. The serving layer's
+/// query-result cache keys on this.
+uint64_t PlanSignature(const QueryPlan& plan);
+
+/// Serving-layer seam: a mined (query cell -> entry node) shortcut table the
+/// executor consults before the greedy walk of a non-expanding range probe.
+/// Implemented by serve::ShortcutMiner; hyperm only sees this interface
+/// (same dependency-breaking pattern as the BackboneManager hook above).
+/// Only consulted on simulator-driven (serial fan-out) executions — the
+/// miner is single-threaded like the transport under it.
+class ShortcutProvider {
+ public:
+  virtual ~ShortcutProvider() = default;
+
+  /// Mined entry-node hint for this probe, or overlay::kInvalidNode when the
+  /// association is cold or stale.
+  virtual overlay::NodeId EntryHint(int layer,
+                                    const geom::Sphere& key_sphere) = 0;
+
+  /// Feeds one finished range probe back to the miner. `entry_node` is the
+  /// node the zone flood started from (kInvalidNode when the probe died);
+  /// `via_shortcut` tells the miner its own hint carried the probe, so a
+  /// failure demotes the association instead of merely not promoting it.
+  virtual void Observe(int layer, const geom::Sphere& key_sphere,
+                       overlay::NodeId entry_node, bool delivered,
+                       bool via_shortcut) = 0;
+};
+
 /// Execution outcome of one level probe (slot filled by one fan-out task;
 /// everything order-sensitive is drained on the calling thread).
 struct LevelOutcome {
@@ -155,12 +187,17 @@ class QueryExecutor {
   /// reliable transport) — re-issue rounds are then skipped. `backbone`, when
   /// non-null, serves non-expanding range probes backbone-first (digest-pruned
   /// CDS walk) with full CAN probing as the fail-soft fallback; expanding
-  /// (k-NN) probes always take the CAN path.
+  /// (k-NN) probes always take the CAN path. `shortcuts`, when non-null,
+  /// offers mined entry hints to non-expanding range probes (consulted only
+  /// when `sim` is non-null: the miner is single-threaded) — a stale hint
+  /// costs its airtime and the probe re-runs on the plain greedy walk, so
+  /// recall never depends on the miner's state.
   QueryExecutor(std::vector<std::unique_ptr<overlay::Overlay>>* overlays,
                 sim::Simulator* sim,
                 std::function<void(size_t, const std::function<void(size_t)>&)>
                     fan_out,
-                backbone::BackboneManager* backbone = nullptr);
+                backbone::BackboneManager* backbone = nullptr,
+                ShortcutProvider* shortcuts = nullptr);
 
   /// Executes every probe of `plan` from `querying_peer`, then re-issues
   /// deferred levels for up to plan.reissue_budget rounds of
@@ -182,6 +219,7 @@ class QueryExecutor {
   sim::Simulator* sim_;                                       // not owned
   std::function<void(size_t, const std::function<void(size_t)>&)> fan_out_;
   backbone::BackboneManager* backbone_;                       // not owned, may be null
+  ShortcutProvider* shortcuts_;                               // not owned, may be null
 };
 
 }  // namespace hyperm::core

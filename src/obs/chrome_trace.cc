@@ -290,6 +290,26 @@ Json ChromeTraceFromLog(const EventLog& log) {
                               "backbone", tid, ts));
         break;
       }
+      case EventKind::kServeAdmit: {
+        out.push_back(Instant("admit", "serve", tid, ts));
+        break;
+      }
+      case EventKind::kServeShed: {
+        out.push_back(Instant(std::string("shed:") + ShedCauseName(e.cause),
+                              "serve", tid, ts));
+        break;
+      }
+      case EventKind::kServeCacheHit: {
+        out.push_back(Instant("cache_hit x" + std::to_string(e.aux), "serve",
+                              tid, ts));
+        break;
+      }
+      case EventKind::kServeShortcut: {
+        out.push_back(Instant(e.cause == 0 ? "shortcut->" + std::to_string(e.dst)
+                                           : "shortcut_stale",
+                              "serve", tid, ts));
+        break;
+      }
     }
   }
 

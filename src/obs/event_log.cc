@@ -35,6 +35,10 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kBackboneDigest: return "backbone_digest";
     case EventKind::kBackboneProbe: return "backbone_probe";
     case EventKind::kBackboneDecision: return "backbone_decision";
+    case EventKind::kServeAdmit: return "serve_admit";
+    case EventKind::kServeShed: return "serve_shed";
+    case EventKind::kServeCacheHit: return "serve_cache_hit";
+    case EventKind::kServeShortcut: return "serve_shortcut";
   }
   return "unknown";
 }
@@ -74,6 +78,11 @@ Subsystem SubsystemOf(EventKind kind) {
     case EventKind::kBackboneProbe:
     case EventKind::kBackboneDecision:
       return Subsystem::kBackbone;
+    case EventKind::kServeAdmit:
+    case EventKind::kServeShed:
+    case EventKind::kServeCacheHit:
+    case EventKind::kServeShortcut:
+      return Subsystem::kServe;
   }
   return Subsystem::kQuery;
 }
@@ -86,6 +95,7 @@ const char* SubsystemName(Subsystem subsystem) {
     case Subsystem::kMobility: return "mobility";
     case Subsystem::kSoftState: return "softstate";
     case Subsystem::kBackbone: return "backbone";
+    case Subsystem::kServe: return "serve";
   }
   return "unknown";
 }
@@ -107,6 +117,14 @@ const char* LevelFateName(int32_t fate) {
     case 1: return "detoured";
     case 2: return "deferred";
     case 3: return "lost";
+    default: return "unknown";
+  }
+}
+
+const char* ShedCauseName(int32_t cause) {
+  switch (cause) {
+    case 0: return "tx_backlog";
+    case 1: return "dispatch_lag";
     default: return "unknown";
   }
 }

@@ -71,11 +71,16 @@ enum class EventKind : int32_t {
   kBackboneDigest,   ///< digest exchanged between CDS neighbors; src/dst=supernodes, value=bytes
   kBackboneProbe,    ///< backbone probe verdict; cause 0=served 1=fallback, value=latency, aux=#descended
   kBackboneDecision, ///< per-domain verdict; src=supernode, cause 0=descend 1=prune 2=stale-descend, aux=#matches
+  // serving subsystem (src/serve; appended)
+  kServeAdmit,       ///< arrival admitted; src=querying peer, value=dispatch lag ms
+  kServeShed,        ///< arrival shed; src=querying peer, cause=ShedCauseName, value=backlog ms
+  kServeCacheHit,    ///< result cache answered locally; src=querying peer, aux=#items
+  kServeShortcut,    ///< mined shortcut attempted; cause 0=hit 1=stale, dst=entry node, value=latency
 };
 
 /// Which layer of the stack emitted the event.
 enum class Subsystem : int32_t {
-  kQuery = 0, kNet, kChannel, kMobility, kSoftState, kBackbone
+  kQuery = 0, kNet, kChannel, kMobility, kSoftState, kBackbone, kServe
 };
 
 const char* EventKindName(EventKind kind);
@@ -91,6 +96,11 @@ const char* DeliveryCauseName(int32_t cause);
 /// Names for the `cause` payload of probe/level events; mirrors
 /// hyperm::core::LevelDelivery (static_assert in query_plan.cc).
 const char* LevelFateName(int32_t fate);
+
+/// Names for the `cause` payload of kServeShed events; mirrors
+/// serve::ShedCause numerically (static_assert in engine.cc — obs sits below
+/// serve in the dependency order, like DeliveryCauseName above).
+const char* ShedCauseName(int32_t cause);
 
 /// One flight-recorder event. Plain data, no strings: ~64 bytes, cheap to
 /// buffer in bulk. `-1` means "unset"; Record() fills unset causal ids from

@@ -23,9 +23,15 @@ Json HistogramToJson(const HistogramSnapshot& h) {
   out.Set("min", Json(h.count == 0 ? 0.0 : h.min));
   out.Set("max", Json(h.count == 0 ? 0.0 : h.max));
   // Tail quantiles (bucket interpolation); mean alone hides tail latency.
-  out.Set("p50", Json(h.Quantile(0.50)));
-  out.Set("p95", Json(h.Quantile(0.95)));
-  out.Set("p99", Json(h.Quantile(0.99)));
+  // An empty histogram has no quantiles at all — Quantile() returns 0 there,
+  // and writing that 0 would pollute p99 fields downstream (a dashboard
+  // cannot tell "no samples" from "instant"), so the keys are omitted
+  // entirely (count==0 is the marker; HistogramFromJson never reads them).
+  if (h.count > 0) {
+    out.Set("p50", Json(h.Quantile(0.50)));
+    out.Set("p95", Json(h.Quantile(0.95)));
+    out.Set("p99", Json(h.Quantile(0.99)));
+  }
   return out;
 }
 

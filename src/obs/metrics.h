@@ -98,8 +98,9 @@ struct HistogramSnapshot {
   /// Quantile estimate (q in [0, 1]) by linear interpolation inside the
   /// bucket containing the target rank, clamped to the observed [min, max].
   /// Ranks landing in the underflow bucket report min, in the overflow
-  /// bucket max. 0 for an empty histogram. The JSON exporter surfaces
-  /// p50/p95/p99 through this.
+  /// bucket max. 0 for an empty histogram — a sentinel the caller must gate
+  /// on count itself; the JSON exporter surfaces p50/p95/p99 through this
+  /// but omits the keys entirely when count == 0.
   double Quantile(double q) const;
 };
 

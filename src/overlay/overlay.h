@@ -76,6 +76,12 @@ struct RangeQueryResult {
   /// Alternate-neighbour forwards the routing phase took around unreachable
   /// next hops (0 unless the overlay's detour budget is set and was needed).
   int route_detours = 0;
+
+  /// Node the zone flood started from — the owner of the query center's zone
+  /// (kInvalidNode when the routing phase never delivered). Zone assignments
+  /// are static after Build, so this is a stable "who serves queries landing
+  /// here" association; the serving layer's shortcut miner feeds on it.
+  NodeId entry_node = kInvalidNode;
 };
 
 /// Per-node storage snapshot (drives the Fig. 9 distribution analysis).
@@ -109,6 +115,20 @@ class Overlay {
   /// outward from the zone owning the query center.
   virtual Result<RangeQueryResult> RangeQuery(const geom::Sphere& query,
                                               NodeId origin) = 0;
+
+  /// RangeQuery via a mined entry hint: `origin` first contacts `entry_hint`
+  /// directly (one overlay message instead of the greedy multi-hop walk) and
+  /// the walk resumes from there — usually zero hops, because the hint *is*
+  /// the query center's zone owner for a repeated query. Fail-soft and
+  /// recall-preserving by construction: the flood still starts at the true
+  /// zone owner, and any failure on the hinted path reports undelivered so
+  /// the caller can fall back to the plain RangeQuery. Default: hint ignored.
+  virtual Result<RangeQueryResult> RangeQueryVia(const geom::Sphere& query,
+                                                 NodeId origin,
+                                                 NodeId entry_hint) {
+    (void)entry_hint;
+    return RangeQuery(query, origin);
+  }
 
   /// Current storage load of every node.
   virtual std::vector<NodeStorage> StorageDistribution() const = 0;

@@ -1,0 +1,66 @@
+#include "serve/cache.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace hyperm::serve {
+
+ResultCache::ResultCache(int num_peers, const CacheOptions& options)
+    : options_(options), per_peer_(static_cast<size_t>(num_peers)) {
+  HM_CHECK_GE(num_peers, 1);
+}
+
+const std::vector<core::ItemId>* ResultCache::Lookup(int peer,
+                                                     uint64_t signature,
+                                                     uint64_t epoch,
+                                                     double now_ms) {
+  if (!options_.enabled) return nullptr;
+  HM_CHECK_GE(peer, 0);
+  HM_CHECK_LT(static_cast<size_t>(peer), per_peer_.size());
+  auto& table = per_peer_[static_cast<size_t>(peer)];
+  const auto it = table.find(signature);
+  if (it == table.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (it->second.fill_epoch != epoch) {
+    table.erase(it);
+    ++stats_.epoch_invalidations;
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (options_.ttl_ms > 0.0 && now_ms >= it->second.expires_at) {
+    table.erase(it);
+    ++stats_.ttl_expirations;
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return &it->second.items;
+}
+
+void ResultCache::Fill(int peer, uint64_t signature, uint64_t epoch,
+                       double now_ms, std::vector<core::ItemId> items) {
+  if (!options_.enabled) return;
+  HM_CHECK_GE(peer, 0);
+  HM_CHECK_LT(static_cast<size_t>(peer), per_peer_.size());
+  Entry& entry = per_peer_[static_cast<size_t>(peer)][signature];
+  entry.fill_epoch = epoch;
+  entry.expires_at =
+      options_.ttl_ms > 0.0 ? now_ms + options_.ttl_ms : 0.0;
+  entry.items = std::move(items);
+  ++stats_.fills;
+}
+
+void ResultCache::Clear() {
+  for (auto& table : per_peer_) table.clear();
+}
+
+size_t ResultCache::size() const {
+  size_t total = 0;
+  for (const auto& table : per_peer_) total += table.size();
+  return total;
+}
+
+}  // namespace hyperm::serve

@@ -1,0 +1,82 @@
+// Per-peer query-result cache, keyed by canonical plan signature.
+//
+// A cached answer is valid only while the network state that produced it is:
+// every entry records the network's summary_epoch at fill time and the
+// engine passes the current epoch into Lookup, so ANY answer-relevant change
+// (post-creation insert, republish, crash wipe, rejoin, TTL expiry, the
+// republish tick that repairs wiped state) invalidates every older entry at
+// once — cached answers never outlive the summaries they were computed from
+// (DESIGN.md section 15 gives the full coherence argument). A soft-state TTL
+// rides along as defence in depth, mirroring the overlay's own
+// summary-expiry model.
+//
+// Hits are answered locally at zero airtime: no probes, no retrieves, no
+// radio transmissions — the whole point of the serving layer under heavy
+// skewed load.
+
+#ifndef HYPERM_SERVE_CACHE_H_
+#define HYPERM_SERVE_CACHE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "hyperm/peer.h"
+#include "serve/options.h"
+
+namespace hyperm::serve {
+
+/// Running cache totals (per ResultCache instance).
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;          ///< lookups with no usable entry (any reason)
+  uint64_t fills = 0;
+  uint64_t epoch_invalidations = 0;  ///< entries dropped on an epoch mismatch
+  uint64_t ttl_expirations = 0;      ///< entries dropped past their TTL
+};
+
+/// One cache per querying peer, each mapping PlanSignature -> answer ids.
+/// Single-threaded like the serving engine that owns it.
+class ResultCache {
+ public:
+  ResultCache(int num_peers, const CacheOptions& options);
+
+  /// Returns the cached answer for (peer, signature), or nullptr on a miss.
+  /// `epoch` is the network's current summary_epoch and `now_ms` the current
+  /// simulated time; an entry filled under an older epoch or past its TTL is
+  /// erased on the spot (counted as an invalidation/expiration AND a miss).
+  /// The pointer is valid until the next Fill on the same peer.
+  const std::vector<core::ItemId>* Lookup(int peer, uint64_t signature,
+                                          uint64_t epoch, double now_ms);
+
+  /// Stores an answer computed entirely under `epoch` (the engine only calls
+  /// this when the epoch did not change across the query's execution —
+  /// otherwise the answer may already mix pre- and post-change state).
+  void Fill(int peer, uint64_t signature, uint64_t epoch, double now_ms,
+            std::vector<core::ItemId> items);
+
+  /// Drops every entry (tests; a crash of the caching peer itself would do
+  /// this in a deployment — the cache is volatile soft state).
+  void Clear();
+
+  const CacheStats& stats() const { return stats_; }
+  bool enabled() const { return options_.enabled; }
+
+  /// Live entries across all peers (O(peers); tests / gauges).
+  size_t size() const;
+
+ private:
+  struct Entry {
+    uint64_t fill_epoch = 0;
+    double expires_at = 0.0;
+    std::vector<core::ItemId> items;
+  };
+
+  CacheOptions options_;
+  std::vector<std::unordered_map<uint64_t, Entry>> per_peer_;
+  CacheStats stats_;
+};
+
+}  // namespace hyperm::serve
+
+#endif  // HYPERM_SERVE_CACHE_H_

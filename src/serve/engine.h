@@ -1,0 +1,124 @@
+// ServeEngine: drives one HyperMNetwork through an open-loop query workload
+// with admission control, per-peer result caching and mined shortcut routes.
+//
+// The engine owns the serving loop on the network's driving thread (the
+// per-network sim::Simulator forbids re-entrant Run from callbacks, so
+// arrivals are dispatched by AdvanceTo-ing the clock to each scheduled time,
+// never from scheduled callbacks). Per arrival, in order:
+//
+//   1. advance simulated time to the arrival (a late dispatch — the previous
+//      query's airtime pushed the clock past the arrival — records its lag),
+//   2. admission: shed when the radio transmit queues or the dispatch lag
+//      are past their watermarks. A shed is never silent — it emits a
+//      kServeShed event with its ShedCause and bumps serve.shed.<cause>,
+//   3. result cache: a hit answers locally at zero airtime,
+//   4. miss: execute through the network's planned query path (which
+//      consults the shortcut miner), then fill the cache iff the summary
+//      epoch did not change under the query.
+//
+// Time-to-answer is billed from the *scheduled* arrival time — dispatch lag
+// plus simulated query latency — so a saturated network cannot hide its
+// queueing delay the way a closed-loop harness would (coordinated omission;
+// see EXPERIMENTS.md).
+
+#ifndef HYPERM_SERVE_ENGINE_H_
+#define HYPERM_SERVE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "hyperm/network.h"
+#include "serve/cache.h"
+#include "serve/options.h"
+#include "serve/shortcuts.h"
+#include "serve/workload.h"
+
+namespace hyperm::serve {
+
+/// Why an arrival was shed. Numbering mirrors obs::ShedCauseName (a
+/// static_assert in engine.cc pins the correspondence) so flight-recorder
+/// events and these counters can never drift apart.
+enum class ShedCause : int32_t {
+  kTxBacklog = 0,    ///< radio transmit-queue backlog past the watermark
+  kDispatchLag = 1,  ///< the serving loop itself fell too far behind
+};
+
+/// Human-readable cause name (same table the flight recorder uses).
+const char* ShedCauseName(ShedCause cause);
+
+/// Outcome of one serving run.
+struct ServeStats {
+  uint64_t offered = 0;    ///< arrivals in the schedule
+  uint64_t admitted = 0;
+  uint64_t shed = 0;
+  uint64_t shed_tx_backlog = 0;
+  uint64_t shed_dispatch_lag = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;  ///< admitted, cache enabled, had to execute
+  uint64_t completed = 0;     ///< answered (from cache or the network)
+  uint64_t failed = 0;        ///< network execution returned an error status
+  uint64_t deadline_met = 0;  ///< completed within deadline_ms
+  double duration_ms = 0.0;   ///< the workload's configured span
+
+  /// Per-completed-query time-to-answer (scheduled arrival -> answer),
+  /// sorted ascending after Run returns.
+  std::vector<double> t2a_ms;
+
+  /// Empirical time-to-answer quantile (0 when nothing completed — gate on
+  /// completed, like the obs histograms).
+  double Quantile(double q) const;
+
+  /// Deadline-met queries per offered-load second — the goodput the bench
+  /// ladder reports.
+  double goodput_qps() const {
+    return duration_ms > 0.0
+               ? static_cast<double>(deadline_met) * 1000.0 / duration_ms
+               : 0.0;
+  }
+
+  double shed_rate() const {
+    return offered > 0
+               ? static_cast<double>(shed) / static_cast<double>(offered)
+               : 0.0;
+  }
+};
+
+/// Per-completed-query hook (recall evaluation in benches/tests). Runs on
+/// the serving thread, after the query's accounting has been recorded.
+using CompletionHook = std::function<void(
+    const Arrival& arrival, const std::vector<core::ItemId>& items,
+    bool cache_hit, double t2a_ms)>;
+
+/// One serving session over a borrowed network. Constructing the engine
+/// installs its shortcut miner on the network (when shortcuts.enabled);
+/// destruction uninstalls it. Single-threaded, like the simulator it drives.
+class ServeEngine {
+ public:
+  ServeEngine(core::HyperMNetwork* network, const ServeOptions& options);
+  ~ServeEngine();
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  /// Serves every arrival of `schedule` (ascending t_ms; template ids must
+  /// index `templates`) and returns the run's accounting. `on_complete`,
+  /// when set, fires for every answered query.
+  Result<ServeStats> Run(const std::vector<QueryTemplate>& templates,
+                         const std::vector<Arrival>& schedule,
+                         const CompletionHook& on_complete = nullptr);
+
+  const ResultCache& cache() const { return cache_; }
+  const ShortcutMiner& shortcuts() const { return shortcuts_; }
+
+ private:
+  core::HyperMNetwork* network_;  // not owned
+  ServeOptions options_;
+  ResultCache cache_;
+  ShortcutMiner shortcuts_;
+};
+
+}  // namespace hyperm::serve
+
+#endif  // HYPERM_SERVE_ENGINE_H_

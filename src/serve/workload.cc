@@ -1,0 +1,106 @@
+#include "serve/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace hyperm::serve {
+
+ZipfSampler::ZipfSampler(int n, double s) {
+  HM_CHECK_GE(n, 1);
+  HM_CHECK_GE(s, 0.0);
+  cdf_.resize(static_cast<size_t>(n));
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -s);
+    cdf_[static_cast<size_t>(i)] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding drift at the top rank
+}
+
+int ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int>(it == cdf_.end() ? cdf_.size() - 1
+                                           : it - cdf_.begin());
+}
+
+double ZipfSampler::Probability(int i) const {
+  HM_CHECK_GE(i, 0);
+  HM_CHECK_LT(static_cast<size_t>(i), cdf_.size());
+  const double hi = cdf_[static_cast<size_t>(i)];
+  const double lo = i == 0 ? 0.0 : cdf_[static_cast<size_t>(i) - 1];
+  return hi - lo;
+}
+
+std::vector<Arrival> GenerateArrivals(const WorkloadOptions& options,
+                                      int num_peers) {
+  HM_CHECK_GE(num_peers, 1);
+  HM_CHECK_GT(options.offered_qps, 0.0);
+  HM_CHECK_GE(options.num_templates, 1);
+  std::vector<Arrival> schedule;
+  Rng rng(MixSeed(options.seed, 0x61727276ULL));  // "arrv"
+  const ZipfSampler popularity(options.num_templates, options.zipf_s);
+  const double rate_per_ms = options.offered_qps / 1000.0;
+  double t = 0.0;
+  while (true) {
+    // All three draws happen per arrival in a fixed order, so the schedule
+    // prefix is invariant under duration changes too.
+    t += rng.Exponential(rate_per_ms);
+    if (t >= options.duration_ms) break;
+    Arrival arrival;
+    arrival.t_ms = t;
+    arrival.template_id = popularity.Sample(rng);
+    arrival.querying_peer =
+        static_cast<int>(rng.NextIndex(static_cast<uint64_t>(num_peers)));
+    schedule.push_back(arrival);
+  }
+  return schedule;
+}
+
+std::vector<QueryTemplate> MakeTemplates(const std::vector<Vector>& centers,
+                                         const WorkloadOptions& workload,
+                                         double range_epsilon, int knn_k) {
+  HM_CHECK(!centers.empty());
+  HM_CHECK_GE(workload.num_templates, 1);
+  const int num_range = static_cast<int>(
+      std::lround(workload.range_fraction * workload.num_templates));
+  std::vector<QueryTemplate> templates;
+  templates.reserve(static_cast<size_t>(workload.num_templates));
+  for (int i = 0; i < workload.num_templates; ++i) {
+    QueryTemplate t;
+    t.center = centers[(static_cast<size_t>(i) * 17) % centers.size()];
+    if (i < num_range) {
+      t.epsilon = range_epsilon;
+    } else {
+      t.knn = true;
+      t.k = knn_k;
+    }
+    templates.push_back(std::move(t));
+  }
+  return templates;
+}
+
+uint64_t ScheduleDigest(const std::vector<Arrival>& schedule) {
+  uint64_t h = 14695981039346656037ULL;
+  const auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffULL;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(schedule.size());
+  for (const Arrival& a : schedule) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &a.t_ms, sizeof(bits));
+    mix(bits);
+    mix(static_cast<uint64_t>(a.template_id));
+    mix(static_cast<uint64_t>(a.querying_peer));
+  }
+  return h;
+}
+
+}  // namespace hyperm::serve

@@ -1,0 +1,84 @@
+// Open-loop workload generation: Zipf-skewed query popularity over a fixed
+// template population, Poisson arrival times, uniform querying peers.
+//
+// The whole schedule is materialized up front by one sequential pass over a
+// single seeded RNG stream, so it is a pure function of (options, num_peers):
+// byte-identical across runs, host thread counts and network configurations.
+// Scheduling arrivals independently of completions is what makes the load
+// open-loop — a saturated network cannot slow the arrival process down, it
+// can only fall behind it (EXPERIMENTS.md discusses why the closed-loop
+// alternative hides the saturation knee).
+
+#ifndef HYPERM_SERVE_WORKLOAD_H_
+#define HYPERM_SERVE_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "serve/options.h"
+#include "vec/vector.h"
+
+namespace hyperm::serve {
+
+/// One member of the query population. Templates carry full-dimensional
+/// centers; the engine compiles them into plans at dispatch time.
+struct QueryTemplate {
+  Vector center;
+  bool knn = false;      ///< k-NN template (else range)
+  double epsilon = 0.0;  ///< range templates
+  int k = 0;             ///< k-NN templates
+};
+
+/// One scheduled query arrival.
+struct Arrival {
+  double t_ms = 0.0;      ///< scheduled (open-loop) arrival time
+  int template_id = 0;    ///< index into the template population
+  int querying_peer = 0;  ///< peer the query enters the network at
+};
+
+/// Deterministic Zipf(s) sampler over ranks 0..n-1 by CDF inversion:
+/// P(rank i) proportional to 1 / (i + 1)^s. s = 0 degenerates to uniform.
+class ZipfSampler {
+ public:
+  ZipfSampler(int n, double s);
+
+  /// Draws one rank (binary search over the precomputed CDF; one uniform
+  /// variate per draw).
+  int Sample(Rng& rng) const;
+
+  /// Exact probability of rank i — tests compare empirical frequencies
+  /// against this.
+  double Probability(int i) const;
+
+  int n() const { return static_cast<int>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;  // inclusive prefix sums, cdf_.back() == 1.0
+};
+
+/// Materializes the full arrival schedule for `options` over `num_peers`
+/// peers: Poisson arrival times (exponential inter-arrival gaps at
+/// offered_qps), Zipf-ranked template ids, uniform querying peers — all
+/// drawn in arrival order from one Rng(MixSeed(seed, "arrivals")) stream.
+/// Sorted by time by construction.
+std::vector<Arrival> GenerateArrivals(const WorkloadOptions& options,
+                                      int num_peers);
+
+/// FNV-1a digest over the schedule's raw bytes (exact double bits). Two
+/// schedules digest equal iff they are byte-identical — the determinism
+/// tests and cross-thread-count checks key on this.
+uint64_t ScheduleDigest(const std::vector<Arrival>& schedule);
+
+/// Builds the template population from candidate query centers (typically
+/// dataset items): template i centers on centers[(i * 17) % centers.size()]
+/// (the bench suite's standard decorrelating stride). The first
+/// round(range_fraction * num_templates) templates are range queries at
+/// `range_epsilon`; the rest are k-NN at `knn_k`.
+std::vector<QueryTemplate> MakeTemplates(const std::vector<Vector>& centers,
+                                         const WorkloadOptions& workload,
+                                         double range_epsilon, int knn_k);
+
+}  // namespace hyperm::serve
+
+#endif  // HYPERM_SERVE_WORKLOAD_H_

@@ -132,6 +132,26 @@ TEST(ExportTest, EmptyHistogramRoundTripsInfiniteMinMax) {
   EXPECT_TRUE(std::isinf(h.max) && h.max < 0);
 }
 
+TEST(ExportTest, EmptyHistogramReportsNoQuantiles) {
+  // Satellite of the serving PR: an empty histogram has no order statistics,
+  // so the report must omit p50/p95/p99 entirely instead of emitting a
+  // misleading 0.0 (a zero-valued p99 reads as "everything was instant").
+  MetricsRegistry registry;
+  registry.GetHistogram("empty", Buckets::Linear(0.0, 1.0, 1));
+  const Json report = ReportToJson(RunMeta{}, registry.Snapshot(), {}, 0);
+  const Json* h = report.Find("metrics")->Find("histograms")->Find("empty");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->Find("p50"), nullptr);
+  EXPECT_EQ(h->Find("p95"), nullptr);
+  EXPECT_EQ(h->Find("p99"), nullptr);
+  // One observation is enough to bring the quantile keys back.
+  registry.GetHistogram("empty", Buckets::Linear(0.0, 1.0, 1)).Observe(0.5);
+  const Json again = ReportToJson(RunMeta{}, registry.Snapshot(), {}, 0);
+  EXPECT_NE(
+      again.Find("metrics")->Find("histograms")->Find("empty")->Find("p50"),
+      nullptr);
+}
+
 TEST(ExportTest, MetricsFromJsonAcceptsBareMetricsObject) {
   const Json report = ReportToJson(RunMeta{}, SampleSnapshot(), {}, 0);
   Result<MetricsSnapshot> restored = MetricsFromJson(*report.Find("metrics"));
