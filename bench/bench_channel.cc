@@ -43,7 +43,8 @@ struct ChannelBed {
 };
 
 std::unique_ptr<ChannelBed> BuildBed(bool paper, double speed_m_per_s,
-                                     double field_size_m, double radio_range_m) {
+                                     double field_size_m, double radio_range_m,
+                                     bool csma_mac = false) {
   Rng rng(4242);
   data::MarkovOptions data_options;
   data_options.count = paper ? 2000 : 400;
@@ -83,6 +84,7 @@ std::unique_ptr<ChannelBed> BuildBed(bool paper, double speed_m_per_s,
   // readable in milliseconds rather than minutes.
   options.channel.bandwidth_bytes_per_ms = 1000.0;
   options.channel.tx_overhead_ms = 1.0;
+  if (csma_mac) options.channel.mac.kind = channel::MacOptions::Kind::kCsmaCa;
   options.trace_series_period_ms = g_trace_series_period_ms;
   Result<std::unique_ptr<core::HyperMNetwork>> network =
       core::HyperMNetwork::Build(bed->dataset, bed->assignment, options, rng);
@@ -343,6 +345,42 @@ int main(int argc, char** argv) {
   reg.GetGauge("benchc.mobile_retries").Set(static_cast<double>(net_counters.retries));
   reg.GetGauge("benchc.mobile_energy_mj")
       .Set(mobile->network->stats().total_energy_millijoules());
+
+  // --- Part 3: CSMA/CA contention snapshot ---------------------------------
+  // Same dense static field as Part 1 but under the 802.11-style MAC: the
+  // query burst now pays carrier-sense deferrals and collision retransmits.
+  // The per-cause channel.mac.* counters flow into the global registry (and
+  // hence this bench's JSON report) so MAC losses are never silent.
+  auto csma = BuildBed(paper, /*speed_m_per_s=*/0.0, /*field_size_m=*/150.0,
+                       /*radio_range_m=*/100.0, /*csma_mac=*/true);
+  const channel::RadioChannel* csma_radio = csma->network->radio_channel();
+  csma->network->AdvanceTo(csma_radio->DrainedAtMs() + 1.0);
+  for (int i = 0; i < max_load; ++i) {
+    Result<std::vector<core::ItemId>> r =
+        csma->network->RangeQuery(query, 0.8, /*querying_peer=*/0, -1);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 1;
+    }
+  }
+  const channel::MacCounters& mac = csma_radio->mac().counters();
+  std::printf("\nCSMA/CA contention snapshot (same burst as part 1):\n");
+  std::printf("  frames sent:        %llu\n",
+              static_cast<unsigned long long>(mac.frames_sent));
+  std::printf("  deferrals:          %llu\n",
+              static_cast<unsigned long long>(mac.deferrals));
+  std::printf("  collisions:         %llu (retransmits: %llu)\n",
+              static_cast<unsigned long long>(mac.collisions),
+              static_cast<unsigned long long>(mac.retransmits));
+  std::printf("  retry-limit drops:  %llu\n",
+              static_cast<unsigned long long>(mac.drops_retry_limit));
+  reg.GetGauge("benchc.csma_frames_sent")
+      .Set(static_cast<double>(mac.frames_sent));
+  reg.GetGauge("benchc.csma_deferrals").Set(static_cast<double>(mac.deferrals));
+  reg.GetGauge("benchc.csma_collisions")
+      .Set(static_cast<double>(mac.collisions));
+  reg.GetGauge("benchc.csma_drops_retry_limit")
+      .Set(static_cast<double>(mac.drops_retry_limit));
 
   bench::WriteTraceArtifacts(argc, argv);
   bench::WriteBenchReport(argc, argv, "bench_channel");

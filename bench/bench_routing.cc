@@ -1,0 +1,279 @@
+// Protocol-comparison sweep: oracle routing over the legacy stretch MAC vs
+// AODV discovery over CSMA/CA, crossed with mobility speed and offered load,
+// at the radio-channel level (no overlay above). Fully seeded and
+// deterministic; the JSON report is diffed against
+// bench/baselines/BENCH_routing.json in CI and --csv= emits the raw matrix.
+//
+// Both protocol stacks see byte-identical workloads per cell: the topology,
+// mobility trajectory and traffic stream derive from the same seeds, so every
+// difference in the matrix is attributable to the MAC + routing swap. The
+// binary enforces the seam's acceptance criterion in-process: at the sweep's
+// mobility speeds, AODV+CSMA must sustain at least 90% of the oracle's
+// delivery ratio at every offered load — route staleness and contention are
+// allowed to cost airtime and latency, never correctness.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "channel/radio_channel.h"
+#include "obs/metrics.h"
+#include "sim/stats.h"
+
+using namespace hyperm;
+
+namespace {
+
+struct CellResult {
+  std::string proto;
+  double speed_m_per_s = 0.0;
+  int load_per_tick = 0;
+  int sent = 0;
+  int delivered = 0;
+  int unreachable = 0;
+  int mac_dropped = 0;
+  double delivery_ratio = 0.0;
+  double control_frames_per_msg = 0.0;
+  double control_bytes_per_msg = 0.0;
+  double mean_stretch = 0.0;  // delivered frames / oracle hop count
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  uint64_t discoveries = 0;
+  uint64_t route_errors = 0;
+  uint64_t mac_collisions = 0;
+  uint64_t mac_retransmits = 0;
+};
+
+double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+/// Field side for a ~12-neighbour unit-disk graph: mostly connected, with
+/// genuine splits once mobility stirs it.
+double FieldSide(int num_nodes, double range_m) {
+  constexpr double kTargetDegree = 12.0;
+  return std::sqrt(static_cast<double>(num_nodes) * 3.14159265358979323846 *
+                   range_m * range_m / kTargetDegree);
+}
+
+CellResult RunCell(bool aodv_csma, int num_nodes, double speed_m_per_s,
+                   int load_per_tick, int ticks, uint64_t seed) {
+  CellResult cell;
+  cell.proto = aodv_csma ? "aodv" : "oracle";
+  cell.speed_m_per_s = speed_m_per_s;
+  cell.load_per_tick = load_per_tick;
+
+  sim::NetworkStats stats;
+  channel::ChannelOptions options;
+  options.field.field_size_m = FieldSide(num_nodes, 60.0);
+  options.field.radio_range_m = 60.0;
+  options.field.max_placement_attempts = 5000;
+  options.tick_ms = 100.0;
+  options.speed_m_per_s = speed_m_per_s;
+  options.bandwidth_bytes_per_ms = 1000.0;
+  options.tx_overhead_ms = 1.0;
+  options.seed = seed;
+  if (aodv_csma) {
+    options.mac.kind = channel::MacOptions::Kind::kCsmaCa;
+    options.routing.kind = route::RoutingOptions::Kind::kAodv;
+  }
+  Result<std::unique_ptr<channel::RadioChannel>> radio_result =
+      channel::RadioChannel::Create(num_nodes, options, &stats);
+  if (!radio_result.ok()) {
+    std::fprintf(stderr, "channel: %s\n",
+                 radio_result.status().ToString().c_str());
+    std::exit(1);
+  }
+  const std::unique_ptr<channel::RadioChannel> radio =
+      std::move(radio_result).value();
+
+  // The traffic stream is a function of (seed) alone: both protocol stacks
+  // see the same (src, dst, instant) sequence and the same mobility walk.
+  Rng traffic(MixSeed(seed, 7));
+  std::vector<double> latencies;
+  double stretch_sum = 0.0;
+  int stretch_count = 0;
+  sim::TimeMs now = 0.0;
+  for (int tick = 0; tick < ticks; ++tick) {
+    if (tick > 0) {
+      radio->Step();
+      now += options.tick_ms;
+    }
+    for (int m = 0; m < load_per_tick; ++m) {
+      net::Message message;
+      message.src = static_cast<int>(traffic.UniformInt(0, num_nodes - 1));
+      message.dst = static_cast<int>(traffic.UniformInt(0, num_nodes - 1));
+      if (message.dst == message.src) message.dst = (message.dst + 1) % num_nodes;
+      message.bytes = 256;
+      message.cls = sim::TrafficClass::kQuery;
+      const int oracle_hops = radio->topology().PathHops(message.src, message.dst);
+      const net::ChannelTransmission tx = radio->Transmit(message, now);
+      ++cell.sent;
+      if (!tx.reachable) {
+        ++cell.unreachable;
+      } else if (tx.mac_dropped) {
+        ++cell.mac_dropped;
+      } else {
+        ++cell.delivered;
+        latencies.push_back(tx.latency_ms);
+        if (oracle_hops > 0 && oracle_hops != manet::kUnreachableHops) {
+          stretch_sum += static_cast<double>(tx.radio_hops) /
+                         static_cast<double>(oracle_hops);
+          ++stretch_count;
+        }
+      }
+    }
+  }
+
+  const route::RoutingCounters& rc = radio->router().counters();
+  const channel::MacCounters& mc = radio->mac().counters();
+  cell.delivery_ratio =
+      cell.sent > 0 ? static_cast<double>(cell.delivered) / cell.sent : 0.0;
+  cell.control_frames_per_msg =
+      cell.sent > 0 ? static_cast<double>(rc.control_frames) / cell.sent : 0.0;
+  cell.control_bytes_per_msg =
+      cell.sent > 0 ? static_cast<double>(rc.control_bytes) / cell.sent : 0.0;
+  cell.mean_stretch = stretch_count > 0 ? stretch_sum / stretch_count : 0.0;
+  cell.p50_ms = Quantile(latencies, 0.50);
+  cell.p90_ms = Quantile(latencies, 0.90);
+  cell.p99_ms = Quantile(latencies, 0.99);
+  cell.discoveries = rc.discoveries;
+  cell.route_errors = rc.route_errors;
+  cell.mac_collisions = mc.collisions;
+  cell.mac_retransmits = mc.retransmits;
+  return cell;
+}
+
+void PublishCell(const CellResult& cell) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  char key[128];
+  const int speed = static_cast<int>(cell.speed_m_per_s);
+  const auto set = [&](const char* metric, double value) {
+    std::snprintf(key, sizeof(key), "routing.%s.v%d_l%d.%s", cell.proto.c_str(),
+                  speed, cell.load_per_tick, metric);
+    reg.GetGauge(key).Set(value);
+  };
+  set("delivery_ratio", cell.delivery_ratio);
+  set("control_frames_per_msg", cell.control_frames_per_msg);
+  set("control_bytes_per_msg", cell.control_bytes_per_msg);
+  set("stretch", cell.mean_stretch);
+  set("p50_ms", cell.p50_ms);
+  set("p90_ms", cell.p90_ms);
+  set("p99_ms", cell.p99_ms);
+  set("mac_dropped", static_cast<double>(cell.mac_dropped));
+  set("unreachable", static_cast<double>(cell.unreachable));
+}
+
+std::string CsvPath(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--csv=", 6) == 0) return std::string(argv[i] + 6);
+  }
+  return std::string();
+}
+
+int WriteCsv(const std::string& path, const std::vector<CellResult>& cells) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "csv: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "proto,speed_m_per_s,load_per_tick,sent,delivered,unreachable,"
+               "mac_dropped,delivery_ratio,control_frames_per_msg,"
+               "control_bytes_per_msg,stretch,p50_ms,p90_ms,p99_ms,"
+               "discoveries,route_errors,mac_collisions,mac_retransmits\n");
+  for (const CellResult& c : cells) {
+    std::fprintf(f, "%s,%.0f,%d,%d,%d,%d,%d,%.6f,%.4f,%.2f,%.4f,%.3f,%.3f,%.3f,"
+                 "%llu,%llu,%llu,%llu\n",
+                 c.proto.c_str(), c.speed_m_per_s, c.load_per_tick, c.sent,
+                 c.delivered, c.unreachable, c.mac_dropped, c.delivery_ratio,
+                 c.control_frames_per_msg, c.control_bytes_per_msg,
+                 c.mean_stretch, c.p50_ms, c.p90_ms, c.p99_ms,
+                 static_cast<unsigned long long>(c.discoveries),
+                 static_cast<unsigned long long>(c.route_errors),
+                 static_cast<unsigned long long>(c.mac_collisions),
+                 static_cast<unsigned long long>(c.mac_retransmits));
+  }
+  std::fclose(f);
+  std::printf("csv matrix written to %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool paper = bench::PaperScale(argc, argv);
+  (void)bench::ArmFlightRecorder(argc, argv);
+  bench::PrintHeader("Routing", "oracle+legacy vs AODV+CSMA protocol matrix",
+                     paper);
+
+  const int num_nodes = paper ? 100 : 60;
+  const int ticks = paper ? 100 : 40;
+  const uint64_t seed = 4242;
+  const std::vector<double> speeds = {0.0, 10.0, 25.0};
+  const std::vector<int> loads = paper ? std::vector<int>{4, 16}
+                                       : std::vector<int>{2, 8};
+
+  std::printf("%d nodes, %d ticks per cell, %.0f m field\n\n", num_nodes,
+              ticks, FieldSide(num_nodes, 60.0));
+  std::printf("%-8s %6s %5s %9s %9s %8s %8s %9s %9s\n", "proto", "speed",
+              "load", "delivery", "ctl/msg", "stretch", "p50 ms", "p90 ms",
+              "p99 ms");
+
+  std::vector<CellResult> cells;
+  for (double speed : speeds) {
+    for (int load : loads) {
+      for (bool aodv : {false, true}) {
+        CellResult cell = RunCell(aodv, num_nodes, speed, load, ticks, seed);
+        std::printf("%-8s %6.0f %5d %9.3f %9.2f %8.3f %8.2f %9.2f %9.2f\n",
+                    cell.proto.c_str(), speed, load, cell.delivery_ratio,
+                    cell.control_frames_per_msg, cell.mean_stretch, cell.p50_ms,
+                    cell.p90_ms, cell.p99_ms);
+        PublishCell(cell);
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+
+  // Acceptance criterion: at every mobility cell (speed > 0), AODV over
+  // CSMA/CA keeps >= 90% of the oracle's delivery ratio at equal load.
+  // Staleness and contention may tax latency and airtime only.
+  bool pass = true;
+  std::printf("\nacceptance: AODV delivery >= 0.90 x oracle at mobility speeds\n");
+  for (size_t i = 0; i + 1 < cells.size(); i += 2) {
+    const CellResult& oracle = cells[i];
+    const CellResult& aodv = cells[i + 1];
+    if (oracle.speed_m_per_s <= 0.0) continue;
+    const double floor = 0.90 * oracle.delivery_ratio;
+    const bool ok = aodv.delivery_ratio + 1e-12 >= floor;
+    std::printf("  v%.0f l%d: aodv %.3f vs floor %.3f (oracle %.3f) %s\n",
+                oracle.speed_m_per_s, oracle.load_per_tick,
+                aodv.delivery_ratio, floor, oracle.delivery_ratio,
+                ok ? "ok" : "FAIL");
+    if (!ok) pass = false;
+  }
+  if (!pass) {
+    std::fprintf(stderr,
+                 "FAIL: AODV+CSMA delivery ratio below 90%% of oracle\n");
+    return 1;
+  }
+
+  const std::string csv = CsvPath(argc, argv);
+  if (!csv.empty() && WriteCsv(csv, cells) != 0) return 1;
+
+  bench::WriteTraceArtifacts(argc, argv);
+  bench::WriteBenchReport(argc, argv, "bench_routing");
+  return 0;
+}

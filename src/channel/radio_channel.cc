@@ -1,13 +1,21 @@
 #include "channel/radio_channel.h"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "common/check.h"
+#include "common/seed_stream.h"
 #include "obs/event_log.h"
 #include "obs/trace.h"
 
 namespace hyperm::channel {
+
+namespace {
+// Sub-stream ids off ChannelOptions::seed (see common/seed_stream.h).
+constexpr uint64_t kPlacementStream = 0;
+constexpr uint64_t kMobilityStream = 1;
+}  // namespace
 
 Status ChannelOptions::Validate() const {
   if (tick_ms <= 0.0) return InvalidArgumentError("ChannelOptions: tick_ms <= 0");
@@ -26,6 +34,8 @@ Status ChannelOptions::Validate() const {
   if (field.field_size_m <= 0.0 || field.radio_range_m <= 0.0) {
     return InvalidArgumentError("ChannelOptions: non-positive field geometry");
   }
+  HM_RETURN_IF_ERROR(mac.Validate());
+  HM_RETURN_IF_ERROR(routing.Validate());
   return OkStatus();
 }
 
@@ -36,11 +46,22 @@ Result<std::unique_ptr<RadioChannel>> RadioChannel::Create(
   HM_RETURN_IF_ERROR(options.Validate());
   manet::TopologyOptions field = options.field;
   field.num_nodes = num_peers;
-  Rng placement(MixSeed(options.seed, 0));
+  Rng placement = SeedStream(options.seed).At(kPlacementStream);
   HM_ASSIGN_OR_RETURN(manet::ManetTopology topology,
                       manet::ManetTopology::Generate(field, placement));
-  return std::unique_ptr<RadioChannel>(
+  std::unique_ptr<RadioChannel> channel(
       new RadioChannel(options, std::move(topology), stats));
+  MacModel::AirParams air;
+  air.bandwidth_bytes_per_ms = options.bandwidth_bytes_per_ms;
+  air.tx_overhead_ms = options.tx_overhead_ms;
+  air.contention_per_busy_neighbor = options.contention_per_busy_neighbor;
+  HM_ASSIGN_OR_RETURN(channel->mac_,
+                      CreateMac(options.mac, air, &channel->topology_));
+  HM_ASSIGN_OR_RETURN(
+      channel->router_,
+      route::CreateRouting(options.routing, &channel->topology_,
+                           channel->mac_.get()));
+  return channel;
 }
 
 RadioChannel::RadioChannel(const ChannelOptions& options,
@@ -48,8 +69,16 @@ RadioChannel::RadioChannel(const ChannelOptions& options,
     : options_(options),
       topology_(std::move(topology)),
       stats_(stats),
-      mobility_rng_(MixSeed(options.seed, 1)),
-      busy_until_(static_cast<size_t>(topology_.num_nodes()), 0.0) {}
+      mobility_rng_(SeedStream(options.seed).At(kMobilityStream)) {
+  // PublishMacObs hardcodes the channel.mac.<cause> literals (the counter
+  // macro caches its handle per call site); pin them to the enum's names so
+  // a renamed cause cannot silently fork the counter from its events.
+  HM_CHECK(std::strcmp(MacCauseName(MacCause::kDeferral), "deferrals") == 0);
+  HM_CHECK(std::strcmp(MacCauseName(MacCause::kCollision), "collisions") == 0);
+  HM_CHECK(std::strcmp(MacCauseName(MacCause::kRetransmit), "retransmits") == 0);
+  HM_CHECK(std::strcmp(MacCauseName(MacCause::kDropRetryLimit),
+                       "drops_retry_limit") == 0);
+}
 
 bool RadioChannel::connected() const { return topology_.connected(); }
 
@@ -65,7 +94,17 @@ bool RadioChannel::Reachable(int src, int dst) const {
       dst >= topology_.num_nodes()) {
     return false;
   }
-  return topology_.SameIsland(src, dst);
+  return topology_.CanReach(src, dst);
+}
+
+const ChannelCounters& RadioChannel::counters() const {
+  // The MAC owns the queue tails and frame totals now; mirror them so
+  // existing readers keep seeing one flat counter block.
+  const MacCounters& mc = mac_->counters();
+  counters_.radio_transmissions = mc.frames_sent;
+  counters_.queued_transmissions = mc.queued_transmissions;
+  counters_.queue_wait_ms = mc.queue_wait_ms;
+  return counters_;
 }
 
 void RadioChannel::PublishRouteCacheObs(sim::TimeMs now, int src, int dst) {
@@ -86,37 +125,25 @@ void RadioChannel::PublishRouteCacheObs(sim::TimeMs now, int src, int dst) {
   emitted_route_ = rc;
 }
 
-sim::TimeMs RadioChannel::TransmitOneHop(int node, sim::TimeMs ready_ms,
-                                         const net::Message& message) {
-  sim::TimeMs& tail = busy_until_[static_cast<size_t>(node)];
-  const sim::TimeMs start = std::max(ready_ms, tail);
-  if (start > ready_ms) {
-    ++counters_.queued_transmissions;
-    counters_.queue_wait_ms += start - ready_ms;
-    queue_high_watermark_ms_ = std::max(queue_high_watermark_ms_, start - ready_ms);
-    // Contention stall: the hop sat in `node`'s transmit queue from the
-    // moment its payload was ready until the radio freed up.
-    HM_OBS_EVENT(.sim_ms = ready_ms, .kind = obs::EventKind::kTxQueueWait,
-                 .src = node, .value = start - ready_ms);
+void RadioChannel::PublishMacObs() {
+  const MacCounters& mc = mac_->counters();
+  if (mc.deferrals > emitted_mac_.deferrals) {
+    HM_OBS_COUNTER_ADD("channel.mac.deferrals",
+                       mc.deferrals - emitted_mac_.deferrals);
   }
-  // Neighbourhood contention: every radio neighbour still draining its own
-  // queue when this send starts shares the carrier and stretches the send.
-  int busy_neighbors = 0;
-  for (int peer : topology_.neighbors(node)) {
-    if (busy_until_[static_cast<size_t>(peer)] > start) ++busy_neighbors;
+  if (mc.collisions > emitted_mac_.collisions) {
+    HM_OBS_COUNTER_ADD("channel.mac.collisions",
+                       mc.collisions - emitted_mac_.collisions);
   }
-  const double serialise_ms =
-      options_.tx_overhead_ms +
-      static_cast<double>(message.bytes) / options_.bandwidth_bytes_per_ms;
-  const double tx_ms =
-      serialise_ms *
-      (1.0 + options_.contention_per_busy_neighbor * busy_neighbors);
-  tail = start + tx_ms;
-  ++counters_.radio_transmissions;
-  HM_OBS_EVENT(.sim_ms = start, .kind = obs::EventKind::kTxAirtime,
-               .src = node, .dst = message.dst, .value = tx_ms,
-               .aux = busy_neighbors);
-  return tail;
+  if (mc.retransmits > emitted_mac_.retransmits) {
+    HM_OBS_COUNTER_ADD("channel.mac.retransmits",
+                       mc.retransmits - emitted_mac_.retransmits);
+  }
+  if (mc.drops_retry_limit > emitted_mac_.drops_retry_limit) {
+    HM_OBS_COUNTER_ADD("channel.mac.drops_retry_limit",
+                       mc.drops_retry_limit - emitted_mac_.drops_retry_limit);
+  }
+  emitted_mac_ = mc;
 }
 
 net::ChannelTransmission RadioChannel::Transmit(const net::Message& message,
@@ -127,43 +154,64 @@ net::ChannelTransmission RadioChannel::Transmit(const net::Message& message,
   HM_CHECK_LT(message.dst, topology_.num_nodes());
   net::ChannelTransmission result;
   if (message.src == message.dst) return result;  // local delivery, free
-  if (!topology_.SameIsland(message.src, message.dst)) {
-    // No radio path (an island lookup, so the drop costs no BFS): the source
-    // radio still transmits into the void before the ack timeout reveals the
-    // island boundary.
-    const sim::TimeMs done = TransmitOneHop(message.src, now, message);
+  route::RouteResolution res = router_->Resolve(message, now, path_scratch_);
+  if (!res.found) {
+    // No route this attempt (island boundary, or a discovery flood that
+    // died out): the source radio still transmits into the void before the
+    // ack timeout reveals the loss — fire-and-forget, after any discovery
+    // latency the protocol already charged.
+    const FrameResult fr =
+        mac_->SendFrame(message.src, /*receiver=*/-1, message,
+                        now + res.control_latency_ms);
     stats_->RecordHop(message.cls, message.bytes);
     HM_OBS_COUNTER_ADD("channel.radio_transmissions", 1);
     ++counters_.unreachable_transmissions;
     HM_OBS_COUNTER_ADD("channel.unreachable", 1);
     HM_OBS_EVENT(.sim_ms = now, .kind = obs::EventKind::kTxUnreachable,
                  .src = message.src, .dst = message.dst,
-                 .value = done - now);
-    result.latency_ms = done - now;
+                 .value = fr.done_ms - now);
+    result.latency_ms = fr.done_ms - now;
     result.radio_hops = 1;
     result.reachable = false;
+    PublishMacObs();
     return result;
   }
-  topology_.ShortestPathInto(message.src, message.dst, path_scratch_);
   const std::vector<int>& path = path_scratch_;
-  HM_CHECK(!path.empty());  // same island, so the cached tree reaches dst
+  HM_CHECK(path.size() >= 2);  // full src..dst sequence by the seam contract
   PublishRouteCacheObs(now, message.src, message.dst);
-  // One queued radio transmission per hop, in path order: each relay can
-  // only forward once the previous hop's send completes AND its own queue
-  // has drained — this is where offered load becomes latency.
-  sim::TimeMs ready = now;
+  // One queued MAC frame per hop, in path order: each relay can only forward
+  // once the previous hop's frame completes AND its own queue has drained —
+  // this is where offered load becomes latency. Discovery latency (if any)
+  // is serialized before the first data frame.
+  sim::TimeMs ready = now + res.control_latency_ms;
+  uint64_t frames = 0;
+  bool dropped = false;
   for (size_t i = 0; i + 1 < path.size(); ++i) {
-    ready = TransmitOneHop(path[i], ready, message);
+    const FrameResult fr = mac_->SendFrame(path[i], path[i + 1], message, ready);
+    frames += static_cast<uint64_t>(fr.attempts);
+    ready = fr.done_ms;
+    if (!fr.delivered) {
+      // Retry limit exhausted: the frame is gone and the forwarder now knows
+      // the link is dead — routing reacts (RERR), the transport sees a loss.
+      dropped = true;
+      router_->OnLinkBreak(path[i], path[i + 1], fr.done_ms);
+      break;
+    }
   }
-  // Hop/byte/energy accounting batched per message: every hop carries the
-  // same payload, so one RecordHops call replaces path-length atomic
-  // round-trips with identical totals.
-  const uint64_t hops = path.size() - 1;
-  stats_->RecordHops(message.cls, message.bytes, hops);
-  HM_OBS_COUNTER_ADD("channel.radio_transmissions", hops);
+  // Hop/byte/energy accounting batched per message: every frame carries the
+  // same payload, so one RecordHops call replaces per-frame atomic
+  // round-trips with identical totals (retransmitted frames included).
+  stats_->RecordHops(message.cls, message.bytes, frames);
+  HM_OBS_COUNTER_ADD("channel.radio_transmissions", frames);
   result.latency_ms = ready - now;
-  result.radio_hops = static_cast<int>(hops);
+  result.radio_hops = static_cast<int>(frames);
   result.reachable = true;
+  if (dropped) {
+    ++counters_.mac_dropped_transmissions;
+    HM_OBS_COUNTER_ADD("channel.mac_dropped", 1);
+    result.mac_dropped = true;
+  }
+  PublishMacObs();
   return result;
 }
 
@@ -174,31 +222,6 @@ void RadioChannel::Step() {
     ++counters_.disconnected_steps;
     HM_OBS_COUNTER_ADD("channel.disconnected_steps", 1);
   }
-}
-
-int RadioChannel::BusyNodesAt(sim::TimeMs now) const {
-  int busy = 0;
-  for (sim::TimeMs t : busy_until_) {
-    if (t > now) ++busy;
-  }
-  return busy;
-}
-
-sim::TimeMs RadioChannel::DrainedAtMs() const {
-  sim::TimeMs latest = 0.0;
-  for (sim::TimeMs t : busy_until_) latest = std::max(latest, t);
-  return latest;
-}
-
-double RadioChannel::QueueBacklogMs(int node, sim::TimeMs now) const {
-  if (node < 0 || node >= num_nodes()) return 0.0;
-  return std::max(0.0, busy_until_[static_cast<size_t>(node)] - now);
-}
-
-double RadioChannel::MaxQueueBacklogMs(sim::TimeMs now) const {
-  double worst = 0.0;
-  for (sim::TimeMs t : busy_until_) worst = std::max(worst, t - now);
-  return std::max(0.0, worst);
 }
 
 }  // namespace hyperm::channel

@@ -10,6 +10,7 @@
 #include "can/can_overlay.h"
 #include "common/check.h"
 #include "common/math_util.h"
+#include "common/seed_stream.h"
 #include "obs/event_log.h"
 #include "obs/trace.h"
 #include "overlay/ring_overlay.h"
@@ -149,6 +150,13 @@ Status HyperMNetwork::InitTransport() {
     return InvalidArgumentError(
         "Build: backbone.enabled requires net.unreliable and channel.enabled "
         "(the CDS is elected over the live radio graph)");
+  }
+  if (options_.backbone.enabled &&
+      (options_.channel.field.min_range_multiplier != 1.0 ||
+       options_.channel.field.max_range_multiplier != 1.0)) {
+    return InvalidArgumentError(
+        "Build: backbone.enabled requires a symmetric radio graph (the CDS "
+        "election assumes bidirectional links; keep range multipliers at 1)");
   }
   if (!net_opts.unreliable) {
     if (options_.channel.enabled) {
@@ -524,7 +532,8 @@ Result<std::unique_ptr<HyperMNetwork>> HyperMNetwork::Build(
     const cluster::KMeansOptions kmeans_options = net->MakeKMeansOptions();
     net->PoolRun(tasks.size(), [&](size_t t) {
       const PublishTask& task = tasks[t];
-      Rng task_rng(MixSeed(base_seed, static_cast<uint64_t>(task.peer), task.layer));
+      Rng task_rng =
+          SeedStream(base_seed).At(static_cast<uint64_t>(task.peer), task.layer);
       slots[t].emplace(cluster::KMeans(
           level_points[static_cast<size_t>(task.peer)][task.layer], kmeans_options,
           task_rng));
@@ -596,7 +605,8 @@ Status HyperMNetwork::PublishPeerParallel(
   std::vector<std::optional<Result<cluster::KMeansResult>>> slots(layers.size());
   const cluster::KMeansOptions kmeans_options = MakeKMeansOptions();
   PoolRun(layers.size(), [&](size_t t) {
-    Rng task_rng(MixSeed(base_seed, static_cast<uint64_t>(peer_id), layers[t]));
+    Rng task_rng =
+        SeedStream(base_seed).At(static_cast<uint64_t>(peer_id), layers[t]);
     slots[t].emplace(
         cluster::KMeans(level_points[layers[t]], kmeans_options, task_rng));
   });

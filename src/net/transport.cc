@@ -14,6 +14,7 @@ static_assert(static_cast<int>(DeliveryOutcome::kLostLoss) == 1);
 static_assert(static_cast<int>(DeliveryOutcome::kLostDown) == 2);
 static_assert(static_cast<int>(DeliveryOutcome::kLostPartition) == 3);
 static_assert(static_cast<int>(DeliveryOutcome::kLostUnreachable) == 4);
+static_assert(static_cast<int>(DeliveryOutcome::kLostMac) == 5);
 
 ReliableTransport::ReliableTransport(sim::NetworkStats* stats,
                                      const sim::LinkModel& link)
@@ -40,7 +41,7 @@ UnreliableTransport::UnreliableTransport(sim::Simulator* sim,
       plan_(options.faults),
       retry_(options.retry),
       link_(options.link),
-      seed_(options.seed) {
+      msg_streams_(options.seed) {
   HM_CHECK(sim != nullptr);
   HM_CHECK(stats != nullptr);
   HM_CHECK(state != nullptr);
@@ -82,7 +83,7 @@ HopResult UnreliableTransport::SendHop(const Message& message) {
   for (int attempt = 0; attempt < attempts; ++attempt) {
     // One independent randomness stream per physical transmission: the draw
     // sequence depends only on (seed, issue order), never on timing.
-    Rng draw(MixSeed(seed_, next_msg_id_++));
+    Rng draw = msg_streams_.Next();
     // The radio transmits — energy and traffic are spent — before fate
     // (crash, partition, loss) decides whether anything arrives. With a
     // physical channel the attempt is one queued transmission per radio hop
@@ -90,12 +91,14 @@ HopResult UnreliableTransport::SendHop(const Message& message) {
     // free-channel model charges exactly one hop.
     double air_ms = 0.0;
     bool geo_reachable = true;
+    bool mac_dropped = false;
     if (channel_ != nullptr) {
       const ChannelTransmission tx = channel_->Transmit(message, sim_->now());
       counters_.messages_sent += static_cast<uint64_t>(tx.radio_hops);
       HM_OBS_COUNTER_ADD("net.messages", tx.radio_hops);
       air_ms = tx.latency_ms;
       geo_reachable = tx.reachable;
+      mac_dropped = tx.mac_dropped;
     } else {
       stats_->RecordHop(message.cls, message.bytes);
       ++counters_.messages_sent;
@@ -122,6 +125,15 @@ HopResult UnreliableTransport::SendHop(const Message& message) {
       ++counters_.dropped_unreachable;
       HM_OBS_COUNTER_ADD("net.dropped_unreachable", 1);
       result.outcome = DeliveryOutcome::kLostUnreachable;
+      lost = true;
+    } else if (mac_dropped) {
+      // The channel's MAC exhausted its retry limit on some hop: the frame
+      // is gone regardless of the end-to-end loss draw. Checked before the
+      // Bernoulli so legacy-MAC runs (never mac_dropped) keep an identical
+      // randomness stream.
+      ++counters_.dropped_mac;
+      HM_OBS_COUNTER_ADD("net.dropped_mac", 1);
+      result.outcome = DeliveryOutcome::kLostMac;
       lost = true;
     } else if (draw.Bernoulli(plan_.loss_rate)) {
       ++counters_.dropped_loss;

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/seed_stream.h"
 #include "net/fault_plan.h"
 #include "net/retry.h"
 #include "sim/dissemination.h"
@@ -68,6 +69,7 @@ enum class DeliveryOutcome {
   kLostDown,          ///< src or dst was crashed on the last attempt
   kLostPartition,     ///< a scripted partition separated the pair
   kLostUnreachable,   ///< no physical radio path (geometry-derived island)
+  kLostMac,           ///< dropped mid-path by the MAC's retry limit
 };
 
 /// Outcome of one (possibly retried) message exchange.
@@ -91,6 +93,8 @@ struct TransportCounters {
   uint64_t dropped_partition = 0;  ///< transmissions across a scripted partition
   uint64_t dropped_unreachable = 0;  ///< no physical radio path (geometry-derived
                                      ///< partition; PhysicalChannel runs only)
+  uint64_t dropped_mac = 0;  ///< frames lost to the MAC retry limit mid-path
+                             ///< (CSMA/CA channel runs only)
 };
 
 /// One physical transmission attempt as costed by a PhysicalChannel.
@@ -99,6 +103,8 @@ struct ChannelTransmission {
   int radio_hops = 0;       ///< physical radio transmissions charged to stats
   bool reachable = true;    ///< false: no radio path existed; only the local
                             ///< transmission was charged
+  bool mac_dropped = false;  ///< a route existed but the MAC exhausted its
+                             ///< retries on one hop; the frame never arrived
 };
 
 /// The physical radio substrate beneath an UnreliableTransport. When
@@ -237,8 +243,7 @@ class UnreliableTransport : public Transport {
   FaultPlan plan_;
   RetryPolicy retry_;
   sim::LinkModel link_;
-  uint64_t seed_;
-  uint64_t next_msg_id_ = 0;
+  SeedStream msg_streams_;  // one independent Rng per physical transmission
   TransportCounters counters_;
   std::vector<RttEstimator> rtt_;  // per destination; adaptive mode only
 };

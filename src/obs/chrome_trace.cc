@@ -310,6 +310,34 @@ Json ChromeTraceFromLog(const EventLog& log) {
                               "serve", tid, ts));
         break;
       }
+      case EventKind::kMacDefer: {
+        Json x = BaseEvent("X", "mac_defer", "channel", tid, ts);
+        x.Set("dur", Json(e.value * 1000.0));
+        Json args = Json::Object();
+        args.Set("busy_neighbors", Json(e.aux));
+        x.Set("args", std::move(args));
+        out.push_back(std::move(x));
+        break;
+      }
+      case EventKind::kMacCollision: {
+        out.push_back(Instant("collision a" + std::to_string(e.attempt) +
+                                  "->" + std::to_string(e.dst),
+                              "channel", tid, ts));
+        break;
+      }
+      case EventKind::kRouteDiscover: {
+        out.push_back(Instant((e.cause == 0 ? "rreq->" : "rreq_fail->") +
+                                  std::to_string(e.dst) + " x" +
+                                  std::to_string(e.aux),
+                              "route", tid, ts));
+        break;
+      }
+      case EventKind::kRouteError: {
+        out.push_back(Instant("rerr !" + std::to_string(e.dst) + " x" +
+                                  std::to_string(e.aux),
+                              "route", tid, ts));
+        break;
+      }
     }
   }
 

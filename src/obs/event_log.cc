@@ -39,6 +39,10 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kServeShed: return "serve_shed";
     case EventKind::kServeCacheHit: return "serve_cache_hit";
     case EventKind::kServeShortcut: return "serve_shortcut";
+    case EventKind::kMacDefer: return "mac_defer";
+    case EventKind::kMacCollision: return "mac_collision";
+    case EventKind::kRouteDiscover: return "route_discover";
+    case EventKind::kRouteError: return "route_error";
   }
   return "unknown";
 }
@@ -63,7 +67,12 @@ Subsystem SubsystemOf(EventKind kind) {
     case EventKind::kTxUnreachable:
     case EventKind::kRouteCacheBuild:
     case EventKind::kRouteCacheInvalidate:
+    case EventKind::kMacDefer:
+    case EventKind::kMacCollision:
       return Subsystem::kChannel;
+    case EventKind::kRouteDiscover:
+    case EventKind::kRouteError:
+      return Subsystem::kRoute;
     case EventKind::kMobilityTick:
     case EventKind::kIslandChange:
       return Subsystem::kMobility;
@@ -96,6 +105,7 @@ const char* SubsystemName(Subsystem subsystem) {
     case Subsystem::kSoftState: return "softstate";
     case Subsystem::kBackbone: return "backbone";
     case Subsystem::kServe: return "serve";
+    case Subsystem::kRoute: return "route";
   }
   return "unknown";
 }
@@ -107,6 +117,7 @@ const char* DeliveryCauseName(int32_t cause) {
     case 2: return "down";
     case 3: return "partition";
     case 4: return "unreachable";
+    case 5: return "mac";
     default: return "unknown";
   }
 }
@@ -125,6 +136,16 @@ const char* ShedCauseName(int32_t cause) {
   switch (cause) {
     case 0: return "tx_backlog";
     case 1: return "dispatch_lag";
+    default: return "unknown";
+  }
+}
+
+const char* MacCauseName(int32_t cause) {
+  switch (cause) {
+    case 0: return "deferrals";
+    case 1: return "collisions";
+    case 2: return "retransmits";
+    case 3: return "drops_retry_limit";
     default: return "unknown";
   }
 }

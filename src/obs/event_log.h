@@ -76,11 +76,16 @@ enum class EventKind : int32_t {
   kServeShed,        ///< arrival shed; src=querying peer, cause=ShedCauseName, value=backlog ms
   kServeCacheHit,    ///< result cache answered locally; src=querying peer, aux=#items
   kServeShortcut,    ///< mined shortcut attempted; cause 0=hit 1=stale, dst=entry node, value=latency
+  // CSMA/CA MAC + distributed routing (src/channel mac + src/route; appended)
+  kMacDefer,         ///< carrier-sense deferral; src=node, value=defer ms, aux=busy neighbors
+  kMacCollision,     ///< collision detected; src=node, dst=receiver, attempt=tx attempt, value=backoff ms
+  kRouteDiscover,    ///< route discovery round; src=origin, dst=target, cause 0=found 1=failed, value=control ms, aux=#control frames
+  kRouteError,       ///< link break + RERR; src=detecting node, dst=lost next hop, aux=#routes invalidated
 };
 
 /// Which layer of the stack emitted the event.
 enum class Subsystem : int32_t {
-  kQuery = 0, kNet, kChannel, kMobility, kSoftState, kBackbone, kServe
+  kQuery = 0, kNet, kChannel, kMobility, kSoftState, kBackbone, kServe, kRoute
 };
 
 const char* EventKindName(EventKind kind);
@@ -101,6 +106,11 @@ const char* LevelFateName(int32_t fate);
 /// serve::ShedCause numerically (static_assert in engine.cc — obs sits below
 /// serve in the dependency order, like DeliveryCauseName above).
 const char* ShedCauseName(int32_t cause);
+
+/// Names for the per-cause MAC accounting (kMacDefer/kMacCollision events and
+/// the channel.mac.* counters); mirrors channel::MacCause numerically
+/// (static_assert in mac.cc — obs sits below channel, like the above).
+const char* MacCauseName(int32_t cause);
 
 /// One flight-recorder event. Plain data, no strings: ~64 bytes, cheap to
 /// buffer in bulk. `-1` means "unset"; Record() fills unset causal ids from

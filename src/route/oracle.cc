@@ -1,0 +1,49 @@
+#include "route/oracle.h"
+
+#include "common/check.h"
+
+namespace hyperm::route {
+
+Status RoutingOptions::Validate() const {
+  if (route_ttl_ms <= 0.0) {
+    return InvalidArgumentError("RoutingOptions: route_ttl_ms <= 0");
+  }
+  if (control_bytes == 0) {
+    return InvalidArgumentError("RoutingOptions: control_bytes == 0");
+  }
+  return OkStatus();
+}
+
+OracleRouting::OracleRouting(const manet::ManetTopology* topology)
+    : topology_(topology) {
+  HM_CHECK(topology != nullptr);
+}
+
+RouteResolution OracleRouting::Resolve(const net::Message& message,
+                                       sim::TimeMs now,
+                                       std::vector<int>& path) {
+  (void)now;  // omniscient: always current, never stale
+  ++counters_.resolutions;
+  RouteResolution res;
+  if (topology_->symmetric()) {
+    // Exactly the legacy channel sequence: the island lookup costs no BFS,
+    // so an unreachable drop leaves the route cache untouched.
+    if (!topology_->SameIsland(message.src, message.dst)) {
+      ++counters_.unreachable;
+      path.clear();
+      return res;
+    }
+    topology_->ShortestPathInto(message.src, message.dst, path);
+    HM_CHECK(!path.empty());  // same island, so the cached tree reaches dst
+    res.found = true;
+    return res;
+  }
+  // Digraph: one-way links cross SCC boundaries, so only the directed BFS
+  // tree knows the truth.
+  topology_->ShortestPathInto(message.src, message.dst, path);
+  res.found = !path.empty();
+  if (!res.found) ++counters_.unreachable;
+  return res;
+}
+
+}  // namespace hyperm::route

@@ -1,0 +1,24 @@
+#include "route/aodv.h"
+#include "route/oracle.h"
+#include "route/protocol.h"
+
+namespace hyperm::route {
+
+Result<std::unique_ptr<RoutingProtocol>> CreateRouting(
+    const RoutingOptions& options, const manet::ManetTopology* topology,
+    channel::MacModel* mac) {
+  HM_RETURN_IF_ERROR(options.Validate());
+  switch (options.kind) {
+    case RoutingOptions::Kind::kOracle:
+      return std::unique_ptr<RoutingProtocol>(new OracleRouting(topology));
+    case RoutingOptions::Kind::kAodv:
+      if (mac == nullptr) {
+        return InvalidArgumentError("CreateRouting: AODV needs a MacModel");
+      }
+      return std::unique_ptr<RoutingProtocol>(
+          new AodvRouting(topology, mac, options));
+  }
+  return InvalidArgumentError("RoutingOptions: unknown kind");
+}
+
+}  // namespace hyperm::route

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "common/seed_stream.h"
 
 namespace hyperm::serve {
 
@@ -42,7 +43,7 @@ std::vector<Arrival> GenerateArrivals(const WorkloadOptions& options,
   HM_CHECK_GT(options.offered_qps, 0.0);
   HM_CHECK_GE(options.num_templates, 1);
   std::vector<Arrival> schedule;
-  Rng rng(MixSeed(options.seed, 0x61727276ULL));  // "arrv"
+  Rng rng = SeedStream(options.seed).At(0x61727276ULL);  // "arrv" stream
   const ZipfSampler popularity(options.num_templates, options.zipf_s);
   const double rate_per_ms = options.offered_qps / 1000.0;
   double t = 0.0;

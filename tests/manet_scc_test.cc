@@ -1,0 +1,152 @@
+// Directed-topology tests: per-node range multipliers make links one-way,
+// island labelling becomes SCC-based, and the SCC labeller agrees with the
+// undirected BFS labeller wherever both are defined (symmetric graphs).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "manet/topology.h"
+
+namespace hyperm::manet {
+namespace {
+
+ManetTopology SymmetricField(int nodes, double field, double range,
+                             uint64_t seed) {
+  TopologyOptions options;
+  options.num_nodes = nodes;
+  options.field_size_m = field;
+  options.radio_range_m = range;
+  options.max_placement_attempts = 5000;
+  Rng rng(seed);
+  Result<ManetTopology> topology = ManetTopology::Generate(options, rng);
+  EXPECT_TRUE(topology.ok()) << topology.status().ToString();
+  return std::move(topology).value();
+}
+
+/// Nodes on a line 50 m apart; per-node transmit ranges make a digraph:
+/// 0 (range 120) reaches {1, 2}; 1 (range 60) reaches {0, 2}; 2 (range 30)
+/// reaches nobody. {0, 1} is one SCC, {2} a sink of its own.
+Result<ManetTopology> AsymmetricChain() {
+  TopologyOptions options;
+  options.num_nodes = 3;
+  options.field_size_m = 200.0;
+  options.radio_range_m = 60.0;
+  options.min_range_multiplier = 0.5;
+  options.max_range_multiplier = 2.0;
+  std::vector<Vector> positions = {Vector{0.0, 0.0}, Vector{50.0, 0.0},
+                                   Vector{100.0, 0.0}};
+  return ManetTopology::FromPositions(options, std::move(positions),
+                                      {2.0, 1.0, 0.5});
+}
+
+TEST(SccLabelsTest, MatchesUndirectedLabellerOnSymmetricGraphs) {
+  // On symmetric graphs SCCs are exactly the connected components, and both
+  // labellers number them densely by ascending first occurrence.
+  for (uint64_t seed : {1u, 12u, 123u}) {
+    ManetTopology connected = SymmetricField(24, 180.0, 60.0, seed);
+    ASSERT_TRUE(connected.symmetric());
+    EXPECT_EQ(connected.SccLabels(), connected.island_labels());
+  }
+  // A deliberately split symmetric layout: still identical, per component.
+  TopologyOptions options;
+  options.num_nodes = 6;
+  options.field_size_m = 400.0;
+  options.radio_range_m = 60.0;
+  std::vector<Vector> positions = {
+      Vector{10.0, 10.0},   Vector{50.0, 10.0},   Vector{90.0, 10.0},
+      Vector{310.0, 390.0}, Vector{350.0, 390.0}, Vector{390.0, 390.0}};
+  Result<ManetTopology> split =
+      ManetTopology::FromPositions(options, std::move(positions));
+  ASSERT_TRUE(split.ok());
+  EXPECT_FALSE(split->connected());
+  EXPECT_EQ(split->num_islands(), 2);
+  EXPECT_EQ(split->SccLabels(), split->island_labels());
+}
+
+TEST(DirectedTopologyTest, RangeMultipliersMakeLinksOneWay) {
+  Result<ManetTopology> chain = AsymmetricChain();
+  ASSERT_TRUE(chain.ok()) << chain.status().ToString();
+  EXPECT_FALSE(chain->symmetric());
+  EXPECT_DOUBLE_EQ(chain->range_multiplier(0), 2.0);
+  EXPECT_DOUBLE_EQ(chain->range_multiplier(2), 0.5);
+  EXPECT_EQ(chain->neighbors(0), (std::vector<int>{1, 2}));
+  EXPECT_EQ(chain->neighbors(1), (std::vector<int>{0, 2}));
+  EXPECT_TRUE(chain->neighbors(2).empty());
+  EXPECT_EQ(chain->in_neighbors(0), (std::vector<int>{1}));
+  EXPECT_EQ(chain->in_neighbors(1), (std::vector<int>{0}));
+  EXPECT_EQ(chain->in_neighbors(2), (std::vector<int>{0, 1}));
+  // Directed reachability: into the sink but never out of it.
+  EXPECT_TRUE(chain->CanReach(0, 2));
+  EXPECT_TRUE(chain->CanReach(1, 2));
+  EXPECT_FALSE(chain->CanReach(2, 0));
+  EXPECT_FALSE(chain->CanReach(2, 1));
+  EXPECT_EQ(chain->PathHops(0, 2), 1);
+  EXPECT_EQ(chain->PathHops(2, 0), kUnreachableHops);
+}
+
+TEST(DirectedTopologyTest, IslandLabelsAreSccsOnDigraphs) {
+  Result<ManetTopology> chain = AsymmetricChain();
+  ASSERT_TRUE(chain.ok());
+  // 2 hears the others but cannot answer: not strongly connected, so it is
+  // its own island even though every undirected edge would join it.
+  EXPECT_FALSE(chain->connected());
+  EXPECT_EQ(chain->num_islands(), 2);
+  const std::vector<int>& labels = chain->island_labels();
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_NE(labels[0], labels[2]);
+  EXPECT_EQ(chain->SccLabels(), labels);
+  EXPECT_TRUE(chain->SameIsland(0, 1));
+  EXPECT_FALSE(chain->SameIsland(0, 2));
+}
+
+TEST(DirectedTopologyTest, GenerateDrawsMultipliersAndStaysConsistent) {
+  TopologyOptions options;
+  options.num_nodes = 14;
+  options.field_size_m = 150.0;
+  options.radio_range_m = 80.0;
+  options.min_range_multiplier = 0.8;
+  options.max_range_multiplier = 1.3;
+  options.max_placement_attempts = 5000;
+  Rng rng(21);
+  Result<ManetTopology> topology = ManetTopology::Generate(options, rng);
+  ASSERT_TRUE(topology.ok()) << topology.status().ToString();
+  EXPECT_FALSE(topology->symmetric());
+  EXPECT_TRUE(topology->connected());  // Generate retries until strongly so
+  for (int i = 0; i < 14; ++i) {
+    EXPECT_GE(topology->range_multiplier(i), 0.8);
+    EXPECT_LE(topology->range_multiplier(i), 1.3);
+    // In/out adjacency must be mutually consistent.
+    for (int j : topology->neighbors(i)) {
+      const std::vector<int>& in = topology->in_neighbors(j);
+      EXPECT_TRUE(std::binary_search(in.begin(), in.end(), i)) << i << "->" << j;
+    }
+  }
+  // Bad multiplier options are rejected.
+  TopologyOptions bad = options;
+  bad.min_range_multiplier = 0.0;
+  Rng bad_rng(21);
+  EXPECT_FALSE(ManetTopology::Generate(bad, bad_rng).ok());
+  bad = options;
+  bad.max_range_multiplier = 0.5;  // < min
+  Rng bad_rng2(21);
+  EXPECT_FALSE(ManetTopology::Generate(bad, bad_rng2).ok());
+}
+
+TEST(DirectedTopologyTest, MultiplierCountMustMatchNodes) {
+  TopologyOptions options;
+  options.num_nodes = 3;
+  options.field_size_m = 200.0;
+  options.radio_range_m = 60.0;
+  options.min_range_multiplier = 0.5;
+  options.max_range_multiplier = 2.0;
+  std::vector<Vector> positions = {Vector{0.0, 0.0}, Vector{50.0, 0.0},
+                                   Vector{100.0, 0.0}};
+  EXPECT_FALSE(
+      ManetTopology::FromPositions(options, positions, {1.0, 2.0}).ok());
+  EXPECT_FALSE(
+      ManetTopology::FromPositions(options, positions, {1.0, 2.0, -1.0}).ok());
+}
+
+}  // namespace
+}  // namespace hyperm::manet

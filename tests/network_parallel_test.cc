@@ -43,7 +43,7 @@ struct RunCapture {
 };
 
 RunCapture RunWorkload(int num_threads, bool explicit_net_options = false,
-                       bool radio_channel = false) {
+                       bool radio_channel = false, bool csma_aodv = false) {
   obs::MetricsRegistry::Global().Reset();
   obs::Tracer::Global().Reset();
 
@@ -89,6 +89,13 @@ RunCapture RunWorkload(int num_threads, bool explicit_net_options = false,
     options.channel.field.radio_range_m = 70.0;
     options.channel.speed_m_per_s = 10.0;
     options.channel.tick_ms = 50.0;
+    if (csma_aodv) {
+      // The realistic underlay: CSMA/CA backoff draws come from per-node
+      // SeedStream RNGs and AODV floods run on the simulator thread, so the
+      // whole stack stays deterministic regardless of the pool size.
+      options.channel.mac.kind = channel::MacOptions::Kind::kCsmaCa;
+      options.channel.routing.kind = route::RoutingOptions::Kind::kAodv;
+    }
   }
   Result<std::unique_ptr<HyperMNetwork>> net =
       HyperMNetwork::Build(dataset.value(), assignment.value(), options, rng);
@@ -262,6 +269,22 @@ TEST(NetworkParallelTest, RadioChannelRunsBitIdenticalAcrossThreadCounts) {
   EXPECT_GT(sequential.transport_messages, 0u);
   const RunCapture eight_threads =
       RunWorkload(8, /*explicit_net_options=*/false, /*radio_channel=*/true);
+  ExpectRunsIdentical(sequential, eight_threads);
+}
+
+TEST(NetworkParallelTest, CsmaAodvRunsBitIdenticalAcrossThreadCounts) {
+  // Non-default underlay (CSMA/CA MAC + AODV routing): backoff, collision
+  // and discovery randomness all live in dedicated per-node streams, so the
+  // swap must not reintroduce thread-count sensitivity.
+  const RunCapture sequential = RunWorkload(
+      1, /*explicit_net_options=*/false, /*radio_channel=*/true,
+      /*csma_aodv=*/true);
+  EXPECT_FALSE(sequential.scores.empty());
+  EXPECT_FALSE(sequential.range_items.empty());
+  EXPECT_GT(sequential.transport_messages, 0u);
+  const RunCapture eight_threads = RunWorkload(
+      8, /*explicit_net_options=*/false, /*radio_channel=*/true,
+      /*csma_aodv=*/true);
   ExpectRunsIdentical(sequential, eight_threads);
 }
 
